@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for query-time estimation latency — the
+//! cost the Teradata optimizer pays per candidate placement, which must
+//! stay far below a millisecond to be usable inside plan enumeration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use catalog::SystemKind;
+use costing::estimator::OperatorKind;
+use costing::features::join_dim_names;
+use costing::logical_op::{
+    flow::LogicalOpCosting,
+    model::{FitConfig, LogicalOpModel},
+    run_training,
+};
+use costing::sub_op::{RuleInputs, SubOpCosting, SubOpMeasurement, SubOpModels};
+use remote_sim::analyze::analyze;
+use remote_sim::physical::JoinAlgorithm;
+use remote_sim::{ClusterEngine, RemoteSystem};
+use workload::{join_training_queries_with, probe_suite, register_tables, TableSpec};
+
+fn setup() -> (ClusterEngine, LogicalOpModel, SubOpCosting, Vec<f64>) {
+    let mut engine = ClusterEngine::paper_hive("hive-bench", 7).without_noise();
+    let specs: Vec<TableSpec> =
+        [1u64, 2, 4, 8].iter().map(|&k| TableSpec::new(k * 1_000_000, 250)).collect();
+    register_tables(&mut engine, &specs).unwrap();
+
+    let queries: Vec<String> = join_training_queries_with(&specs, &[100, 25])
+        .iter()
+        .map(|q| q.sql())
+        .collect();
+    let training = run_training(&mut engine, OperatorKind::Join, &queries);
+    let (model, _) = LogicalOpModel::fit(
+        OperatorKind::Join,
+        &join_dim_names(),
+        &training.dataset(),
+        &FitConfig::fast(),
+    );
+
+    let measurement = SubOpMeasurement::run(&mut engine, &probe_suite());
+    let models = SubOpModels::fit(&measurement, 4.0e8).unwrap();
+    let sub = SubOpCosting::for_system(SystemKind::Hive, models, 32.0 * 1024.0 * 1024.0);
+
+    let in_range = training.runs[0].features.clone();
+    (engine, model, sub, in_range)
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let (engine, model, sub, in_range) = setup();
+    let plan = sqlkit::sql_to_plan(
+        "SELECT r.a1, s.a1 FROM T4000000_250 r JOIN T1000000_250 s ON r.a1 = s.a1",
+    )
+    .unwrap();
+    let analysis = analyze(engine.catalog(), &plan).unwrap();
+    let (info, ctx) = analysis.join.unwrap();
+    let inputs = RuleInputs::from_join(&info, &ctx);
+    // An out-of-range input: 10x the trained row counts.
+    let mut oor = in_range.clone();
+    oor[1] *= 10.0;
+    oor[3] *= 10.0;
+
+    c.bench_function("nn_predict_in_range", |b| {
+        b.iter(|| black_box(model.predict_nn(black_box(&in_range))))
+    });
+    let flow = LogicalOpCosting::new(model.clone());
+    c.bench_function("online_remedy_estimate", |b| {
+        b.iter(|| black_box(flow.estimate_readonly(black_box(&oor)).secs))
+    });
+    c.bench_function("subop_formula_single_algorithm", |b| {
+        b.iter(|| {
+            black_box(sub.estimate_join_with(JoinAlgorithm::HiveShuffleJoin, black_box(&info)))
+        })
+    });
+    c.bench_function("subop_full_rules_and_policy", |b| {
+        b.iter(|| black_box(sub.estimate_join(black_box(&info), black_box(&inputs)).secs))
+    });
+    c.bench_function("plan_analysis_from_sql", |b| {
+        b.iter(|| {
+            let plan = sqlkit::sql_to_plan(
+                "SELECT r.a1, s.a1 FROM T4000000_250 r JOIN T1000000_250 s ON r.a1 = s.a1",
+            )
+            .unwrap();
+            black_box(analyze(engine.catalog(), &plan).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

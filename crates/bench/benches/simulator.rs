@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the remote-system simulator itself: query
+//! submission throughput (parse → analyse → optimise → cost), probe
+//! execution, and federated planning. The training campaigns submit
+//! thousands of queries, so this path's speed bounds experiment runtimes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use catalog::SystemId;
+use federation::IntelliSphere;
+use remote_sim::probe::{ProbeKind, ProbeSpec};
+use remote_sim::{ClusterEngine, RemoteSystem};
+use workload::{build_table, probe_suite, register_tables, TableSpec};
+
+fn engine() -> ClusterEngine {
+    let mut e = ClusterEngine::paper_hive("hive-bench", 3).without_noise();
+    register_tables(
+        &mut e,
+        &[
+            TableSpec::new(1_000_000, 250),
+            TableSpec::new(4_000_000, 250),
+            TableSpec::new(100_000, 100),
+        ],
+    )
+    .unwrap();
+    e
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut e = engine();
+    c.bench_function("submit_join_query", |b| {
+        b.iter(|| {
+            black_box(
+                e.submit_sql(
+                    "SELECT r.a1, s.a1 FROM T4000000_250 r JOIN T1000000_250 s \
+                     ON r.a1 = s.a1 WHERE s.a1 + r.z < 500000",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    c.bench_function("submit_aggregation_query", |b| {
+        b.iter(|| {
+            black_box(
+                e.submit_sql(
+                    "SELECT a5, SUM(a1) AS s1, SUM(a2) AS s2 FROM T1000000_250 GROUP BY a5",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    c.bench_function("submit_probe", |b| {
+        let probe = ProbeSpec::new(ProbeKind::ReadDfsShuffle, 4_000_000, 500);
+        b.iter(|| black_box(e.submit_probe(&probe).unwrap()))
+    });
+
+    // Federated planning end to end (plan only, no execution).
+    let mut sphere = IntelliSphere::new(42);
+    let mut hive = ClusterEngine::paper_hive("hive-a", 7).without_noise();
+    register_tables(&mut hive, &[TableSpec::new(1_000_000, 250)]).unwrap();
+    sphere.add_remote(hive);
+    sphere
+        .add_table(&SystemId::master(), build_table(&TableSpec::new(100_000, 100)))
+        .unwrap();
+    let suite = probe_suite();
+    sphere.train_subop(&SystemId::new("hive-a"), &suite).unwrap();
+    sphere.train_subop(&SystemId::master(), &suite).unwrap();
+    c.bench_function("federated_plan_two_systems", |b| {
+        b.iter(|| {
+            black_box(
+                sphere
+                    .plan(
+                        "SELECT r.a1, s.a1 FROM T1000000_250 r JOIN T100000_100 s \
+                         ON r.a1 = s.a1",
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benchmarks for the offline phases: neural-network training
+//! throughput (the paper's "~70 s / ~135 s for 20,000 iterations"),
+//! topology search, and sub-op model fitting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use costing::estimator::OperatorKind;
+use costing::features::agg_dim_names;
+use costing::logical_op::model::{FitConfig, LogicalOpModel, TopologyChoice};
+use costing::sub_op::{SubOpMeasurement, SubOpModels};
+use neuro::{train, Adam, Dataset, Network, TrainConfig};
+use remote_sim::ClusterEngine;
+use workload::probe_suite;
+
+fn synthetic_agg_dataset(n: usize) -> Dataset {
+    let mut inputs = Vec::with_capacity(n);
+    let mut targets = Vec::with_capacity(n);
+    for i in 0..n {
+        let rows = 1e4 + (i % 20) as f64 * 4e5;
+        let size = 40.0 + (i % 6) as f64 * 160.0;
+        let groups = rows / [2.0, 5.0, 10.0, 20.0][i % 4];
+        let width = 12.0 + (i % 5) as f64 * 8.0;
+        inputs.push(vec![rows, size, groups, width]);
+        targets.push(2.0 + rows * size * 4e-9 + groups * 1e-6);
+    }
+    Dataset::new(inputs, targets)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let data = synthetic_agg_dataset(1_000);
+    let scaled = {
+        let sx = mathkit::MinMaxScaler::fit(&data.inputs);
+        let sy = mathkit::scale::ScalarScaler::fit(&data.targets);
+        Dataset::new(
+            sx.transform_batch(&data.inputs),
+            data.targets.iter().map(|&t| sy.transform(t)).collect(),
+        )
+    };
+    let (train_set, test_set) = scaled.split(0.7, 1);
+
+    c.bench_function("nn_train_1000_iterations", |b| {
+        b.iter(|| {
+            let mut net = Network::new(4, &[8, 4], 1);
+            let mut adam = Adam::new(1e-3);
+            let cfg = TrainConfig {
+                iterations: 1_000,
+                batch_size: 32,
+                trace_every: 0,
+                seed: 1,
+                early_stop_patience: 0,
+            };
+            black_box(train(&mut net, &train_set, &test_set, &mut adam, &cfg))
+        })
+    });
+
+    c.bench_function("logical_op_model_fit_fixed_topology", |b| {
+        b.iter(|| {
+            let cfg = FitConfig {
+                topology: TopologyChoice::Fixed { layer1: 8, layer2: 4 },
+                iterations: 500,
+                batch_size: 32,
+                trace_every: 0,
+                seed: 1,
+                scaling: Default::default(),
+            };
+            black_box(LogicalOpModel::fit(
+                OperatorKind::Aggregation,
+                &agg_dim_names(),
+                &data,
+                &cfg,
+            ))
+        })
+    });
+
+    c.bench_function("subop_measure_and_fit", |b| {
+        b.iter(|| {
+            let mut engine = ClusterEngine::paper_hive("hive-bench", 3).without_noise();
+            let m = SubOpMeasurement::run(&mut engine, &probe_suite());
+            black_box(SubOpModels::fit(&m, 4.0e8).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

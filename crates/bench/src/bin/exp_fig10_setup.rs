@@ -1,0 +1,7 @@
+//! Regenerates the paper artefact implemented by
+//! `bench::experiments::fig10`. Pass `--quick` for a reduced run.
+
+fn main() {
+    let cfg = bench::ExpConfig::from_env();
+    let _ = bench::experiments::fig10::run(&cfg);
+}

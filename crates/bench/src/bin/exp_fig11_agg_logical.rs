@@ -1,0 +1,7 @@
+//! Regenerates the paper artefact implemented by
+//! `bench::experiments::fig11`. Pass `--quick` for a reduced run.
+
+fn main() {
+    let cfg = bench::ExpConfig::from_env();
+    let _ = bench::experiments::fig11::run(&cfg);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the §8 future-work extension: the identical sub-op
+//! methodology validated on Spark-like and RDBMS personas.
+//! Pass `--quick` for a reduced run.
+
+fn main() {
+    let cfg = bench::ExpConfig::from_env();
+    let _ = bench::experiments::heterogeneous::run(&cfg);
+}

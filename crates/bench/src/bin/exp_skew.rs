@@ -1,0 +1,7 @@
+//! Regenerates the skew-join extension experiment.
+//! Pass `--quick` for a reduced run.
+
+fn main() {
+    let cfg = bench::ExpConfig::from_env();
+    let _ = bench::experiments::skew::run(&cfg);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper artefact implemented by
+//! `bench::experiments::table1`. Pass `--quick` for a reduced run.
+
+fn main() {
+    let cfg = bench::ExpConfig::from_env();
+    let _ = bench::experiments::table1::run(&cfg);
+}

@@ -1,0 +1,346 @@
+//! Column definitions and per-column statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 4-byte integer.
+    Integer,
+    /// Fixed-width character field of the given byte length (the Fig. 10
+    /// `dummy` column "used to reach a specific record size").
+    Character(u32),
+}
+
+impl ColumnType {
+    /// On-disk width in bytes.
+    pub fn width(self) -> u64 {
+        match self {
+            ColumnType::Integer => 4,
+            ColumnType::Character(n) => n as u64,
+        }
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    /// Convenience constructor for an integer column.
+    pub fn int(name: &str) -> Self {
+        ColumnDef { name: name.to_string(), ty: ColumnType::Integer }
+    }
+
+    /// Convenience constructor for a character column.
+    pub fn chars(name: &str, width: u32) -> Self {
+        ColumnDef { name: name.to_string(), ty: ColumnType::Character(width) }
+    }
+}
+
+/// An equi-width histogram over an integer column's value range, for
+/// non-uniform selectivity estimation (real optimizers — Teradata
+/// included — collect these alongside the basic §2 statistics).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Lower bound of the first bucket.
+    pub lo: f64,
+    /// Upper bound of the last bucket.
+    pub hi: f64,
+    /// Row counts per bucket (equal-width buckets across `[lo, hi]`).
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds a histogram; requires at least one bucket and `hi > lo`.
+    pub fn new(lo: f64, hi: f64, counts: Vec<u64>) -> Self {
+        assert!(!counts.is_empty(), "histogram needs at least one bucket");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram { lo, hi, counts }
+    }
+
+    /// Total rows covered.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of rows with value `< x`, interpolating linearly inside
+    /// the bucket containing `x`.
+    pub fn selectivity_lt(&self, x: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        if x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            return 1.0;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = ((x - self.lo) / width).floor() as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        let below: u64 = self.counts[..idx].iter().sum();
+        let within_frac = (x - (self.lo + idx as f64 * width)) / width;
+        (below as f64 + within_frac * self.counts[idx] as f64) / total as f64
+    }
+}
+
+/// Per-column statistics, as Teradata would collect them on a foreign
+/// table (§2: "the number of distinct values in each column").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Number of distinct values.
+    pub distinct_values: u64,
+    /// Minimum value (integer domain; `None` for character columns).
+    pub min: Option<i64>,
+    /// Maximum value (integer domain; `None` for character columns).
+    pub max: Option<i64>,
+    /// Rows carried by the single most frequent value, when it deviates
+    /// from the uniform `rows / distinct` (drives skew detection).
+    #[serde(default)]
+    pub heavy_hitter_rows: Option<u64>,
+    /// Optional histogram for non-uniform range selectivity.
+    #[serde(default)]
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnStats {
+    /// Stats for a column holding `1..=n` with each value repeated
+    /// `duplication` times — the Fig. 10 construction where "each value in
+    /// a5 is duplicated 5 times".
+    pub fn duplicated_range(rows: u64, duplication: u64) -> Self {
+        assert!(duplication > 0, "duplication factor must be positive");
+        let distinct = rows.div_ceil(duplication).max(1);
+        ColumnStats {
+            distinct_values: distinct,
+            min: Some(1),
+            max: Some(distinct as i64),
+            heavy_hitter_rows: None,
+            histogram: None,
+        }
+    }
+
+    /// Stats for a constant column (the Fig. 10 `z` column of all zeros).
+    pub fn constant(value: i64) -> Self {
+        ColumnStats {
+            distinct_values: 1,
+            min: Some(value),
+            max: Some(value),
+            heavy_hitter_rows: None,
+            histogram: None,
+        }
+    }
+
+    /// Stats for an opaque (character) column.
+    pub fn opaque(distinct: u64) -> Self {
+        ColumnStats {
+            distinct_values: distinct.max(1),
+            min: None,
+            max: None,
+            heavy_hitter_rows: None,
+            histogram: None,
+        }
+    }
+
+    /// Declares a heavy hitter (builder style).
+    pub fn with_heavy_hitter(mut self, rows: u64) -> Self {
+        self.heavy_hitter_rows = Some(rows);
+        self
+    }
+
+    /// Attaches a histogram (builder style).
+    pub fn with_histogram(mut self, h: Histogram) -> Self {
+        self.histogram = Some(h);
+        self
+    }
+
+    /// Rows carried by the most frequent value: the declared heavy hitter
+    /// when known, otherwise the uniform average.
+    pub fn heavy_rows(&self, table_rows: u64) -> f64 {
+        self.heavy_hitter_rows
+            .map(|h| h as f64)
+            .unwrap_or_else(|| self.rows_per_value(table_rows))
+    }
+
+    /// Average number of rows sharing one value, given the table row count.
+    pub fn rows_per_value(&self, rows: u64) -> f64 {
+        rows as f64 / self.distinct_values as f64
+    }
+
+    /// Estimated selectivity of `column < literal`: histogram-based when a
+    /// histogram is attached, uniform otherwise; falls back to 1/3 (a
+    /// classic default) without min/max.
+    pub fn lt_selectivity(&self, literal: f64) -> f64 {
+        if let Some(h) = &self.histogram {
+            return h.selectivity_lt(literal);
+        }
+        match (self.min, self.max) {
+            (Some(lo), Some(hi)) if hi > lo => {
+                ((literal - lo as f64) / (hi - lo) as f64).clamp(0.0, 1.0)
+            }
+            (Some(lo), Some(_)) => {
+                if literal > lo as f64 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            _ => 1.0 / 3.0,
+        }
+    }
+
+    /// Estimated selectivity of `column = literal` (1/distinct when the
+    /// literal is within range).
+    pub fn eq_selectivity(&self, literal: f64) -> f64 {
+        match (self.min, self.max) {
+            (Some(lo), Some(hi)) => {
+                if literal < lo as f64 || literal > hi as f64 {
+                    0.0
+                } else {
+                    1.0 / self.distinct_values as f64
+                }
+            }
+            _ => 1.0 / self.distinct_values as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(ColumnType::Integer.width(), 4);
+        assert_eq!(ColumnType::Character(12).width(), 12);
+    }
+
+    #[test]
+    fn duplicated_range_matches_fig10_semantics() {
+        // 1000 rows, duplication 5 -> 200 distinct values 1..=200.
+        let s = ColumnStats::duplicated_range(1000, 5);
+        assert_eq!(s.distinct_values, 200);
+        assert_eq!(s.min, Some(1));
+        assert_eq!(s.max, Some(200));
+        assert_eq!(s.rows_per_value(1000), 5.0);
+    }
+
+    #[test]
+    fn duplication_rounds_up_for_uneven_division() {
+        let s = ColumnStats::duplicated_range(10, 3);
+        assert_eq!(s.distinct_values, 4);
+    }
+
+    #[test]
+    fn constant_column() {
+        let s = ColumnStats::constant(0);
+        assert_eq!(s.distinct_values, 1);
+        assert_eq!(s.eq_selectivity(0.0), 1.0);
+        assert_eq!(s.eq_selectivity(5.0), 0.0);
+    }
+
+    #[test]
+    fn lt_selectivity_uniform() {
+        let s = ColumnStats {
+            distinct_values: 100,
+            min: Some(1),
+            max: Some(101),
+            heavy_hitter_rows: None,
+            histogram: None,
+        };
+        assert!((s.lt_selectivity(51.0) - 0.5).abs() < 1e-12);
+        assert_eq!(s.lt_selectivity(-5.0), 0.0);
+        assert_eq!(s.lt_selectivity(1000.0), 1.0);
+    }
+
+    #[test]
+    fn lt_selectivity_degenerate_range() {
+        let s = ColumnStats::constant(7);
+        assert_eq!(s.lt_selectivity(8.0), 1.0);
+        assert_eq!(s.lt_selectivity(7.0), 0.0);
+    }
+
+    #[test]
+    fn opaque_has_no_range() {
+        let s = ColumnStats::opaque(10);
+        assert_eq!(s.min, None);
+        assert!((s.lt_selectivity(5.0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplication factor")]
+    fn zero_duplication_panics() {
+        ColumnStats::duplicated_range(10, 0);
+    }
+
+    #[test]
+    fn heavy_rows_defaults_to_uniform_average() {
+        let s = ColumnStats::duplicated_range(1000, 5);
+        assert_eq!(s.heavy_rows(1000), 5.0);
+        let skewed = s.with_heavy_hitter(400);
+        assert_eq!(skewed.heavy_rows(1000), 400.0);
+    }
+
+    #[test]
+    fn histogram_selectivity_interpolates() {
+        // 100 rows in [0,100): three buckets 10/80/10.
+        let h = Histogram::new(0.0, 100.0, vec![10, 80, 10]);
+        assert_eq!(h.selectivity_lt(-1.0), 0.0);
+        assert_eq!(h.selectivity_lt(200.0), 1.0);
+        // End of first bucket: 10% of rows.
+        assert!((h.selectivity_lt(100.0 / 3.0) - 0.10).abs() < 1e-9);
+        // Middle of second bucket: 10% + 40% = 50%.
+        assert!((h.selectivity_lt(50.0) - 0.50).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_overrides_uniform_lt_selectivity() {
+        // All the mass in the top bucket: uniform would say 50% below the
+        // midpoint; the histogram knows better.
+        let s = ColumnStats {
+            distinct_values: 100,
+            min: Some(0),
+            max: Some(100),
+            heavy_hitter_rows: None,
+            histogram: Some(Histogram::new(0.0, 100.0, vec![0, 0, 0, 100])),
+        };
+        assert!(s.lt_selectivity(50.0) < 1e-9);
+        assert!((s.lt_selectivity(100.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_rejects_empty() {
+        Histogram::new(0.0, 1.0, vec![]);
+    }
+
+    mod histogram_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Selectivity is monotone in x and bounded by [0, 1].
+            #[test]
+            fn prop_histogram_monotone(
+                counts in proptest::collection::vec(0u64..1000, 1..12),
+                a in -50.0f64..150.0,
+                b in -50.0f64..150.0,
+            ) {
+                prop_assume!(counts.iter().sum::<u64>() > 0);
+                let h = Histogram::new(0.0, 100.0, counts);
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let sa = h.selectivity_lt(lo);
+                let sb = h.selectivity_lt(hi);
+                prop_assert!((0.0..=1.0).contains(&sa));
+                prop_assert!((0.0..=1.0).contains(&sb));
+                prop_assert!(sa <= sb + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The hybrid cost manager (Fig. 9): routes per-system estimates through
+//! the registered Costing Profiles.
+
+use crate::{
+    estimator::OperatorKind,
+    hybrid::profile::{CostingError, CostingProfile, QueryCost},
+};
+use catalog::{Catalog, SystemId};
+use remote_sim::analyze::{analyze, QueryAnalysis};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Routes cost estimates to per-system costing profiles.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HybridCostManager {
+    profiles: BTreeMap<SystemId, CostingProfile>,
+}
+
+impl HybridCostManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        HybridCostManager::default()
+    }
+
+    /// Registers (or replaces) a system's costing profile.
+    pub fn register(&mut self, profile: CostingProfile) {
+        self.profiles.insert(profile.system.clone(), profile);
+    }
+
+    /// The registered profile for a system, if any.
+    pub fn profile(&self, system: &SystemId) -> Option<&CostingProfile> {
+        self.profiles.get(system)
+    }
+
+    /// Mutable access to a profile (for tuning passes).
+    pub fn profile_mut(&mut self, system: &SystemId) -> Option<&mut CostingProfile> {
+        self.profiles.get_mut(system)
+    }
+
+    /// Registered systems.
+    pub fn systems(&self) -> Vec<&SystemId> {
+        self.profiles.keys().collect()
+    }
+
+    /// Estimates the cost of running an analysed query on a system.
+    pub fn estimate(
+        &mut self,
+        system: &SystemId,
+        analysis: &QueryAnalysis,
+    ) -> Result<QueryCost, CostingError> {
+        let profile = self
+            .profiles
+            .get_mut(system)
+            .ok_or_else(|| CostingError::UnknownSystem(system.clone()))?;
+        profile.estimate_query(analysis)
+    }
+
+    /// Parses SQL against a catalog, analyses it, and estimates on a
+    /// system — the one-call convenience path.
+    pub fn estimate_sql(
+        &mut self,
+        system: &SystemId,
+        catalog: &Catalog,
+        sql: &str,
+    ) -> Result<QueryCost, CostingError> {
+        let plan = sqlkit::sql_to_plan(sql)
+            .map_err(|_| CostingError::NoOperator(OperatorKind::Scan))?;
+        let analysis =
+            analyze(catalog, &plan).map_err(|_| CostingError::NoOperator(OperatorKind::Scan))?;
+        self.estimate(system, &analysis)
+    }
+
+    /// Feeds an observed actual execution back to the owning profile.
+    pub fn observe_actual(
+        &mut self,
+        system: &SystemId,
+        op: OperatorKind,
+        analysis: &QueryAnalysis,
+        actual_secs: f64,
+    ) {
+        if let Some(profile) = self.profiles.get_mut(system) {
+            profile.observe_actual(op, analysis, actual_secs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hybrid::profile::CostingApproach;
+    use crate::sub_op::{SubOpCosting, SubOpMeasurement, SubOpModels};
+    use catalog::SystemKind;
+    use remote_sim::{ClusterEngine, RemoteSystem};
+    use workload::{probe_suite, register_tables, TableSpec};
+
+    fn hive_with_tables() -> ClusterEngine {
+        let mut e = ClusterEngine::paper_hive("hive-a", 3).without_noise();
+        register_tables(
+            &mut e,
+            &[TableSpec::new(1_000_000, 250), TableSpec::new(100_000, 100)],
+        )
+        .unwrap();
+        e
+    }
+
+    fn subop_profile(e: &mut ClusterEngine, id: &str) -> CostingProfile {
+        let m = SubOpMeasurement::run(e, &probe_suite());
+        let models = SubOpModels::fit(&m, 4.0e8).unwrap();
+        CostingProfile::new(
+            SystemId::new(id),
+            SystemKind::Hive,
+            CostingApproach::SubOp(SubOpCosting::for_system(
+                SystemKind::Hive,
+                models,
+                32.0 * 1024.0 * 1024.0,
+            )),
+        )
+    }
+
+    #[test]
+    fn manager_routes_to_registered_system() {
+        let mut e = hive_with_tables();
+        let mut mgr = HybridCostManager::new();
+        mgr.register(subop_profile(&mut e, "hive-a"));
+        let cost = mgr
+            .estimate_sql(
+                &SystemId::new("hive-a"),
+                e.catalog(),
+                "SELECT r.a1, s.a1 FROM T1000000_250 r JOIN T100000_100 s ON r.a1 = s.a1",
+            )
+            .unwrap();
+        assert!(cost.total_secs > 0.0);
+        assert_eq!(mgr.systems().len(), 1);
+    }
+
+    #[test]
+    fn unknown_system_errors() {
+        let mut mgr = HybridCostManager::new();
+        let e = hive_with_tables();
+        let err = mgr
+            .estimate_sql(&SystemId::new("ghost"), e.catalog(), "SELECT a1 FROM T100000_100")
+            .unwrap_err();
+        assert!(matches!(err, CostingError::UnknownSystem(_)));
+    }
+
+    #[test]
+    fn multiple_systems_cost_independently() {
+        let mut e = hive_with_tables();
+        let mut mgr = HybridCostManager::new();
+        mgr.register(subop_profile(&mut e, "hive-a"));
+        mgr.register(subop_profile(&mut e, "hive-b"));
+        let sql = "SELECT a5, SUM(a1) AS s FROM T1000000_250 GROUP BY a5";
+        let a = mgr.estimate_sql(&SystemId::new("hive-a"), e.catalog(), sql).unwrap();
+        let b = mgr.estimate_sql(&SystemId::new("hive-b"), e.catalog(), sql).unwrap();
+        assert_eq!(a.total_secs, b.total_secs);
+        assert_eq!(mgr.profile(&SystemId::new("hive-a")).unwrap().estimates_made, 1);
+    }
+}

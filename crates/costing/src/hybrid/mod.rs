@@ -1,0 +1,10 @@
+//! Hybrid costing (§5): per-system Costing Profiles and the manager that
+//! routes estimates through them (Fig. 9).
+
+pub mod manager;
+pub mod persist;
+pub mod profile;
+
+pub use manager::HybridCostManager;
+pub use persist::{load_manager, load_profile, save_manager, save_profile, PersistError};
+pub use profile::{CostingApproach, CostingError, CostingProfile, LogicalOpSuite, QueryCost};

@@ -1,0 +1,211 @@
+//! Costing-profile persistence.
+//!
+//! §2: the remote-system profile "is constructed during the registration
+//! step, and can be modified afterwards as needed. We will use the
+//! profile extensively to store all metadata information related to the
+//! cost estimation module." Profiles therefore need a durable,
+//! human-inspectable representation — JSON on disk — so a trained
+//! ecosystem survives restarts without re-running multi-hour training
+//! campaigns.
+
+use crate::hybrid::profile::CostingProfile;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors from profile persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// (De)serialisation failure.
+    Serde(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Serde(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Serde(e)
+    }
+}
+
+/// Writes a profile as pretty-printed JSON. Parent directories are
+/// created as needed; the write is atomic (temp file + rename) so a crash
+/// cannot leave a torn profile behind.
+pub fn save_profile(profile: &CostingProfile, path: &Path) -> Result<(), PersistError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(profile)?;
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, json)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a profile back.
+pub fn load_profile(path: &Path) -> Result<CostingProfile, PersistError> {
+    let json = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+/// Writes every profile of a manager under `dir` as
+/// `<system-id>.profile.json`.
+pub fn save_manager(
+    manager: &crate::hybrid::manager::HybridCostManager,
+    dir: &Path,
+) -> Result<usize, PersistError> {
+    let mut n = 0;
+    for id in manager.systems() {
+        let profile = manager.profile(id).expect("listed system has a profile");
+        save_profile(profile, &dir.join(format!("{id}.profile.json")))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Rebuilds a manager from every `*.profile.json` under `dir`.
+pub fn load_manager(
+    dir: &Path,
+) -> Result<crate::hybrid::manager::HybridCostManager, PersistError> {
+    let mut manager = crate::hybrid::manager::HybridCostManager::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+            n.ends_with(".profile.json")
+        }) {
+            manager.register(load_profile(&path)?);
+        }
+    }
+    Ok(manager)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::OperatorKind;
+    use crate::hybrid::profile::{CostingApproach, LogicalOpSuite};
+    use crate::logical_op::flow::LogicalOpCosting;
+    use crate::logical_op::model::{FitConfig, LogicalOpModel};
+    use catalog::{SystemId, SystemKind};
+    use neuro::Dataset;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("intellisphere-test-{}-{name}", std::process::id()))
+    }
+
+    fn sample_profile() -> CostingProfile {
+        let mut inputs = vec![];
+        let mut targets = vec![];
+        for i in 0..40 {
+            let rows = (i + 1) as f64 * 1e5;
+            inputs.push(vec![rows, 100.0, rows / 5.0, 12.0]);
+            targets.push(1.0 + rows * 1e-6);
+        }
+        let (model, _) = LogicalOpModel::fit(
+            OperatorKind::Aggregation,
+            &["rows", "size", "groups", "width"],
+            &Dataset::new(inputs, targets),
+            &FitConfig::fast(),
+        );
+        CostingProfile::new(
+            SystemId::new("hive-persist"),
+            SystemKind::Hive,
+            CostingApproach::LogicalOp(LogicalOpSuite {
+                join: None,
+                aggregation: Some(LogicalOpCosting::new(model)),
+            }),
+        )
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_preserves_estimates() {
+        let profile = sample_profile();
+        let path = tmp_path("roundtrip.json");
+        save_profile(&profile, &path).unwrap();
+        let mut restored = load_profile(&path).unwrap();
+        let mut original = profile.clone();
+
+        // Compare estimates through the logical model directly.
+        let x = vec![2e6, 100.0, 4e5, 12.0];
+        let (a, b) = match (&mut original.approach, &mut restored.approach) {
+            (CostingApproach::LogicalOp(s1), CostingApproach::LogicalOp(s2)) => (
+                s1.aggregation.as_mut().unwrap().estimate(&x).secs,
+                s2.aggregation.as_mut().unwrap().estimate(&x).secs,
+            ),
+            _ => unreachable!(),
+        };
+        assert_eq!(a, b);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_creates_parent_directories() {
+        let profile = sample_profile();
+        let dir = tmp_path("nested-dir");
+        let path = dir.join("deep").join("profile.json");
+        save_profile(&profile, &path).unwrap();
+        assert!(path.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_profile(Path::new("/nonexistent/profile.json")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn load_corrupt_file_is_serde_error() {
+        let path = tmp_path("corrupt.json");
+        fs::write(&path, "{not json").unwrap();
+        let err = load_profile(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Serde(_)));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn manager_directory_roundtrip() {
+        let mut manager = crate::hybrid::manager::HybridCostManager::new();
+        let mut p1 = sample_profile();
+        p1.system = SystemId::new("hive-a");
+        let mut p2 = sample_profile();
+        p2.system = SystemId::new("spark-b");
+        manager.register(p1);
+        manager.register(p2);
+
+        let dir = tmp_path("manager-dir");
+        let n = save_manager(&manager, &dir).unwrap();
+        assert_eq!(n, 2);
+        let restored = load_manager(&dir).unwrap();
+        assert_eq!(restored.systems().len(), 2);
+        assert!(restored.profile(&SystemId::new("hive-a")).is_some());
+        assert!(restored.profile(&SystemId::new("spark-b")).is_some());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_tmp_file_left_behind() {
+        let profile = sample_profile();
+        let path = tmp_path("atomic.json");
+        save_profile(&profile, &path).unwrap();
+        assert!(!path.with_extension("json.tmp").exists());
+        fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! The IntelliSphere remote-system cost estimation module.
+//!
+//! This crate is the paper's primary contribution (§§3–5): estimating the
+//! elapsed execution time of a SQL operator were it to run on a remote
+//! system, via three approaches:
+//!
+//! * [`logical_op`] — **logical-operator costing** for black-box remotes:
+//!   a grid of training queries per operator labels a small neural
+//!   network (join: 7 dims, aggregation: 4 dims), fortified by an *online
+//!   remedy* phase (on-the-fly pivot regression blended as
+//!   `α·c_nn + (1−α)·c_reg`) and an *offline tuning* phase (execution log
+//!   → retrain + continuity-aware metadata expansion).
+//! * [`sub_op`] — **sub-operator costing** for open-box remotes: per-record
+//!   linear models for the Fig. 5 primitives learned from a handful of
+//!   probe queries, composed through expert cost formulas per physical
+//!   algorithm (Fig. 6), gated by applicability rules, resolved by a
+//!   choice policy (worst / average / in-house-comparable).
+//! * [`hybrid`] — **hybrid costing**: a per-remote-system Costing Profile
+//!   selects the approach (per system, per operator, or switched over
+//!   time, Fig. 9).
+//!
+//! The crate interacts with remote systems *only* through the
+//! [`remote_sim::RemoteSystem`] trait — submit a query or probe, observe
+//! an elapsed time — which is exactly the paper's black-box contract. All
+//! expert (open-box) knowledge enters as data: formulas, rules, and
+//! thresholds stored in the Costing Profile.
+
+pub mod estimator;
+pub mod features;
+pub mod hybrid;
+pub mod logical_op;
+pub mod sub_op;
+
+pub use estimator::{CostEstimate, EstimateSource, OperatorKind};
+pub use features::{agg_features, join_features, QueryFeatures, AGG_DIMS, JOIN_DIMS};
+pub use hybrid::{CostingApproach, CostingProfile, HybridCostManager};
+pub use logical_op::{
+    flow::LogicalOpCosting, model::FitConfig, model::LogicalOpModel, remedy::RemedyConfig,
+};
+pub use sub_op::{choice::ChoicePolicy, SubOpCosting};

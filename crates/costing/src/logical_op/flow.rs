@@ -1,0 +1,213 @@
+//! The Fig. 3 query-time flow, assembled.
+//!
+//! ```text
+//! Query Q
+//!   └─ input parameters within the trained range (β threshold)?
+//!        ├─ yes → use the existing NN model
+//!        └─ no  → online remedy: combined estimate
+//!   └─ operator executed remotely?
+//!        └─ yes → logging phase: collect actual cost, dump a record
+//!                 into the batch (offline tuning + α adjustment)
+//! ```
+
+use crate::{
+    estimator::{CostEstimate, EstimateSource},
+    logical_op::{
+        model::{FitConfig, LogicalOpModel},
+        remedy::{remedy_estimate, AlphaTuner, RemedyConfig},
+        tuning::{offline_tune, ExecutionLog, TuneReport},
+    },
+};
+use serde::{Deserialize, Serialize};
+
+/// A complete logical-operator costing unit for one operator on one
+/// remote system: model + remedy machinery + execution log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogicalOpCosting {
+    /// The trained model.
+    pub model: LogicalOpModel,
+    /// Remedy configuration (β, k).
+    pub remedy: RemedyConfig,
+    /// The α auto-tuner.
+    pub tuner: AlphaTuner,
+    /// The offline-tuning execution log.
+    pub log: ExecutionLog,
+    /// Pending remedy components (nn, regression) for α adjustment, keyed
+    /// by the feature vector of the estimate they came from.
+    pending_remedies: Vec<(Vec<f64>, f64, f64)>,
+}
+
+impl LogicalOpCosting {
+    /// Wraps a trained model with default remedy settings.
+    pub fn new(model: LogicalOpModel) -> Self {
+        LogicalOpCosting {
+            model,
+            remedy: RemedyConfig::default(),
+            tuner: AlphaTuner::default(),
+            log: ExecutionLog::new(),
+            pending_remedies: Vec::new(),
+        }
+    }
+
+    /// Estimates the cost of an operator with features `x` — the top half
+    /// of the Fig. 3 flowchart.
+    pub fn estimate(&mut self, x: &[f64]) -> CostEstimate {
+        if self.model.meta.all_in_range(x, self.remedy.beta) {
+            CostEstimate::new(self.model.predict_nn(x), EstimateSource::NeuralNetwork)
+        } else {
+            let out = remedy_estimate(&self.model, x, &self.remedy, self.tuner.alpha());
+            self.pending_remedies
+                .push((x.to_vec(), out.nn_estimate, out.regression_estimate));
+            CostEstimate::new(
+                out.estimate,
+                EstimateSource::OnlineRemedy { alpha: out.alpha, pivots: out.pivots },
+            )
+        }
+    }
+
+    /// Read-only estimate that does not track remedy components (for
+    /// what-if probing).
+    pub fn estimate_readonly(&self, x: &[f64]) -> CostEstimate {
+        if self.model.meta.all_in_range(x, self.remedy.beta) {
+            CostEstimate::new(self.model.predict_nn(x), EstimateSource::NeuralNetwork)
+        } else {
+            let out = remedy_estimate(&self.model, x, &self.remedy, self.tuner.alpha());
+            CostEstimate::new(
+                out.estimate,
+                EstimateSource::OnlineRemedy { alpha: out.alpha, pivots: out.pivots },
+            )
+        }
+    }
+
+    /// The bottom half of Fig. 3: the operator actually ran remotely —
+    /// log the actual cost, and if it had gone through the remedy path,
+    /// feed the α tuner.
+    pub fn observe_actual(&mut self, x: &[f64], actual_secs: f64) {
+        self.log.push(x.to_vec(), actual_secs);
+        if let Some(pos) = self.pending_remedies.iter().position(|(fx, _, _)| fx == x) {
+            let (_, nn, reg) = self.pending_remedies.remove(pos);
+            self.tuner.record(nn, reg, actual_secs);
+        }
+    }
+
+    /// Re-fits α from everything recorded so far (the paper adjusts after
+    /// each batch — Table 1).
+    pub fn adjust_alpha(&mut self) -> f64 {
+        self.tuner.retune()
+    }
+
+    /// Runs the offline tuning phase over the accumulated log.
+    pub fn offline_tune(&mut self, config: &FitConfig) -> TuneReport {
+        offline_tune(&mut self.model, &mut self.log, self.remedy.beta, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::OperatorKind;
+    use neuro::Dataset;
+
+    fn costing() -> LogicalOpCosting {
+        let mut inputs = vec![];
+        let mut targets = vec![];
+        for r in 1..=15 {
+            for s in 1..=4 {
+                let rows = r as f64 * 1e5;
+                let size = s as f64 * 100.0;
+                inputs.push(vec![rows, size]);
+                targets.push(1.0 + 2e-6 * rows + 0.01 * size);
+            }
+        }
+        let (model, _) = LogicalOpModel::fit(
+            OperatorKind::Aggregation,
+            &["rows", "size"],
+            &Dataset::new(inputs, targets),
+            &FitConfig::fast(),
+        );
+        LogicalOpCosting::new(model)
+    }
+
+    #[test]
+    fn in_range_inputs_use_the_network() {
+        let mut c = costing();
+        let e = c.estimate(&[5e5, 200.0]);
+        assert_eq!(e.source, EstimateSource::NeuralNetwork);
+    }
+
+    #[test]
+    fn out_of_range_inputs_trigger_the_remedy() {
+        let mut c = costing();
+        let e = c.estimate(&[2e7, 200.0]);
+        match e.source {
+            EstimateSource::OnlineRemedy { alpha, ref pivots } => {
+                assert_eq!(alpha, 0.5);
+                assert_eq!(pivots, &vec![0]);
+            }
+            ref other => panic!("expected remedy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observing_actuals_feeds_alpha_tuning() {
+        let mut c = costing();
+        for i in 0..10 {
+            let x = vec![2e7 + i as f64 * 1e5, 200.0];
+            let _ = c.estimate(&x);
+            let truth = 1.0 + 2e-6 * x[0] + 0.01 * x[1];
+            c.observe_actual(&x, truth);
+        }
+        assert_eq!(c.tuner.observations(), 10);
+        let a = c.adjust_alpha();
+        // The regression extrapolates this linear truth better than the
+        // NN, so alpha should move off 0.5 (usually towards 0).
+        assert!((0.0..=1.0).contains(&a));
+        assert_eq!(c.log.len(), 10);
+    }
+
+    #[test]
+    fn full_loop_estimate_observe_tune_improves() {
+        let mut c = costing();
+        let probe = vec![2.5e6, 200.0];
+        let truth = 1.0 + 2e-6 * probe[0] + 0.01 * probe[1];
+        let before = (c.estimate_readonly(&probe).secs - truth).abs();
+        // Observe a contiguous ladder past the trained max (1.5M).
+        let mut rows = 1.6e6;
+        while rows <= 2.6e6 {
+            c.observe_actual(&[rows, 200.0], 1.0 + 2e-6 * rows + 2.0);
+            rows += 1e5;
+        }
+        // Note deliberately shifted actuals (+2s): tuning must follow the
+        // observed system, not our original formula.
+        let report = c.offline_tune(&FitConfig::fast());
+        assert!(report.entries_used > 0);
+        let after_estimate = c.estimate_readonly(&probe).secs;
+        let shifted_truth = 1.0 + 2e-6 * probe[0] + 2.0;
+        let after = (after_estimate - shifted_truth).abs();
+        assert!(
+            after < before + 2.0,
+            "tuning should track the shifted system: err {after}"
+        );
+        // The expanded range means the probe no longer pivots.
+        assert!(c.model.meta.all_in_range(&probe, c.remedy.beta));
+    }
+
+    #[test]
+    fn readonly_estimate_does_not_accumulate_state() {
+        let c = costing();
+        let before_len = c.pending_remedies.len();
+        let _ = c.estimate_readonly(&[2e7, 200.0]);
+        assert_eq!(c.pending_remedies.len(), before_len);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut c = costing();
+        let _ = c.estimate(&[2e7, 200.0]);
+        c.observe_actual(&[2e7, 200.0], 42.0);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: LogicalOpCosting = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.log.len(), c.log.len());
+        assert_eq!(back.tuner.alpha(), c.tuner.alpha());
+    }
+}

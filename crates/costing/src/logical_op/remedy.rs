@@ -1,0 +1,362 @@
+//! The online remedy phase (Fig. 4).
+//!
+//! When a query-time input is *way off* the trained range on one or more
+//! pivot dimensions, the NN cannot be trusted alone. The remedy:
+//!
+//! 1. extract the `k` training records "having the following properties:
+//!    (1) their values in the D_inRange dimensions are matching (or very
+//!    close) to the corresponding values in Q, and (2) their values in the
+//!    Pivot dimension are the immediate successors and/or predecessors of
+//!    the corresponding value in Q";
+//! 2. fit a regression over the pivot value(s) of those records;
+//! 3. combine: `final = α·c_nn + (1−α)·c_reg`;
+//! 4. "initially, α is set to 0.5, and as the system executes more
+//!    queries, α gets automatically adjusted to narrow the gap between the
+//!    estimated and actual execution times" ([`AlphaTuner`], Table 1).
+
+use crate::logical_op::model::LogicalOpModel;
+use mathkit::{LinearModel, SimpleLinearModel};
+use serde::{Deserialize, Serialize};
+
+/// Online-remedy configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemedyConfig {
+    /// The paper's β (> 1): a value is *way off* when outside the trained
+    /// range by more than `β · stepSize`.
+    pub beta: f64,
+    /// How many nearest training records feed the pivot regression (the
+    /// paper's system parameter `k`).
+    pub k_neighbors: usize,
+}
+
+impl Default for RemedyConfig {
+    fn default() -> Self {
+        RemedyConfig { beta: 2.0, k_neighbors: 8 }
+    }
+}
+
+/// The outcome of one remedy invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemedyOutcome {
+    /// The blended estimate (seconds).
+    pub estimate: f64,
+    /// The NN's own (extrapolated) estimate.
+    pub nn_estimate: f64,
+    /// The pivot regression's estimate.
+    pub regression_estimate: f64,
+    /// Indices of the pivot dimensions.
+    pub pivots: Vec<usize>,
+    /// The α used for blending.
+    pub alpha: f64,
+}
+
+/// Runs the `QueryTime-Remedy()` procedure for input `x` (which must have
+/// at least one pivot dimension under `cfg.beta`).
+pub fn remedy_estimate(
+    model: &LogicalOpModel,
+    x: &[f64],
+    cfg: &RemedyConfig,
+    alpha: f64,
+) -> RemedyOutcome {
+    let pivots = model.meta.pivots(x, cfg.beta);
+    assert!(
+        !pivots.is_empty(),
+        "remedy_estimate called with all dimensions in range"
+    );
+    let nn_estimate = model.predict_nn(x);
+    let regression_estimate = pivot_regression(model, x, &pivots, cfg.k_neighbors);
+    let estimate = (alpha * nn_estimate + (1.0 - alpha) * regression_estimate).max(0.0);
+    RemedyOutcome { estimate, nn_estimate, regression_estimate, pivots, alpha }
+}
+
+/// Builds the on-the-fly regression over the pivot dimension(s) from the
+/// closest training points and extrapolates to the query's pivot values.
+fn pivot_regression(model: &LogicalOpModel, x: &[f64], pivots: &[usize], k: usize) -> f64 {
+    let data = model.training_data();
+    let n = data.len();
+    let k = k.clamp(2, n);
+
+    // Distance in the in-range dimensions only, normalised by each
+    // dimension's trained span so no dimension dominates.
+    let spans: Vec<f64> = model
+        .meta
+        .dims
+        .iter()
+        .map(|d| (d.max - d.min).max(f64::EPSILON))
+        .collect();
+    let mut scored: Vec<(f64, usize)> = (0..n)
+        .map(|i| {
+            let row = &data.inputs[i];
+            let mut dist = 0.0;
+            for j in 0..row.len() {
+                if pivots.contains(&j) {
+                    continue;
+                }
+                let d = (row[j] - x[j]) / spans[j];
+                dist += d * d;
+            }
+            (dist, i)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Among the closest matches in the in-range dims, prefer the records
+    // whose pivot values are nearest the query's (its "immediate
+    // successors and/or predecessors").
+    let pool = (k * 4).min(n);
+    let mut candidates: Vec<usize> = scored[..pool].iter().map(|&(_, i)| i).collect();
+    candidates.sort_by(|&a, &b| {
+        let da = pivot_distance(&data.inputs[a], x, pivots, &spans);
+        let db = pivot_distance(&data.inputs[b], x, pivots, &spans);
+        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    candidates.truncate(k);
+
+    if pivots.len() == 1 {
+        // One-dimension pivot: simple linear regression (Fig. 4a).
+        let p = pivots[0];
+        let xs: Vec<f64> = candidates.iter().map(|&i| data.inputs[i][p]).collect();
+        let ys: Vec<f64> = candidates.iter().map(|&i| data.targets[i]).collect();
+        match SimpleLinearModel::fit(&xs, &ys) {
+            Ok(m) => m.predict(x[p]).max(0.0),
+            Err(_) => mean(&ys),
+        }
+    } else {
+        // Multi-dimension pivot: multiple regression over the pivot dims
+        // (Fig. 4b).
+        let rows: Vec<Vec<f64>> = candidates
+            .iter()
+            .map(|&i| pivots.iter().map(|&p| data.inputs[i][p]).collect())
+            .collect();
+        let ys: Vec<f64> = candidates.iter().map(|&i| data.targets[i]).collect();
+        let probe: Vec<f64> = pivots.iter().map(|&p| x[p]).collect();
+        match LinearModel::fit(&rows, &ys) {
+            Ok(m) => m.predict(&probe).max(0.0),
+            Err(_) => mean(&ys),
+        }
+    }
+}
+
+fn pivot_distance(row: &[f64], x: &[f64], pivots: &[usize], spans: &[f64]) -> f64 {
+    pivots
+        .iter()
+        .map(|&p| {
+            let d = (row[p] - x[p]) / spans[p];
+            d * d
+        })
+        .sum()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// The α auto-adjuster of Table 1: after each batch of observed remedy
+/// executions, pick the α minimising RMSE% over everything seen so far.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlphaTuner {
+    alpha: f64,
+    /// Observed (nn, regression, actual) triples.
+    history: Vec<(f64, f64, f64)>,
+}
+
+impl Default for AlphaTuner {
+    fn default() -> Self {
+        AlphaTuner::new(0.5)
+    }
+}
+
+impl AlphaTuner {
+    /// Starts with the paper's initial α = 0.5.
+    pub fn new(initial_alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&initial_alpha));
+        AlphaTuner { alpha: initial_alpha, history: Vec::new() }
+    }
+
+    /// The current α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Records one completed remedy execution.
+    pub fn record(&mut self, nn: f64, regression: f64, actual: f64) {
+        self.history.push((nn, regression, actual));
+    }
+
+    /// Number of recorded executions.
+    pub fn observations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Re-fits α over the full history by grid search (step 0.01),
+    /// minimising RMSE%. Returns the new α.
+    pub fn retune(&mut self) -> f64 {
+        if self.history.len() < 2 {
+            return self.alpha;
+        }
+        let mut best = (f64::INFINITY, self.alpha);
+        let mut a = 0.0;
+        while a <= 1.0 + 1e-9 {
+            let preds: Vec<f64> = self
+                .history
+                .iter()
+                .map(|&(nn, reg, _)| a * nn + (1.0 - a) * reg)
+                .collect();
+            let actuals: Vec<f64> = self.history.iter().map(|&(_, _, y)| y).collect();
+            let err = mathkit::rmse_pct(&preds, &actuals);
+            if err < best.0 {
+                best = (err, a);
+            }
+            a += 0.01;
+        }
+        self.alpha = best.1;
+        self.alpha
+    }
+
+    /// RMSE% that a fixed α would achieve over a slice of the history
+    /// (used by the Table 1 experiment to report per-batch error).
+    pub fn rmse_pct_for(&self, alpha: f64, from: usize, to: usize) -> f64 {
+        let slice = &self.history[from.min(self.history.len())..to.min(self.history.len())];
+        let preds: Vec<f64> =
+            slice.iter().map(|&(nn, reg, _)| alpha * nn + (1.0 - alpha) * reg).collect();
+        let actuals: Vec<f64> = slice.iter().map(|&(_, _, y)| y).collect();
+        mathkit::rmse_pct(&preds, &actuals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::OperatorKind;
+    use crate::logical_op::model::FitConfig;
+    use neuro::Dataset;
+
+    /// Linear ground truth so the pivot regression can extrapolate
+    /// exactly: y = 1 + 2e-6·rows + 0.01·size.
+    fn linear_dataset() -> Dataset {
+        let mut inputs = vec![];
+        let mut targets = vec![];
+        for r in 1..=20 {
+            for s in 1..=6 {
+                let rows = r as f64 * 1e5;
+                let size = s as f64 * 100.0;
+                inputs.push(vec![rows, size]);
+                targets.push(1.0 + 2e-6 * rows + 0.01 * size);
+            }
+        }
+        Dataset::new(inputs, targets)
+    }
+
+    fn fitted_model() -> LogicalOpModel {
+        let (m, _) = LogicalOpModel::fit(
+            OperatorKind::Aggregation,
+            &["rows", "size"],
+            &linear_dataset(),
+            &FitConfig::fast(),
+        );
+        m
+    }
+
+    #[test]
+    fn remedy_extrapolates_linear_truth_well() {
+        let model = fitted_model();
+        let cfg = RemedyConfig::default();
+        // rows = 10M: trained max is 2M (step 1e5), so way off.
+        let x = vec![1e7, 300.0];
+        assert!(!model.meta.all_in_range(&x, cfg.beta));
+        let out = remedy_estimate(&model, &x, &cfg, 0.0); // pure regression
+        let truth = 1.0 + 2e-6 * 1e7 + 0.01 * 300.0;
+        let rel = (out.regression_estimate - truth).abs() / truth;
+        assert!(rel < 0.15, "regression {} vs truth {truth}", out.regression_estimate);
+        assert_eq!(out.pivots, vec![0]);
+    }
+
+    #[test]
+    fn remedy_beats_raw_nn_far_out_of_range() {
+        let model = fitted_model();
+        let cfg = RemedyConfig::default();
+        let x = vec![2e7, 300.0];
+        let truth = 1.0 + 2e-6 * 2e7 + 0.01 * 300.0; // 44
+        let nn_err = (model.predict_nn(&x) - truth).abs();
+        let out = remedy_estimate(&model, &x, &cfg, 0.5);
+        let remedy_err = (out.estimate - truth).abs();
+        assert!(
+            remedy_err < nn_err,
+            "remedy err {remedy_err} should beat nn err {nn_err}"
+        );
+    }
+
+    #[test]
+    fn blend_respects_alpha() {
+        let model = fitted_model();
+        let cfg = RemedyConfig::default();
+        let x = vec![1e7, 300.0];
+        let o0 = remedy_estimate(&model, &x, &cfg, 0.0);
+        let o1 = remedy_estimate(&model, &x, &cfg, 1.0);
+        assert!((o0.estimate - o0.regression_estimate).abs() < 1e-9);
+        assert!((o1.estimate - o1.nn_estimate).abs() < 1e-9);
+        let o_mid = remedy_estimate(&model, &x, &cfg, 0.5);
+        let expect = 0.5 * o_mid.nn_estimate + 0.5 * o_mid.regression_estimate;
+        assert!((o_mid.estimate - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_pivot_dimensions_use_multiple_regression() {
+        let model = fitted_model();
+        let cfg = RemedyConfig::default();
+        // Both rows and size way off.
+        let x = vec![1e7, 5_000.0];
+        let out = remedy_estimate(&model, &x, &cfg, 0.0);
+        assert_eq!(out.pivots, vec![0, 1]);
+        let truth = 1.0 + 2e-6 * 1e7 + 0.01 * 5_000.0;
+        let rel = (out.regression_estimate - truth).abs() / truth;
+        assert!(rel < 0.3, "estimate {} vs truth {truth}", out.regression_estimate);
+    }
+
+    #[test]
+    #[should_panic(expected = "all dimensions in range")]
+    fn remedy_rejects_in_range_inputs() {
+        let model = fitted_model();
+        remedy_estimate(&model, &[1e5, 300.0], &RemedyConfig::default(), 0.5);
+    }
+
+    #[test]
+    fn alpha_tuner_moves_toward_better_source() {
+        let mut t = AlphaTuner::default();
+        assert_eq!(t.alpha(), 0.5);
+        // NN is consistently right, regression consistently 50% high: the
+        // best alpha is 1.0 (all weight on the NN).
+        for i in 0..20 {
+            let actual = 10.0 + i as f64;
+            t.record(actual, actual * 1.5, actual);
+        }
+        let a = t.retune();
+        assert!(a > 0.95, "alpha {a}");
+    }
+
+    #[test]
+    fn alpha_tuner_finds_interior_optimum() {
+        let mut t = AlphaTuner::default();
+        // NN reads 20% low, regression 20% high: best blend is 0.5.
+        for i in 0..20 {
+            let actual = 50.0 + i as f64;
+            t.record(actual * 0.8, actual * 1.2, actual);
+        }
+        let a = t.retune();
+        assert!((a - 0.5).abs() < 0.05, "alpha {a}");
+    }
+
+    #[test]
+    fn rmse_pct_for_slices_history() {
+        let mut t = AlphaTuner::default();
+        for _ in 0..10 {
+            t.record(10.0, 10.0, 10.0);
+        }
+        assert_eq!(t.rmse_pct_for(0.5, 0, 10), 0.0);
+        assert_eq!(t.observations(), 10);
+    }
+}

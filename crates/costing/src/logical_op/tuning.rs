@@ -1,0 +1,189 @@
+//! The offline tuning phase (§3).
+//!
+//! "Whenever IntelliSphere executes a remote operator on an external
+//! system … it captures the actual execution cost and pushes this
+//! information to a log. Periodically, this log is fed to the neural
+//! network model to tune its structure with the new observed data."
+//! Range metadata is expanded only under the continuity rule (see
+//! [`crate::logical_op::dims`]).
+
+use crate::logical_op::model::{FitConfig, LogicalOpModel};
+use neuro::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// One logged remote execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// The operator's model features.
+    pub features: Vec<f64>,
+    /// Observed elapsed time, seconds.
+    pub actual_secs: f64,
+}
+
+/// The execution log feeding offline tuning.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionLog {
+    entries: Vec<LogEntry>,
+}
+
+impl ExecutionLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        ExecutionLog::default()
+    }
+
+    /// Appends one observation ("Dump a record into the batch", Fig. 3).
+    pub fn push(&mut self, features: Vec<f64>, actual_secs: f64) {
+        self.entries.push(LogEntry { features, actual_secs });
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries as a dataset.
+    pub fn dataset(&self) -> Dataset {
+        Dataset::new(
+            self.entries.iter().map(|e| e.features.clone()).collect(),
+            self.entries.iter().map(|e| e.actual_secs).collect(),
+        )
+    }
+
+    /// Drains the log (after a tuning pass consumed it).
+    pub fn drain(&mut self) -> Vec<LogEntry> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+/// What a tuning pass did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneReport {
+    /// Entries consumed from the log.
+    pub entries_used: usize,
+    /// Dimensions whose `[min,max]` range was expanded.
+    pub dims_expanded: Vec<usize>,
+    /// Held-out RMSE% after retraining.
+    pub rmse_pct_after: f64,
+}
+
+/// Runs one offline tuning pass: absorb logged ranges (continuity rule),
+/// retrain the network on training ∪ log, and drain the log.
+pub fn offline_tune(
+    model: &mut LogicalOpModel,
+    log: &mut ExecutionLog,
+    beta: f64,
+    config: &FitConfig,
+) -> TuneReport {
+    if log.is_empty() {
+        return TuneReport { entries_used: 0, dims_expanded: vec![], rmse_pct_after: f64::NAN };
+    }
+    let extra = log.dataset();
+    // Absorb under the continuity rule FIRST, on the pre-retrain metadata;
+    // retraining rebuilds metadata from the raw union (which would wrongly
+    // swallow discontiguous points), so the absorbed metadata is restored
+    // afterwards.
+    let dims_expanded = model.meta.absorb_rows(&extra.inputs, beta);
+    let preserved_meta = model.meta.clone();
+    let rmse_pct_after = model.retrain(&extra, config);
+    model.meta = preserved_meta;
+    let entries_used = log.drain().len();
+    TuneReport { entries_used, dims_expanded, rmse_pct_after }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::OperatorKind;
+
+    fn base_model() -> LogicalOpModel {
+        let mut inputs = vec![];
+        let mut targets = vec![];
+        for r in 1..=15 {
+            for s in 1..=4 {
+                let rows = r as f64 * 1e5;
+                let size = s as f64 * 100.0;
+                inputs.push(vec![rows, size]);
+                targets.push(0.5 + 3e-6 * rows + 0.02 * size);
+            }
+        }
+        let data = Dataset::new(inputs, targets);
+        LogicalOpModel::fit(
+            OperatorKind::Aggregation,
+            &["rows", "size"],
+            &data,
+            &FitConfig::fast(),
+        )
+        .0
+    }
+
+    #[test]
+    fn log_accumulates_and_drains() {
+        let mut log = ExecutionLog::new();
+        assert!(log.is_empty());
+        log.push(vec![1.0, 2.0], 3.0);
+        log.push(vec![4.0, 5.0], 6.0);
+        assert_eq!(log.len(), 2);
+        let ds = log.dataset();
+        assert_eq!(ds.len(), 2);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn tuning_consumes_log_and_improves_oor_accuracy() {
+        let mut model = base_model();
+        let mut log = ExecutionLog::new();
+        // Log a contiguous ladder of larger row counts (continuity holds:
+        // trained max 1.5M with top step 1e5; beta=2 slack 2e5).
+        let mut rows = 1.6e6;
+        while rows <= 3.0e6 {
+            for s in [100.0, 200.0] {
+                log.push(vec![rows, s], 0.5 + 3e-6 * rows + 0.02 * s);
+            }
+            rows += 2e5;
+        }
+        let probe = vec![2.8e6, 200.0];
+        let truth = 0.5 + 3e-6 * 2.8e6 + 0.02 * 200.0;
+        let before = (model.predict_nn(&probe) - truth).abs();
+
+        let report = offline_tune(&mut model, &mut log, 2.0, &FitConfig::fast());
+        assert!(report.entries_used > 0);
+        assert!(report.dims_expanded.contains(&0));
+        assert!(log.is_empty());
+        // Range expanded to the last contiguous point.
+        assert!(model.meta.dims[0].max >= 3.0e6 - 2e5);
+        let after = (model.predict_nn(&probe) - truth).abs();
+        assert!(after < before, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn discontiguous_log_entries_do_not_expand_range() {
+        let mut model = base_model();
+        let trained_max = model.meta.dims[0].max;
+        let mut log = ExecutionLog::new();
+        // One far-away observation: continuity broken.
+        log.push(vec![5e7, 200.0], 150.0);
+        // Need ≥... retrain requires data; single point fine.
+        let report = offline_tune(&mut model, &mut log, 2.0, &FitConfig::fast());
+        assert!(report.dims_expanded.is_empty());
+        assert_eq!(model.meta.dims[0].max, trained_max);
+        assert!(model.meta.dims[0].detached.contains(&5e7));
+    }
+
+    #[test]
+    fn empty_log_is_a_noop() {
+        let mut model = base_model();
+        let before = model.clone();
+        let mut log = ExecutionLog::new();
+        let report = offline_tune(&mut model, &mut log, 2.0, &FitConfig::fast());
+        assert_eq!(report.entries_used, 0);
+        assert_eq!(model.network, before.network);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! The IntelliSphere master engine (§2, Fig. 1).
+//!
+//! Teradata "receives a user's query in the form of a SQL query, generates
+//! a cost-based efficient query plan where each SQL operator is scheduled
+//! for execution on one of the IntelliSphere's systems, combines the
+//! results, and passes the final answer back to the user." This crate
+//! provides that master-side machinery on top of the costing module:
+//!
+//! * [`transfer`] — a QueryGrid-style data-transfer cost model (the paper
+//!   scopes network costs out of the *costing module* but the optimizer
+//!   "will combine multiple costs together to come up with a final cost");
+//! * [`placement`] — the §2 placement search space: "IntelliSphere
+//!   considers scheduling an operator only on a remote system that owns
+//!   the input data (or part of it) or the Teradata system", with data
+//!   flowing only through Teradata ("the data cannot be transferred
+//!   directly between two remote systems");
+//! * [`planner`] — combines per-operator execution estimates (from the
+//!   [`costing`] crate) with transfer costs and picks the cheapest
+//!   placement;
+//! * [`intellisphere`] — the facade owning the remote engines, the global
+//!   foreign-table catalog, and the hybrid cost manager; it plans,
+//!   executes (moving data through its QueryGrid emulation), and feeds
+//!   observed actuals back into the costing profiles.
+
+pub mod intellisphere;
+pub mod placement;
+pub mod planner;
+pub mod transfer;
+
+pub use intellisphere::{ExecutionReport, IntelliSphere};
+pub use placement::{enumerate_placements, PlacementOption, Transfer};
+pub use planner::{PlacementCost, PlanReport};
+pub use transfer::TransferCostModel;

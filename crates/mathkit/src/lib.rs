@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+
+//! Numerical substrate for the IntelliSphere cost-estimation reproduction.
+//!
+//! The paper's cost models are built from three mathematical ingredients:
+//!
+//! * **ordinary least squares** regression — used for the sub-operator
+//!   models (Figs. 7 and 13) and for the on-the-fly pivot regressions of the
+//!   online remedy phase (Fig. 4),
+//! * **piecewise (two-regime) regression** — used for the HashBuild
+//!   sub-operator whose cost jumps when the hash table no longer fits in
+//!   memory (Fig. 13f),
+//! * **model-quality metrics** (RMSE, RMSE%, R²) — the paper reports every
+//!   model with these.
+//!
+//! This crate implements all of them from scratch on a small dense-matrix
+//! kernel, with no external numerical dependencies, so the rest of the
+//! workspace has a single well-tested numerical foundation.
+
+pub mod matrix;
+pub mod metrics;
+pub mod linreg;
+pub mod poly;
+pub mod piecewise;
+pub mod scale;
+
+pub use linreg::{LinearModel, SimpleLinearModel};
+pub use matrix::Matrix;
+pub use metrics::{mae, pearson_r, r2_score, rmse, rmse_pct};
+pub use piecewise::TwoRegimeModel;
+pub use poly::PolynomialModel;
+pub use scale::MinMaxScaler;
+
+/// Errors produced by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathError {
+    /// A matrix dimension mismatch, e.g. multiplying incompatible shapes.
+    DimensionMismatch {
+        /// Description of the failing operation.
+        context: &'static str,
+    },
+    /// The linear system is singular (or numerically so) and cannot be
+    /// solved even after ridge stabilisation.
+    Singular,
+    /// The caller supplied fewer observations than the model has parameters.
+    NotEnoughData {
+        /// Observations provided.
+        have: usize,
+        /// Observations required.
+        need: usize,
+    },
+    /// Inputs contained NaN or infinity.
+    NonFinite,
+}
+
+impl std::fmt::Display for MathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MathError::DimensionMismatch { context } => {
+                write!(f, "matrix dimension mismatch in {context}")
+            }
+            MathError::Singular => write!(f, "singular linear system"),
+            MathError::NotEnoughData { have, need } => {
+                write!(f, "not enough data points: have {have}, need {need}")
+            }
+            MathError::NonFinite => write!(f, "non-finite value in input"),
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MathError>;
+
+/// Returns true when every value in `xs` is finite.
+pub(crate) fn all_finite(xs: &[f64]) -> bool {
+    xs.iter().all(|x| x.is_finite())
+}

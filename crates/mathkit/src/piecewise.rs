@@ -1,0 +1,188 @@
+//! Two-regime (piecewise linear) regression.
+//!
+//! The paper observes (Fig. 13f) that the HashBuild sub-operator follows two
+//! distinct linear models depending on whether the hash table fits in
+//! memory: `y = 0.0248x + 18.241` in-memory vs `y = 0.1821x − 51.614` when
+//! spilling. [`TwoRegimeModel`] fits both segments and locates the
+//! breakpoint, either at a caller-supplied threshold (when the regime is
+//! predictable from cluster configuration, as the paper does) or by
+//! searching the breakpoint that minimises total squared error.
+
+use crate::{linreg::SimpleLinearModel, MathError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear model with a single breakpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoRegimeModel {
+    /// Model applied when `x <= breakpoint` (e.g. hash table fits in memory).
+    pub low: SimpleLinearModel,
+    /// Model applied when `x > breakpoint` (e.g. hash table spills).
+    pub high: SimpleLinearModel,
+    /// The regime boundary on the predictor axis.
+    pub breakpoint: f64,
+}
+
+impl TwoRegimeModel {
+    /// Fits the two segments around a **known** breakpoint.
+    ///
+    /// This mirrors the paper's usage: "given a specific cluster
+    /// configuration, if the broadcasted relation fits in memory … the
+    /// corresponding model is used". Each side needs at least two points.
+    pub fn fit_with_breakpoint(xs: &[f64], ys: &[f64], breakpoint: f64) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(MathError::DimensionMismatch { context: "TwoRegimeModel::fit" });
+        }
+        let (mut lx, mut ly, mut hx, mut hy) = (vec![], vec![], vec![], vec![]);
+        for (&x, &y) in xs.iter().zip(ys) {
+            if x <= breakpoint {
+                lx.push(x);
+                ly.push(y);
+            } else {
+                hx.push(x);
+                hy.push(y);
+            }
+        }
+        let low = SimpleLinearModel::fit(&lx, &ly)?;
+        let high = SimpleLinearModel::fit(&hx, &hy)?;
+        Ok(TwoRegimeModel { low, high, breakpoint })
+    }
+
+    /// Fits segments and **searches** for the breakpoint minimising total
+    /// squared error. Candidate breakpoints are midpoints between
+    /// consecutive distinct sorted x values, with at least two points on
+    /// each side.
+    pub fn fit_search(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(MathError::DimensionMismatch { context: "TwoRegimeModel::fit_search" });
+        }
+        if xs.len() < 4 {
+            return Err(MathError::NotEnoughData { have: xs.len(), need: 4 });
+        }
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+        let sx: Vec<f64> = order.iter().map(|&i| xs[i]).collect();
+        let sy: Vec<f64> = order.iter().map(|&i| ys[i]).collect();
+
+        let mut best: Option<(f64, TwoRegimeModel)> = None;
+        for split in 2..=(sx.len() - 2) {
+            if sx[split - 1] == sx[split] {
+                continue; // breakpoint must separate distinct x values
+            }
+            let bp = 0.5 * (sx[split - 1] + sx[split]);
+            let Ok(model) = Self::fit_with_breakpoint(&sx, &sy, bp) else {
+                continue;
+            };
+            let sse: f64 = sx
+                .iter()
+                .zip(&sy)
+                .map(|(&x, &y)| {
+                    let e = model.predict(x) - y;
+                    e * e
+                })
+                .sum();
+            if best.as_ref().map_or(true, |(b, _)| sse < *b) {
+                best = Some((sse, model));
+            }
+        }
+        best.map(|(_, m)| m).ok_or(MathError::NotEnoughData { have: xs.len(), need: 4 })
+    }
+
+    /// Predicts using the segment the predictor falls into.
+    pub fn predict(&self, x: f64) -> f64 {
+        if x <= self.breakpoint {
+            self.low.predict(x)
+        } else {
+            self.high.predict(x)
+        }
+    }
+
+    /// Predicts with an externally supplied regime decision, mirroring the
+    /// paper's "the system can predict that the broadcasted relation will
+    /// not fit in memory, and hence the other model is used".
+    pub fn predict_in_regime(&self, x: f64, fits_low_regime: bool) -> f64 {
+        if fits_low_regime {
+            self.low.predict(x)
+        } else {
+            self.high.predict(x)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_regime_data() -> (Vec<f64>, Vec<f64>) {
+        // Low regime: y = 0.025x + 18 for x <= 500; high: y = 0.18x - 50.
+        let xs: Vec<f64> = (1..=12).map(|i| i as f64 * 100.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| if x <= 500.0 { 0.025 * x + 18.0 } else { 0.18 * x - 50.0 })
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn fit_with_known_breakpoint_recovers_segments() {
+        let (xs, ys) = two_regime_data();
+        let m = TwoRegimeModel::fit_with_breakpoint(&xs, &ys, 500.0).unwrap();
+        assert!((m.low.slope - 0.025).abs() < 1e-9);
+        assert!((m.low.intercept - 18.0).abs() < 1e-6);
+        assert!((m.high.slope - 0.18).abs() < 1e-9);
+        assert!((m.high.intercept + 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_search_finds_the_true_breakpoint() {
+        let (xs, ys) = two_regime_data();
+        let m = TwoRegimeModel::fit_search(&xs, &ys).unwrap();
+        assert!(m.breakpoint > 500.0 && m.breakpoint < 600.0, "breakpoint {}", m.breakpoint);
+        assert!((m.predict(300.0) - (0.025 * 300.0 + 18.0)).abs() < 1e-6);
+        assert!((m.predict(1000.0) - (0.18 * 1000.0 - 50.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_search_handles_shuffled_input() {
+        let (mut xs, mut ys) = two_regime_data();
+        xs.swap(0, 9);
+        ys.swap(0, 9);
+        xs.swap(3, 11);
+        ys.swap(3, 11);
+        let m = TwoRegimeModel::fit_search(&xs, &ys).unwrap();
+        assert!(m.breakpoint > 500.0 && m.breakpoint < 600.0);
+    }
+
+    #[test]
+    fn predict_uses_correct_segment_at_boundary() {
+        let (xs, ys) = two_regime_data();
+        let m = TwoRegimeModel::fit_with_breakpoint(&xs, &ys, 500.0).unwrap();
+        // Exactly on the breakpoint -> low regime (<=).
+        assert!((m.predict(500.0) - m.low.predict(500.0)).abs() < 1e-12);
+        assert!((m.predict(500.0001) - m.high.predict(500.0001)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_in_regime_overrides_breakpoint() {
+        let (xs, ys) = two_regime_data();
+        let m = TwoRegimeModel::fit_with_breakpoint(&xs, &ys, 500.0).unwrap();
+        // Force the spill model even for a small x.
+        let forced = m.predict_in_regime(100.0, false);
+        assert!((forced - m.high.predict(100.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_search_needs_four_points() {
+        assert!(matches!(
+            TwoRegimeModel::fit_search(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]),
+            Err(MathError::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn fit_with_breakpoint_needs_points_on_both_sides() {
+        // All points below the breakpoint -> high side has < 2 points.
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert!(TwoRegimeModel::fit_with_breakpoint(&xs, &ys, 10.0).is_err());
+    }
+}

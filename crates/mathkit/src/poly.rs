@@ -1,0 +1,112 @@
+//! One-dimensional polynomial regression.
+//!
+//! Used by the online-remedy phase as an alternative pivot extrapolator and
+//! by the ablation experiments; fit via a Vandermonde design matrix on top
+//! of [`crate::LinearModel`].
+
+use crate::{linreg::LinearModel, MathError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A fitted polynomial `y = c0 + c1·x + c2·x² + …`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolynomialModel {
+    /// Coefficients in ascending-power order (`coeffs[0]` is the constant).
+    pub coeffs: Vec<f64>,
+}
+
+impl PolynomialModel {
+    /// Fits a polynomial of the given `degree` (≥ 1) by least squares.
+    ///
+    /// `xs` are internally shifted/scaled to [-1, 1] before building the
+    /// Vandermonde matrix would be overkill for the small degrees used here
+    /// (≤ 3), so raw powers are used; callers should keep `degree` small.
+    pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Self> {
+        if degree == 0 {
+            return Err(MathError::DimensionMismatch { context: "PolynomialModel degree 0" });
+        }
+        if xs.len() != ys.len() {
+            return Err(MathError::DimensionMismatch { context: "PolynomialModel::fit" });
+        }
+        if xs.len() < degree + 1 {
+            return Err(MathError::NotEnoughData { have: xs.len(), need: degree + 1 });
+        }
+        let rows: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|&x| (1..=degree).map(|p| x.powi(p as i32)).collect())
+            .collect();
+        let lin = LinearModel::fit(&rows, ys)?;
+        let mut coeffs = Vec::with_capacity(degree + 1);
+        coeffs.push(lin.intercept);
+        coeffs.extend_from_slice(&lin.weights);
+        Ok(PolynomialModel { coeffs })
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's rule).
+    pub fn predict(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// The polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fits_exact_quadratic() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x + 0.5 * x * x).collect();
+        let m = PolynomialModel::fit(&xs, &ys, 2).unwrap();
+        assert!((m.coeffs[0] - 1.0).abs() < 1e-6);
+        assert!((m.coeffs[1] - 2.0).abs() < 1e-6);
+        assert!((m.coeffs[2] - 0.5).abs() < 1e-6);
+        assert_eq!(m.degree(), 2);
+    }
+
+    #[test]
+    fn degree_one_matches_simple_linreg() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let m = PolynomialModel::fit(&xs, &ys, 1).unwrap();
+        assert!((m.predict(10.0) - 21.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_degree_zero() {
+        assert!(PolynomialModel::fit(&[1.0, 2.0], &[1.0, 2.0], 0).is_err());
+    }
+
+    #[test]
+    fn rejects_too_few_points() {
+        assert!(matches!(
+            PolynomialModel::fit(&[1.0, 2.0], &[1.0, 2.0], 3),
+            Err(MathError::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn horner_evaluation_is_correct() {
+        let m = PolynomialModel { coeffs: vec![1.0, 0.0, 2.0] }; // 1 + 2x²
+        assert_eq!(m.predict(3.0), 19.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quadratic_extrapolation(
+            a in -2.0f64..2.0, b in -2.0f64..2.0, c in 0.01f64..2.0,
+        ) {
+            let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.5).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| a + b * x + c * x * x).collect();
+            let m = PolynomialModel::fit(&xs, &ys, 2).unwrap();
+            // Extrapolate past the training range.
+            let x = 15.0;
+            let expect = a + b * x + c * x * x;
+            prop_assert!((m.predict(x) - expect).abs() < 1e-3 * (1.0 + expect.abs()));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! SQL front-end for the select-project-join-aggregate (SPJA) subset that
+//! IntelliSphere ships to remote systems.
+//!
+//! The paper assumes every remote system exposes a SQL-like interface that
+//! "can receive a SQL operation such as a join, aggregation, filter, and
+//! projection" (§2). This crate supplies the concrete language layer:
+//!
+//! * a hand-written lexer and recursive-descent parser for that subset,
+//! * a typed AST with a pretty-printer that round-trips (so the master
+//!   engine can re-emit an operator as remote SQL text),
+//! * a translation to a small logical-operator tree
+//!   ([`logical::LogicalPlan`]) which the costing and federation crates
+//!   consume.
+//!
+//! The grammar deliberately covers exactly what the evaluation needs
+//! (Fig. 10's training queries, the sub-op probe queries of Fig. 5, and the
+//! federated examples) — `SELECT` lists with aggregates and aliases, a
+//! single `FROM` table plus `JOIN … ON` chains, `WHERE` with arithmetic and
+//! comparison predicates, and `GROUP BY`.
+
+pub mod ast;
+pub mod lexer;
+pub mod logical;
+pub mod parser;
+pub mod token;
+
+pub use ast::{AggFunc, BinOp, Expr, Join, Query, SelectItem, TableRef};
+pub use logical::{build_logical_plan, LogicalOp, LogicalPlan, PlanError};
+pub use parser::{parse_query, ParseError};
+
+/// Parses SQL text straight to a logical plan — the common entry point.
+pub fn sql_to_plan(sql: &str) -> Result<LogicalPlan, Box<dyn std::error::Error>> {
+    let q = parse_query(sql)?;
+    Ok(build_logical_plan(&q)?)
+}

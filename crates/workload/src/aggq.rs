@@ -1,0 +1,125 @@
+//! Aggregation training queries.
+//!
+//! Fig. 10: "The aggregation factor (shrinking factor in the number of
+//! records) is achieved by aggregating over a specific column aᵢ to get a
+//! factor of i. The number of aggregate functions computed varies from 1
+//! to 5. All are of type SUM()."
+
+use crate::tables::TableSpec;
+use serde::{Deserialize, Serialize};
+
+/// Shrink factors used for the training grid (the `aᵢ` columns grouped
+/// on). Six factors × 5 aggregate counts × 120 tables ≈ the paper's
+/// "approximately 3,700 aggregation queries".
+pub const DEFAULT_SHRINK_FACTORS: [u64; 6] = [2, 5, 10, 20, 50, 100];
+
+/// Columns whose SUM is computed, in the order they are added.
+const SUM_COLUMNS: [&str; 5] = ["a1", "a2", "a10", "a20", "a50"];
+
+/// One aggregation training query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggQuery {
+    /// The target table.
+    pub table: TableSpec,
+    /// Shrink factor `i` (grouping on `aᵢ`).
+    pub shrink_factor: u64,
+    /// Number of SUM() aggregates (1–5).
+    pub n_aggs: u32,
+}
+
+impl AggQuery {
+    /// Renders the query as SQL.
+    pub fn sql(&self) -> String {
+        let mut select = format!("a{}", self.shrink_factor);
+        for (i, col) in SUM_COLUMNS.iter().take(self.n_aggs as usize).enumerate() {
+            select.push_str(&format!(", SUM({col}) AS s{}", i + 1));
+        }
+        format!(
+            "SELECT {select} FROM {} GROUP BY a{}",
+            self.table.name(),
+            self.shrink_factor
+        )
+    }
+
+    /// Exact number of output groups for the Fig. 10 data.
+    pub fn expected_groups(&self) -> u64 {
+        self.table.rows.div_ceil(self.shrink_factor).max(1)
+    }
+}
+
+/// The aggregation training grid over the given tables: every table ×
+/// every shrink factor × 1–5 aggregates.
+pub fn agg_training_queries(tables: &[TableSpec]) -> Vec<AggQuery> {
+    agg_training_queries_with(tables, &DEFAULT_SHRINK_FACTORS, 5)
+}
+
+/// Grid with custom shrink factors and a maximum aggregate count.
+pub fn agg_training_queries_with(
+    tables: &[TableSpec],
+    factors: &[u64],
+    max_aggs: u32,
+) -> Vec<AggQuery> {
+    assert!((1..=5).contains(&max_aggs), "1-5 SUM() aggregates supported");
+    let mut out = Vec::with_capacity(tables.len() * factors.len() * max_aggs as usize);
+    for &table in tables {
+        for &f in factors {
+            for n_aggs in 1..=max_aggs {
+                out.push(AggQuery { table, shrink_factor: f, n_aggs });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::fig10_table_specs;
+
+    #[test]
+    fn full_grid_is_about_3700_queries() {
+        let qs = agg_training_queries(&fig10_table_specs());
+        // 120 × 6 × 5 = 3600 ≈ the paper's ~3,700.
+        assert_eq!(qs.len(), 3_600);
+    }
+
+    #[test]
+    fn sql_shape_matches_fig10() {
+        let q = AggQuery {
+            table: TableSpec::new(1_000_000, 250),
+            shrink_factor: 5,
+            n_aggs: 2,
+        };
+        assert_eq!(
+            q.sql(),
+            "SELECT a5, SUM(a1) AS s1, SUM(a2) AS s2 FROM T1000000_250 GROUP BY a5"
+        );
+    }
+
+    #[test]
+    fn queries_parse() {
+        let qs = agg_training_queries(&[TableSpec::new(10_000, 40)]);
+        for q in &qs {
+            sqlkit::parse_query(&q.sql()).unwrap_or_else(|e| panic!("{}: {e}", q.sql()));
+        }
+    }
+
+    #[test]
+    fn expected_groups_follow_shrink_factor() {
+        let q = AggQuery { table: TableSpec::new(1_000_000, 40), shrink_factor: 20, n_aggs: 1 };
+        assert_eq!(q.expected_groups(), 50_000);
+    }
+
+    #[test]
+    fn custom_grid_bounds_checked() {
+        let qs = agg_training_queries_with(&[TableSpec::new(100, 40)], &[2, 5], 3);
+        assert_eq!(qs.len(), 6);
+        assert!(qs.iter().all(|q| q.n_aggs <= 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-5")]
+    fn max_aggs_capped_at_five() {
+        agg_training_queries_with(&[TableSpec::new(100, 40)], &[2], 6);
+    }
+}

@@ -1,0 +1,1 @@
+//! Helper-free placeholder library target: each example is a standalone binary.

@@ -1,0 +1,156 @@
+//! An interactive IntelliSphere console.
+//!
+//! Stands up the three-remote ecosystem of `hybrid_federation`, then reads
+//! SQL from stdin. For each query it prints the placement ranking, the
+//! winner's `EXPLAIN` on its engine, and the executed result. Commands:
+//!
+//! * `\tables` — list the foreign tables and their locations,
+//! * `\systems` — list the registered systems,
+//! * `\quit` — exit.
+//!
+//! ```text
+//! cargo run --release --bin repl
+//! echo "SELECT a5, SUM(a1) AS s FROM T2000000_250 GROUP BY a5" | cargo run --release --bin repl
+//! ```
+
+use catalog::SystemId;
+use federation::IntelliSphere;
+use remote_sim::personas::{hive_persona, rdbms_persona, spark_persona};
+use remote_sim::{ClusterConfig, ClusterEngine};
+use std::io::{self, BufRead, Write};
+use workload::{build_table, probe_suite, TableSpec};
+
+fn build_sphere() -> IntelliSphere {
+    let mut sphere = IntelliSphere::new(7);
+    sphere.add_remote(ClusterEngine::new(
+        "hive-a",
+        hive_persona(),
+        ClusterConfig::paper_hive(),
+        1,
+    ));
+    sphere.add_remote(ClusterEngine::new(
+        "spark-b",
+        spark_persona(),
+        ClusterConfig { nodes: 4, cores_per_node: 4, ..ClusterConfig::paper_hive() },
+        2,
+    ));
+    sphere.add_remote(ClusterEngine::new(
+        "pg-c",
+        rdbms_persona(),
+        ClusterConfig::single_node(16, 64 * (1 << 30)),
+        3,
+    ));
+    let assignments = [
+        ("hive-a", TableSpec::new(8_000_000, 500)),
+        ("hive-a", TableSpec::new(2_000_000, 250)),
+        ("spark-b", TableSpec::new(1_000_000, 250)),
+        ("spark-b", TableSpec::new(4_000_000, 100)),
+        ("pg-c", TableSpec::new(200_000, 100)),
+        ("teradata", TableSpec::new(50_000, 40)),
+    ];
+    for (sys, spec) in assignments {
+        sphere
+            .add_table(&SystemId::new(sys), build_table(&spec))
+            .expect("table registers");
+    }
+    let suite = probe_suite();
+    for sys in ["hive-a", "spark-b", "pg-c", "teradata"] {
+        sphere.train_subop(&SystemId::new(sys), &suite).expect("profile trains");
+    }
+    sphere
+}
+
+fn handle(sphere: &mut IntelliSphere, line: &str) {
+    match line {
+        "\\tables" => {
+            let cat = sphere.global_catalog();
+            for t in cat.tables() {
+                println!(
+                    "  {:<18} {:>12} rows × {:>5} B   on {}",
+                    t.name,
+                    t.rows(),
+                    t.row_bytes(),
+                    t.location
+                );
+            }
+        }
+        "\\systems" => {
+            let cat = sphere.global_catalog();
+            for s in cat.systems() {
+                println!(
+                    "  {:<10} {:<9} {} node(s) × {} core(s)",
+                    s.id.to_string(),
+                    s.kind.to_string(),
+                    s.nodes,
+                    s.cores_per_node
+                );
+            }
+        }
+        sql => {
+            let report = match sphere.plan(sql) {
+                Ok(r) => r,
+                Err(e) => {
+                    println!("  error: {e}");
+                    return;
+                }
+            };
+            println!("  placement ranking:");
+            for c in &report.candidates {
+                println!(
+                    "    {:<10} exec {:>8.2}s + transfer {:>7.2}s = {:>8.2}s",
+                    c.option.system.to_string(),
+                    c.execution_secs,
+                    c.transfer_secs,
+                    c.total_secs()
+                );
+            }
+            let winner = report.best().option.system.clone();
+            if let Some(engine) = sphere.engine_mut(&winner) {
+                if let Ok(explain) = engine.explain(sql) {
+                    for l in explain.to_string().lines() {
+                        println!("    | {l}");
+                    }
+                }
+            }
+            match sphere.execute(sql) {
+                Ok(exec) => println!(
+                    "  executed on {}: {:.2}s actual ({} rows{})",
+                    exec.system,
+                    exec.actual_secs,
+                    exec.output_rows,
+                    if exec.tables_moved.is_empty() {
+                        String::new()
+                    } else {
+                        format!(", moved {:?}", exec.tables_moved)
+                    }
+                ),
+                Err(e) => println!("  execution error: {e}"),
+            }
+        }
+    }
+}
+
+fn main() {
+    println!("IntelliSphere console — training costing profiles…");
+    let mut sphere = build_sphere();
+    println!("ready. \\tables, \\systems, \\quit, or SQL.");
+    let stdin = io::stdin();
+    loop {
+        print!("intellisphere> ");
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\quit" || line == "\\q" {
+            break;
+        }
+        handle(&mut sphere, line);
+    }
+}

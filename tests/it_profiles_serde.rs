@@ -1,0 +1,123 @@
+//! Costing Profiles are data: the paper stores every costing artefact in
+//! the remote system's profile (Fig. 9), so a profile must survive a
+//! round trip to JSON and keep producing identical estimates.
+
+use catalog::{SystemId, SystemKind};
+use costing::estimator::OperatorKind;
+use costing::features::agg_dim_names;
+use costing::hybrid::{CostingApproach, CostingProfile, LogicalOpSuite};
+use costing::logical_op::{
+    flow::LogicalOpCosting,
+    model::{FitConfig, LogicalOpModel, TopologyChoice},
+    run_training,
+};
+use integration_tests::{hive_engine, trained_subop};
+use remote_sim::analyze::analyze;
+use remote_sim::RemoteSystem;
+use workload::{agg_training_queries_with, TableSpec};
+
+fn sample_specs() -> Vec<TableSpec> {
+    vec![TableSpec::new(1_000_000, 250), TableSpec::new(4_000_000, 250)]
+}
+
+#[test]
+fn subop_profile_roundtrips_and_estimates_identically() {
+    let specs = sample_specs();
+    let mut engine = hive_engine(&specs, 31);
+    let sub = trained_subop(&mut engine);
+    let mut profile = CostingProfile::new(
+        SystemId::new("hive-it"),
+        SystemKind::Hive,
+        CostingApproach::SubOp(sub),
+    );
+
+    let plan = sqlkit::sql_to_plan(
+        "SELECT r.a1, s.a1 FROM T4000000_250 r JOIN T1000000_250 s ON r.a1 = s.a1",
+    )
+    .unwrap();
+    let analysis = analyze(engine.catalog(), &plan).unwrap();
+    let before = profile.estimate_query(&analysis).unwrap();
+
+    let json = serde_json::to_string(&profile).unwrap();
+    let mut restored: CostingProfile = serde_json::from_str(&json).unwrap();
+    let after = restored.estimate_query(&analysis).unwrap();
+    assert_eq!(before.total_secs, after.total_secs);
+}
+
+#[test]
+fn logical_profile_roundtrips_with_log_and_tuner_state() {
+    let specs = sample_specs();
+    let mut engine = hive_engine(&specs, 32);
+    let queries: Vec<String> =
+        agg_training_queries_with(&specs, &[2, 10, 50], 2).iter().map(|q| q.sql()).collect();
+    let training = run_training(&mut engine, OperatorKind::Aggregation, &queries);
+    let (model, _) = LogicalOpModel::fit(
+        OperatorKind::Aggregation,
+        &agg_dim_names(),
+        &training.dataset(),
+        &FitConfig {
+            topology: TopologyChoice::Fixed { layer1: 8, layer2: 4 },
+            iterations: 1_000,
+            batch_size: 32,
+            trace_every: 0,
+            seed: 32,
+            scaling: Default::default(),
+        },
+    );
+    let mut flow = LogicalOpCosting::new(model);
+    // Exercise the remedy + logging paths so the state is non-trivial.
+    let oor = vec![9.9e7, 250.0, 9.9e6, 12.0];
+    let _ = flow.estimate(&oor);
+    flow.observe_actual(&oor, 123.0);
+    flow.adjust_alpha();
+
+    let mut profile = CostingProfile::new(
+        SystemId::new("hive-it"),
+        SystemKind::Hive,
+        CostingApproach::LogicalOp(LogicalOpSuite { join: None, aggregation: Some(flow) }),
+    );
+    let plan =
+        sqlkit::sql_to_plan("SELECT a5, SUM(a1) AS s FROM T4000000_250 GROUP BY a5").unwrap();
+    let analysis = analyze(engine.catalog(), &plan).unwrap();
+    let before = profile.estimate_query(&analysis).unwrap();
+
+    let json = serde_json::to_string(&profile).unwrap();
+    let mut restored: CostingProfile = serde_json::from_str(&json).unwrap();
+    let after = restored.estimate_query(&analysis).unwrap();
+    assert_eq!(before.total_secs, after.total_secs);
+
+    // The tuner and log state came along.
+    if let CostingApproach::LogicalOp(suite) = &restored.approach {
+        let agg = suite.aggregation.as_ref().unwrap();
+        assert_eq!(agg.log.len(), 1);
+        assert_eq!(agg.tuner.observations(), 1);
+    } else {
+        panic!("wrong approach after restore");
+    }
+}
+
+#[test]
+fn timed_profile_roundtrips_with_switch_counter() {
+    let specs = sample_specs();
+    let mut engine = hive_engine(&specs, 33);
+    let sub = trained_subop(&mut engine);
+    let mut profile = CostingProfile::new(
+        SystemId::new("hive-it"),
+        SystemKind::Hive,
+        CostingApproach::Timed {
+            before: Box::new(CostingApproach::SubOp(sub.clone())),
+            after: Box::new(CostingApproach::SubOp(sub)),
+            switch_after_estimates: 3,
+        },
+    );
+    let plan =
+        sqlkit::sql_to_plan("SELECT a5, SUM(a1) AS s FROM T1000000_250 GROUP BY a5").unwrap();
+    let analysis = analyze(engine.catalog(), &plan).unwrap();
+    let _ = profile.estimate_query(&analysis).unwrap();
+    let _ = profile.estimate_query(&analysis).unwrap();
+    assert_eq!(profile.estimates_made, 2);
+
+    let json = serde_json::to_string(&profile).unwrap();
+    let restored: CostingProfile = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored.estimates_made, 2, "switch counter persists");
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Shared helpers for the cross-crate integration tests.
+
+use catalog::SystemKind;
+use costing::sub_op::{RuleInputs, SubOpCosting, SubOpMeasurement, SubOpModels};
+use remote_sim::exec::JoinInfo;
+use remote_sim::remote_opt::JoinContext;
+use remote_sim::{ClusterEngine, RemoteSystem};
+use workload::{probe_suite, register_tables, TableSpec};
+
+/// A noiseless paper-cluster Hive engine with the given tables.
+pub fn hive_engine(specs: &[TableSpec], seed: u64) -> ClusterEngine {
+    let mut e = ClusterEngine::paper_hive("hive-it", seed).without_noise();
+    register_tables(&mut e, specs).expect("tables register");
+    e
+}
+
+/// Trains a sub-op costing unit on an engine via the standard probe suite.
+pub fn trained_subop(engine: &mut ClusterEngine) -> SubOpCosting {
+    let measurement = SubOpMeasurement::run(engine, &probe_suite());
+    let budget = engine.profile().memory_per_node_bytes as f64 * 0.10
+        / engine.profile().cores_per_node as f64;
+    let models = SubOpModels::fit(&measurement, budget).expect("sub-op models fit");
+    SubOpCosting::for_system(SystemKind::Hive, models, 32.0 * 1024.0 * 1024.0)
+}
+
+/// Builds rule inputs from a join analysis pair.
+pub fn rule_inputs(info: &JoinInfo, ctx: &JoinContext) -> RuleInputs {
+    RuleInputs::from_join(info, ctx)
+}
