@@ -21,8 +21,10 @@ use workload::{join_training_queries_with, probe_suite, register_tables, TableSp
 
 fn setup() -> (ClusterEngine, LogicalOpModel, SubOpCosting, Vec<f64>) {
     let mut engine = ClusterEngine::paper_hive("hive-bench", 7).without_noise();
-    let specs: Vec<TableSpec> =
-        [1u64, 2, 4, 8].iter().map(|&k| TableSpec::new(k * 1_000_000, 250)).collect();
+    let specs: Vec<TableSpec> = [1u64, 2, 4, 8]
+        .iter()
+        .map(|&k| TableSpec::new(k * 1_000_000, 250))
+        .collect();
     register_tables(&mut engine, &specs).unwrap();
 
     let queries: Vec<String> = join_training_queries_with(&specs, &[100, 25])

@@ -1,0 +1,149 @@
+//! Criterion micro-benchmarks for the [`EstimatorService`]: the latency a
+//! planner thread pays per estimate, the throughput of the batched NN
+//! forward path, and what the LRU cache buys when the same operator is
+//! re-costed (cache-warm) versus a fresh feature stream (cache-cold).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use catalog::SystemId;
+use costing::estimator::OperatorKind;
+use costing::features::agg_dim_names;
+use costing::logical_op::{
+    flow::LogicalOpCosting,
+    model::{FitConfig, LogicalOpModel},
+};
+use costing::service::{EstimatorService, ServiceConfig};
+use neuro::Dataset;
+
+/// Trains a small in-range aggregation model and registers it for one
+/// system.
+fn setup() -> (EstimatorService, SystemId) {
+    let mut inputs = vec![];
+    let mut targets = vec![];
+    for r in 1..=20 {
+        for g in [2.0, 5.0, 10.0, 20.0] {
+            let rows = r as f64 * 1e5;
+            inputs.push(vec![rows, 250.0, rows / g, 12.0]);
+            targets.push(2.0 + rows * 3e-7 + rows / g * 1e-6);
+        }
+    }
+    let (model, _) = LogicalOpModel::fit(
+        OperatorKind::Aggregation,
+        &agg_dim_names(),
+        &Dataset::new(inputs, targets),
+        &FitConfig::fast(),
+    );
+    let service = EstimatorService::new(ServiceConfig::default());
+    let system = SystemId::new("hive-bench");
+    service.register(system.clone(), LogicalOpCosting::new(model));
+    (service, system)
+}
+
+/// A pool of distinct in-range feature vectors.
+fn feature_pool(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            let rows = 1.0e5 + (i as f64 / n as f64) * 1.8e6;
+            vec![rows, 250.0, rows / 5.0, 12.0]
+        })
+        .collect()
+}
+
+fn bench_service(c: &mut Criterion) {
+    let (service, system) = setup();
+    let op = OperatorKind::Aggregation;
+    let pool = feature_pool(4096);
+
+    // Cache-warm: the same estimate over and over — pure cache hit path.
+    let warm = pool[0].clone();
+    let _ = service.estimate(&system, op, &warm).unwrap();
+    c.bench_function("service_single_estimate_cache_warm", |b| {
+        b.iter(|| {
+            black_box(
+                service
+                    .estimate(&system, op, black_box(&warm))
+                    .unwrap()
+                    .secs,
+            )
+        })
+    });
+
+    // Cache-cold: stride through a pool far larger than the per-shard LRU,
+    // so every request misses and runs the model.
+    let mut i = 0usize;
+    service.clear_cache();
+    c.bench_function("service_single_estimate_cache_cold", |b| {
+        b.iter(|| {
+            i = (i + 1) % pool.len();
+            black_box(
+                service
+                    .estimate(&system, op, black_box(&pool[i]))
+                    .unwrap()
+                    .secs,
+            )
+        })
+    });
+
+    // Raw flow estimate for reference: what one uncached, unlocked
+    // prediction costs without the service wrapper.
+    let direct = service
+        .with_flow(&system, op, |flow| flow.clone())
+        .expect("registered flow");
+    c.bench_function("flow_estimate_readonly_reference", |b| {
+        let mut j = 0usize;
+        b.iter(|| {
+            j = (j + 1) % pool.len();
+            black_box(direct.estimate_readonly(black_box(&pool[j])).secs)
+        })
+    });
+
+    // Batched throughput: 256 distinct rows per call, cache cleared so the
+    // batch really exercises the shared NN forward pass.
+    let batch: Vec<Vec<f64>> = pool[..256].to_vec();
+    c.bench_function("service_batch_256_cache_cold", |b| {
+        b.iter(|| {
+            service.clear_cache();
+            black_box(
+                service
+                    .estimate_batch(&system, op, black_box(&batch))
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+    c.bench_function("service_batch_256_cache_warm", |b| {
+        let _ = service.estimate_batch(&system, op, &batch).unwrap();
+        b.iter(|| {
+            black_box(
+                service
+                    .estimate_batch(&system, op, black_box(&batch))
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+
+    // Threaded fan-out: 4 threads sharing the handle, striding disjoint
+    // slices of the pool.
+    c.bench_function("service_fanout_4_threads_1024_estimates", |b| {
+        b.iter(|| {
+            service.clear_cache();
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    let service = service.clone();
+                    let system = system.clone();
+                    let chunk = &pool[t * 256..(t + 1) * 256];
+                    scope.spawn(move || {
+                        for x in chunk {
+                            black_box(service.estimate(&system, op, x).unwrap().secs);
+                        }
+                    });
+                }
+            });
+        })
+    });
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -60,10 +60,15 @@ fn bench_simulator(c: &mut Criterion) {
     register_tables(&mut hive, &[TableSpec::new(1_000_000, 250)]).unwrap();
     sphere.add_remote(hive);
     sphere
-        .add_table(&SystemId::master(), build_table(&TableSpec::new(100_000, 100)))
+        .add_table(
+            &SystemId::master(),
+            build_table(&TableSpec::new(100_000, 100)),
+        )
         .unwrap();
     let suite = probe_suite();
-    sphere.train_subop(&SystemId::new("hive-a"), &suite).unwrap();
+    sphere
+        .train_subop(&SystemId::new("hive-a"), &suite)
+        .unwrap();
     sphere.train_subop(&SystemId::master(), &suite).unwrap();
     c.bench_function("federated_plan_two_systems", |b| {
         b.iter(|| {

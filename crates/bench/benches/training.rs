@@ -57,7 +57,10 @@ fn bench_training(c: &mut Criterion) {
     c.bench_function("logical_op_model_fit_fixed_topology", |b| {
         b.iter(|| {
             let cfg = FitConfig {
-                topology: TopologyChoice::Fixed { layer1: 8, layer2: 4 },
+                topology: TopologyChoice::Fixed {
+                    layer1: 8,
+                    layer2: 4,
+                },
                 iterations: 500,
                 batch_size: 32,
                 trace_every: 0,

@@ -64,7 +64,9 @@ fn scaling_ablation(cfg: &ExpConfig) -> Vec<(String, f64, f64)> {
     let mut engine = super::hive_with(cfg, &specs);
     for spec in workload::oor_all_table_specs() {
         if engine.catalog().table(&spec.name()).is_err() {
-            engine.register_table(build_table(&spec)).expect("oor table");
+            engine
+                .register_table(build_table(&spec))
+                .expect("oor table");
         }
     }
     let queries: Vec<String> = join_training_queries_with(&specs, &[100, 50, 25])
@@ -77,10 +79,18 @@ fn scaling_ablation(cfg: &ExpConfig) -> Vec<(String, f64, f64)> {
     // Out-of-range evaluation set (restricted to the registered sizes).
     let mut oor_points = Vec::new();
     for q in oor_join_queries() {
-        let Ok(plan) = sqlkit::sql_to_plan(&q.sql()) else { continue };
-        let Ok(analysis) = analyze(engine.catalog(), &plan) else { continue };
-        let Some(features) = join_features(&analysis) else { continue };
-        let Ok(exec) = engine.submit_plan(&plan) else { continue };
+        let Ok(plan) = sqlkit::sql_to_plan(&q.sql()) else {
+            continue;
+        };
+        let Ok(analysis) = analyze(engine.catalog(), &plan) else {
+            continue;
+        };
+        let Some(features) = join_features(&analysis) else {
+            continue;
+        };
+        let Ok(exec) = engine.submit_plan(&plan) else {
+            continue;
+        };
         oor_points.push((features.to_vec(), exec.elapsed.as_secs()));
     }
 
@@ -89,17 +99,27 @@ fn scaling_ablation(cfg: &ExpConfig) -> Vec<(String, f64, f64)> {
         .map(|mode| {
             // Same budget as the Fig. 14 experiment, only the scaling
             // domain differs.
-            let fit = FitConfig { scaling: mode, trace_every: 0, ..super::fit_config(cfg) };
+            let fit = FitConfig {
+                scaling: mode,
+                trace_every: 0,
+                ..super::fit_config(cfg)
+            };
             let (model, report) =
                 LogicalOpModel::fit(OperatorKind::Join, &join_dim_names(), &data, &fit);
-            let preds: Vec<f64> =
-                oor_points.iter().map(|(f, _)| model.predict_nn(f)).collect();
+            let preds: Vec<f64> = oor_points
+                .iter()
+                .map(|(f, _)| model.predict_nn(f))
+                .collect();
             let actuals: Vec<f64> = oor_points.iter().map(|&(_, a)| a).collect();
             let label = match mode {
                 ScalingMode::Linear => "linear min-max (paper)",
                 ScalingMode::Log => "log-domain",
             };
-            (label.to_string(), report.test_r2, rmse_pct(&preds, &actuals))
+            (
+                label.to_string(),
+                report.test_r2,
+                rmse_pct(&preds, &actuals),
+            )
         })
         .collect()
 }
@@ -117,11 +137,26 @@ fn topology_ablation(cfg: &ExpConfig) -> Vec<(String, f64)> {
 
     let iterations = if cfg.quick { 2_500 } else { 8_000 };
     let strategies = [
-        ("fixed minimal (4x3)", TopologyChoice::Fixed { layer1: 4, layer2: 3 }),
-        ("fixed paper-max (8x4)", TopologyChoice::Fixed { layer1: 8, layer2: 4 }),
+        (
+            "fixed minimal (4x3)",
+            TopologyChoice::Fixed {
+                layer1: 4,
+                layer2: 3,
+            },
+        ),
+        (
+            "fixed paper-max (8x4)",
+            TopologyChoice::Fixed {
+                layer1: 8,
+                layer2: 4,
+            },
+        ),
         (
             "cross-validated (paper)",
-            TopologyChoice::CrossValidated { step: 1, search_iterations: iterations / 4 },
+            TopologyChoice::CrossValidated {
+                step: 1,
+                search_iterations: iterations / 4,
+            },
         ),
     ];
     strategies
@@ -158,8 +193,7 @@ fn choice_policy_ablation(cfg: &ExpConfig) -> Vec<(String, f64)> {
     let budget = engine.profile().memory_per_node_bytes as f64 * 0.10
         / engine.profile().cores_per_node as f64;
     let models = SubOpModels::fit(&measurement, budget).expect("sub-op fit");
-    let mut costing =
-        SubOpCosting::for_system(SystemKind::Hive, models, 32.0 * 1024.0 * 1024.0);
+    let mut costing = SubOpCosting::for_system(SystemKind::Hive, models, 32.0 * 1024.0 * 1024.0);
 
     let queries = join_training_queries_with(&specs, &[100, 25]);
     let mut per_policy: Vec<(String, Vec<f64>, Vec<f64>)> = vec![
@@ -185,7 +219,9 @@ fn choice_policy_ablation(cfg: &ExpConfig) -> Vec<(String, f64)> {
         .enumerate()
         {
             costing.policy = *policy;
-            per_policy[i].1.push(costing.estimate_join(&info, &inputs).secs);
+            per_policy[i]
+                .1
+                .push(costing.estimate_join(&info, &inputs).secs);
             per_policy[i].2.push(actual);
         }
     }
@@ -214,8 +250,7 @@ fn subop_fit_ablation(cfg: &ExpConfig) -> Vec<(String, f64)> {
     let mut rows2d: Vec<Vec<f64>> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
     for o in &measurement.observations {
-        let is_write =
-            o.kind == remote_sim::probe::ProbeKind::ReadWriteDfs && !o.spill;
+        let is_write = o.kind == remote_sim::probe::ProbeKind::ReadWriteDfs && !o.spill;
         let is_read = o.kind == remote_sim::probe::ProbeKind::ReadDfs && !o.spill;
         if !(is_write || is_read) {
             continue;

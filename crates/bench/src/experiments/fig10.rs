@@ -3,9 +3,7 @@
 //! rather than measuring anything.
 
 use crate::report::{heading, kv, ExpConfig};
-use workload::{
-    agg_training_queries, fig10_table_specs, join_training_queries, oor_join_queries,
-};
+use workload::{agg_training_queries, fig10_table_specs, join_training_queries, oor_join_queries};
 
 /// Inventory counts for the Fig. 10 workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,8 +28,7 @@ pub struct Fig10Result {
 pub fn run(_cfg: &ExpConfig) -> Fig10Result {
     let specs = fig10_table_specs();
     let rows: std::collections::BTreeSet<u64> = specs.iter().map(|s| s.rows).collect();
-    let sizes: std::collections::BTreeSet<u64> =
-        specs.iter().map(|s| s.record_bytes).collect();
+    let sizes: std::collections::BTreeSet<u64> = specs.iter().map(|s| s.record_bytes).collect();
     let result = Fig10Result {
         tables: specs.len(),
         row_configs: rows.len(),
@@ -44,8 +41,14 @@ pub fn run(_cfg: &ExpConfig) -> Fig10Result {
 
     heading("Fig. 10 — experimental setup & synthetic dataset");
     kv("tables (Tx_y)", format!("{} (paper: 120)", result.tables));
-    kv("row-count configurations", format!("{} (paper: 20)", result.row_configs));
-    kv("record-size configurations", format!("{} (paper: 6)", result.size_configs));
+    kv(
+        "row-count configurations",
+        format!("{} (paper: 20)", result.row_configs),
+    );
+    kv(
+        "record-size configurations",
+        format!("{} (paper: 6)", result.size_configs),
+    );
     kv(
         "total dataset size",
         format!("{:.1} GB", result.total_bytes as f64 / 1e9),
@@ -54,8 +57,14 @@ pub fn run(_cfg: &ExpConfig) -> Fig10Result {
         "aggregation training queries",
         format!("{} (paper: ~3,700)", result.agg_queries),
     );
-    kv("join training queries", format!("{} (paper: ~4,000)", result.join_queries));
-    kv("out-of-range queries", format!("{} (paper: 45)", result.oor_queries));
+    kv(
+        "join training queries",
+        format!("{} (paper: ~4,000)", result.join_queries),
+    );
+    kv(
+        "out-of-range queries",
+        format!("{} (paper: 45)", result.oor_queries),
+    );
     kv(
         "example agg query",
         agg_training_queries(&specs[..1])[0].sql(),

@@ -7,8 +7,8 @@
 //! hash-table memory regimes, and size×size interactions.
 
 use crate::experiments::logical::{
-    print_logical_experiment_csv, print_logical_result, run_logical_experiment,
-    LogicalExpResult, PaperNumbers,
+    print_logical_experiment_csv, print_logical_result, run_logical_experiment, LogicalExpResult,
+    PaperNumbers,
 };
 use crate::report::ExpConfig;
 use costing::estimator::OperatorKind;

@@ -4,12 +4,12 @@
 //! merge (shuffle) join (g).
 
 use crate::report::{heading, kv, write_csv, ExpConfig, Series};
+use catalog::SystemKind;
 use costing::sub_op::{SubOp, SubOpCosting, SubOpMeasurement, SubOpModels};
 use mathkit::{rmse_pct, SimpleLinearModel};
 use remote_sim::analyze::analyze;
 use remote_sim::physical::JoinAlgorithm;
 use remote_sim::{RemoteSystem, SimDuration};
-use catalog::SystemKind;
 use workload::{join_training_queries_with, probe_suite, TableSpec};
 
 /// Result of the Fig. 13 experiment.
@@ -141,7 +141,9 @@ fn print_result(cfg: &ExpConfig, r: &Fig13Result) {
         "(b) WriteDFS per-record @1000B across 1/2/4/8M rows",
         format!(
             "{:?} µs (mean {mean:.2} — flat, as in the paper)",
-            flat.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+            flat.iter()
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         ),
     );
     let paper_line = |s: SubOp| match s {
@@ -154,7 +156,10 @@ fn print_result(cfg: &ExpConfig, r: &Fig13Result) {
     for (s, slope, intercept, r2) in &r.lines {
         kv(
             &format!("(c-e) {s} line"),
-            format!("y = {slope:.4}x + {intercept:.3}, R² = {r2:.4}{}", paper_line(*s)),
+            format!(
+                "y = {slope:.4}x + {intercept:.3}, R² = {r2:.4}{}",
+                paper_line(*s)
+            ),
         );
     }
     kv(
@@ -187,7 +192,10 @@ fn print_result(cfg: &ExpConfig, r: &Fig13Result) {
         "fig13_b_flatness",
         &[Series::new(
             "write_dfs_us_per_record",
-            r.write_dfs_series.iter().map(|&(rows, v)| (rows as f64, v)).collect(),
+            r.write_dfs_series
+                .iter()
+                .map(|&(rows, v)| (rows as f64, v))
+                .collect(),
         )],
     );
     write_csv(

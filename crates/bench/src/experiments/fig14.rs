@@ -62,7 +62,11 @@ pub struct Fig14Result {
 
 /// The training tables: merge-join-sized relations up to 8 M rows.
 pub fn training_specs(quick: bool) -> Vec<TableSpec> {
-    let sizes: &[u64] = if quick { &[250, 1000] } else { &[40, 100, 250, 500, 1000] };
+    let sizes: &[u64] = if quick {
+        &[250, 1000]
+    } else {
+        &[40, 100, 250, 500, 1000]
+    };
     let mut specs = Vec::new();
     for &size in sizes {
         for k in [1u64, 2, 4, 6, 8] {
@@ -85,7 +89,9 @@ pub fn run(cfg: &ExpConfig) -> Fig14Result {
     // Register the 20M-row out-of-range tables.
     for spec in oor_all_table_specs() {
         if engine.catalog().table(&spec.name()).is_err() {
-            engine.register_table(build_table(&spec)).expect("oor table registers");
+            engine
+                .register_table(build_table(&spec))
+                .expect("oor table registers");
         }
     }
 
@@ -106,8 +112,7 @@ pub fn run(cfg: &ExpConfig) -> Fig14Result {
     let budget = engine.profile().memory_per_node_bytes as f64 * 0.10
         / engine.profile().cores_per_node as f64;
     let sub_models = SubOpModels::fit(&measurement, budget).expect("sub-op fit");
-    let sub =
-        SubOpCosting::for_system(SystemKind::Hive, sub_models, 32.0 * 1024.0 * 1024.0);
+    let sub = SubOpCosting::for_system(SystemKind::Hive, sub_models, 32.0 * 1024.0 * 1024.0);
 
     // --- Evaluate the 45 OOR queries ---
     let remedy_cfg = RemedyConfig::default();
@@ -130,7 +135,12 @@ pub fn run(cfg: &ExpConfig) -> Fig14Result {
         } else {
             remedy_estimate(&model, &features, &remedy_cfg, 0.5).estimate
         };
-        points.push(OorPoint { actual, sub_op: sub_est, nn: nn_est, remedy });
+        points.push(OorPoint {
+            actual,
+            sub_op: sub_est,
+            nn: nn_est,
+            remedy,
+        });
         observations.push((features.to_vec(), actual));
     }
 
@@ -142,12 +152,18 @@ pub fn run(cfg: &ExpConfig) -> Fig14Result {
     for (features, actual) in &observations[..cut] {
         log.push(features.clone(), *actual);
     }
-    offline_tune(&mut tuned_model, &mut log, remedy_cfg.beta, &super::fit_config(cfg));
+    offline_tune(
+        &mut tuned_model,
+        &mut log,
+        remedy_cfg.beta,
+        &super::fit_config(cfg),
+    );
     let heldout = &observations[cut..];
-    let tuned_preds: Vec<f64> =
-        heldout.iter().map(|(f, _)| tuned_model.predict_nn(f)).collect();
-    let nn_preds_heldout: Vec<f64> =
-        heldout.iter().map(|(f, _)| model.predict_nn(f)).collect();
+    let tuned_preds: Vec<f64> = heldout
+        .iter()
+        .map(|(f, _)| tuned_model.predict_nn(f))
+        .collect();
+    let nn_preds_heldout: Vec<f64> = heldout.iter().map(|(f, _)| model.predict_nn(f)).collect();
     let heldout_actuals: Vec<f64> = heldout.iter().map(|&(_, a)| a).collect();
 
     let actuals: Vec<f64> = points.iter().map(|p| p.actual).collect();
@@ -171,7 +187,10 @@ pub fn run(cfg: &ExpConfig) -> Fig14Result {
 
 fn print_result(cfg: &ExpConfig, r: &Fig14Result) {
     heading("Fig. 14 — Out-of-range prediction (trained ≤ 8M rows, tested at 20M)");
-    kv("out-of-range queries", format!("{} (paper: 45)", r.points.len()));
+    kv(
+        "out-of-range queries",
+        format!("{} (paper: 45)", r.points.len()),
+    );
     kv(
         "sub-op RMSE% / correlation",
         format!(
@@ -183,7 +202,10 @@ fn print_result(cfg: &ExpConfig, r: &Fig14Result) {
     );
     kv(
         "raw NN RMSE% / correlation",
-        format!("{:.1} / {:.3} (paper: degrades, cannot extrapolate)", r.rmse_nn, r.corr_nn),
+        format!(
+            "{:.1} / {:.3} (paper: degrades, cannot extrapolate)",
+            r.rmse_nn, r.corr_nn
+        ),
     );
     kv(
         "NN + online remedy RMSE% (α = 0.5)",

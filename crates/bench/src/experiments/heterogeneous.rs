@@ -83,12 +83,20 @@ fn validate_persona(
     let mut scatter = Vec::new();
     let mut algorithms: Vec<String> = Vec::new();
     for q in join_training_queries_with(&specs, &[100, 50, 25]) {
-        let Ok(plan) = sqlkit::sql_to_plan(&q.sql()) else { continue };
-        let Ok(analysis) = analyze(engine.catalog(), &plan) else { continue };
-        let Some((info, ctx)) = analysis.join.as_ref() else { continue };
+        let Ok(plan) = sqlkit::sql_to_plan(&q.sql()) else {
+            continue;
+        };
+        let Ok(analysis) = analyze(engine.catalog(), &plan) else {
+            continue;
+        };
+        let Some((info, ctx)) = analysis.join.as_ref() else {
+            continue;
+        };
         let inputs = RuleInputs::from_join(info, ctx);
         let predicted = costing.estimate_join(info, &inputs).secs;
-        let Ok(exec) = engine.submit_plan(&plan) else { continue };
+        let Ok(exec) = engine.submit_plan(&plan) else {
+            continue;
+        };
         scatter.push((exec.elapsed.as_secs(), predicted));
         if let Some(algo) = exec.join_algorithm {
             let s = algo.to_string();
@@ -120,13 +128,21 @@ pub fn run(cfg: &ExpConfig) -> HeterogeneousResult {
             cfg,
             "spark-x",
             spark_persona(),
-            ClusterConfig { nodes: 4, cores_per_node: 4, ..ClusterConfig::paper_hive() },
+            ClusterConfig {
+                nodes: 4,
+                cores_per_node: 4,
+                ..ClusterConfig::paper_hive()
+            },
         ),
         validate_persona(
             cfg,
             "presto-x",
             presto_persona(),
-            ClusterConfig { nodes: 4, cores_per_node: 4, ..ClusterConfig::paper_hive() },
+            ClusterConfig {
+                nodes: 4,
+                cores_per_node: 4,
+                ..ClusterConfig::paper_hive()
+            },
         ),
         validate_persona(
             cfg,

@@ -89,12 +89,8 @@ pub fn run_logical_experiment(
 }
 
 /// Fits the paper's linear-regression comparison model and evaluates it.
-pub fn linear_baseline(
-    train_set: &Dataset,
-    test_set: &Dataset,
-) -> (Vec<(f64, f64)>, f64, f64) {
-    let lr = LinearModel::fit(&train_set.inputs, &train_set.targets)
-        .expect("linear baseline fit");
+pub fn linear_baseline(train_set: &Dataset, test_set: &Dataset) -> (Vec<(f64, f64)>, f64, f64) {
+    let lr = LinearModel::fit(&train_set.inputs, &train_set.targets).expect("linear baseline fit");
     let scatter: Vec<(f64, f64)> = test_set
         .inputs
         .iter()
@@ -102,7 +98,11 @@ pub fn linear_baseline(
         .map(|(x, &y)| (y, lr.predict(x).max(0.0)))
         .collect();
     let (actuals, preds): (Vec<f64>, Vec<f64>) = scatter.iter().copied().unzip();
-    (scatter.clone(), r2_score(&preds, &actuals), rmse_pct(&preds, &actuals))
+    (
+        scatter.clone(),
+        r2_score(&preds, &actuals),
+        rmse_pct(&preds, &actuals),
+    )
 }
 
 /// Prints the four panels of a Fig. 11/12-style result.
@@ -112,7 +112,11 @@ pub fn print_logical_result(title: &str, r: &LogicalExpResult, paper: &PaperNumb
     kv("(a) training queries executed", r.n_queries);
     kv(
         "(a) total training time",
-        format!("{:.2} h (paper: {})", r.total_training.as_hours(), paper.training_time),
+        format!(
+            "{:.2} h (paper: {})",
+            r.total_training.as_hours(),
+            paper.training_time
+        ),
     );
     kv(
         "(b) NN convergence",
@@ -123,7 +127,10 @@ pub fn print_logical_result(title: &str, r: &LogicalExpResult, paper: &PaperNumb
             r.trace.len()
         ),
     );
-    kv("(b) NN fit wall time", format!("{:.1?} (paper: ~{})", r.nn_fit_wall, paper.fit_time));
+    kv(
+        "(b) NN fit wall time",
+        format!("{:.1?} (paper: ~{})", r.nn_fit_wall, paper.fit_time),
+    );
     kv("    topology", format!("{}x{}", r.topology.0, r.topology.1));
     let line = |scatter: &[(f64, f64)]| {
         crate::report::Series::new("", scatter.to_vec())

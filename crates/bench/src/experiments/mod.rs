@@ -13,7 +13,7 @@ pub mod table1;
 
 use crate::report::ExpConfig;
 use costing::logical_op::model::{FitConfig, TopologyChoice};
-use remote_sim::{ClusterEngine, ClusterConfig};
+use remote_sim::{ClusterConfig, ClusterEngine};
 use workload::{register_tables, TableSpec};
 
 /// A fresh paper-cluster Hive engine with the given tables registered.
@@ -34,7 +34,10 @@ pub fn hive_with(cfg: &ExpConfig, specs: &[TableSpec]) -> ClusterEngine {
 pub fn fit_config(cfg: &ExpConfig) -> FitConfig {
     if cfg.quick {
         FitConfig {
-            topology: TopologyChoice::Fixed { layer1: 10, layer2: 5 },
+            topology: TopologyChoice::Fixed {
+                layer1: 10,
+                layer2: 5,
+            },
             iterations: 10_000,
             batch_size: 32,
             trace_every: 250,
@@ -47,7 +50,10 @@ pub fn fit_config(cfg: &ExpConfig) -> FitConfig {
         // is where our join model's held-out R² plateaus at the paper's
         // level (≈0.88) — see EXPERIMENTS.md.
         FitConfig {
-            topology: TopologyChoice::CrossValidated { step: 2, search_iterations: 4_000 },
+            topology: TopologyChoice::CrossValidated {
+                step: 2,
+                search_iterations: 4_000,
+            },
             iterations: 120_000,
             batch_size: 32,
             trace_every: 250,

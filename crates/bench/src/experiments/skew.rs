@@ -46,21 +46,25 @@ pub struct SkewResult {
 pub fn run(cfg: &ExpConfig) -> SkewResult {
     let probe_rows = 8_000_000u64;
     let build = TableSpec::new(2_000_000, 250);
-    let fractions: &[f64] =
-        if cfg.quick { &[0.01, 0.30] } else { &[0.01, 0.05, 0.10, 0.15, 0.25, 0.35, 0.50] };
+    let fractions: &[f64] = if cfg.quick {
+        &[0.01, 0.30]
+    } else {
+        &[0.01, 0.05, 0.10, 0.15, 0.25, 0.35, 0.50]
+    };
 
     let mut engine = super::hive_with(cfg, &[build]);
     let measurement = SubOpMeasurement::run(&mut engine, &probe_suite());
     let budget = engine.profile().memory_per_node_bytes as f64 * 0.10
         / engine.profile().cores_per_node as f64;
     let models = SubOpModels::fit(&measurement, budget).expect("models fit");
-    let costing =
-        SubOpCosting::for_system(SystemKind::Hive, models, 32.0 * 1024.0 * 1024.0);
+    let costing = SubOpCosting::for_system(SystemKind::Hive, models, 32.0 * 1024.0 * 1024.0);
 
     let mut points = Vec::new();
     for &fraction in fractions {
         let spec = SkewedTableSpec::new(probe_rows, 250, fraction);
-        engine.register_table(build_skewed_table(&spec)).expect("skewed table");
+        engine
+            .register_table(build_skewed_table(&spec))
+            .expect("skewed table");
         let sql = skew_join_sql(&spec, &build);
         let plan = sqlkit::sql_to_plan(&sql).expect("parses");
         let analysis = analyze(engine.catalog(), &plan).expect("analysis");
@@ -68,8 +72,11 @@ pub fn run(cfg: &ExpConfig) -> SkewResult {
         let inputs = RuleInputs::from_join(&info, &ctx);
 
         let survivors = costing.surviving_algorithms(&inputs);
-        let predicted_algorithm =
-            if survivors.len() == 1 { Some(survivors[0]) } else { None };
+        let predicted_algorithm = if survivors.len() == 1 {
+            Some(survivors[0])
+        } else {
+            None
+        };
         let estimate = costing.estimate_join(&info, &inputs);
         let exec = engine.submit_plan(&plan).expect("runs");
         points.push(SkewPoint {
@@ -84,7 +91,10 @@ pub fn run(cfg: &ExpConfig) -> SkewResult {
         .iter()
         .filter(|p| p.predicted_algorithm == Some(p.actual_algorithm))
         .count();
-    let result = SkewResult { points, prediction_hits };
+    let result = SkewResult {
+        points,
+        prediction_hits,
+    };
     print_result(cfg, &result);
     result
 }
@@ -100,7 +110,9 @@ fn print_result(cfg: &ExpConfig, r: &SkewResult) {
             "  {:>9.2} {:>22} {:>22} {:>12.1} {:>12.1}",
             p.fraction,
             p.actual_algorithm.to_string(),
-            p.predicted_algorithm.map(|a| a.to_string()).unwrap_or_else(|| "ambiguous".into()),
+            p.predicted_algorithm
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| "ambiguous".into()),
             p.actual_secs,
             p.estimated_secs
         );
@@ -115,11 +127,17 @@ fn print_result(cfg: &ExpConfig, r: &SkewResult) {
         &[
             Series::new(
                 "actual_secs",
-                r.points.iter().map(|p| (p.fraction, p.actual_secs)).collect(),
+                r.points
+                    .iter()
+                    .map(|p| (p.fraction, p.actual_secs))
+                    .collect(),
             ),
             Series::new(
                 "estimated_secs",
-                r.points.iter().map(|p| (p.fraction, p.estimated_secs)).collect(),
+                r.points
+                    .iter()
+                    .map(|p| (p.fraction, p.estimated_secs))
+                    .collect(),
             ),
         ],
     );

@@ -18,7 +18,11 @@ pub struct ExpConfig {
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { quick: false, out_dir: Some(PathBuf::from("results")), seed: 0x1157e11e }
+        ExpConfig {
+            quick: false,
+            out_dir: Some(PathBuf::from("results")),
+            seed: 0x1157e11e,
+        }
     }
 }
 
@@ -26,13 +30,22 @@ impl ExpConfig {
     /// Reads `--quick` from argv and `EXP_QUICK` from the environment.
     pub fn from_env() -> Self {
         let quick = std::env::args().any(|a| a == "--quick")
-            || std::env::var("EXP_QUICK").map(|v| v == "1").unwrap_or(false);
-        ExpConfig { quick, ..Default::default() }
+            || std::env::var("EXP_QUICK")
+                .map(|v| v == "1")
+                .unwrap_or(false);
+        ExpConfig {
+            quick,
+            ..Default::default()
+        }
     }
 
     /// A quick config with file output disabled (tests).
     pub fn quick_silent() -> Self {
-        ExpConfig { quick: true, out_dir: None, ..Default::default() }
+        ExpConfig {
+            quick: true,
+            out_dir: None,
+            ..Default::default()
+        }
     }
 }
 
@@ -48,7 +61,10 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(name: &str, points: Vec<(f64, f64)>) -> Self {
-        Series { name: name.to_string(), points }
+        Series {
+            name: name.to_string(),
+            points,
+        }
     }
 
     /// Fits a line and returns `(slope, intercept, r2)` — the annotations
@@ -113,7 +129,10 @@ mod tests {
 
     #[test]
     fn series_line_fit_annotates_like_the_paper() {
-        let s = Series::new("x", (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect());
+        let s = Series::new(
+            "x",
+            (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect(),
+        );
         let (slope, intercept, r2) = s.line_fit().unwrap();
         assert!((slope - 2.0).abs() < 1e-9);
         assert!((intercept - 1.0).abs() < 1e-9);

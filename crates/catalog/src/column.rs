@@ -34,12 +34,18 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// Convenience constructor for an integer column.
     pub fn int(name: &str) -> Self {
-        ColumnDef { name: name.to_string(), ty: ColumnType::Integer }
+        ColumnDef {
+            name: name.to_string(),
+            ty: ColumnType::Integer,
+        }
     }
 
     /// Convenience constructor for a character column.
     pub fn chars(name: &str, width: u32) -> Self {
-        ColumnDef { name: name.to_string(), ty: ColumnType::Character(width) }
+        ColumnDef {
+            name: name.to_string(),
+            ty: ColumnType::Character(width),
+        }
     }
 }
 

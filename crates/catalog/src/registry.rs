@@ -32,7 +32,10 @@ impl std::fmt::Display for CatalogError {
             CatalogError::DuplicateSystem(s) => write!(f, "system `{s}` already registered"),
             CatalogError::UnknownSystem(s) => write!(f, "unknown system `{s}`"),
             CatalogError::UnregisteredLocation { table, location } => {
-                write!(f, "table `{table}` references unregistered system `{location}`")
+                write!(
+                    f,
+                    "table `{table}` references unregistered system `{location}`"
+                )
             }
         }
     }
@@ -80,12 +83,16 @@ impl Catalog {
 
     /// Looks up a table.
     pub fn table(&self, name: &str) -> Result<&TableDef, CatalogError> {
-        self.tables.get(name).ok_or_else(|| CatalogError::UnknownTable(name.to_string()))
+        self.tables
+            .get(name)
+            .ok_or_else(|| CatalogError::UnknownTable(name.to_string()))
     }
 
     /// Looks up a system profile.
     pub fn system(&self, id: &SystemId) -> Result<&RemoteSystemProfile, CatalogError> {
-        self.systems.get(id).ok_or_else(|| CatalogError::UnknownSystem(id.clone()))
+        self.systems
+            .get(id)
+            .ok_or_else(|| CatalogError::UnknownSystem(id.clone()))
     }
 
     /// Iterates over all tables in name order.
@@ -142,7 +149,10 @@ mod tests {
         c.register_system(hive_profile()).unwrap();
         c.register_table(table_on("t1", "hive-a")).unwrap();
         assert_eq!(c.table("t1").unwrap().rows(), 100);
-        assert_eq!(c.system(&SystemId::new("hive-a")).unwrap().kind, SystemKind::Hive);
+        assert_eq!(
+            c.system(&SystemId::new("hive-a")).unwrap().kind,
+            SystemKind::Hive
+        );
     }
 
     #[test]
@@ -178,7 +188,10 @@ mod tests {
     #[test]
     fn unknown_lookups_error() {
         let c = Catalog::new();
-        assert!(matches!(c.table("nope"), Err(CatalogError::UnknownTable(_))));
+        assert!(matches!(
+            c.table("nope"),
+            Err(CatalogError::UnknownTable(_))
+        ));
         assert!(matches!(
             c.system(&SystemId::new("nope")),
             Err(CatalogError::UnknownSystem(_))

@@ -101,7 +101,14 @@ impl RemoteSystemProfile {
     ) -> Self {
         capabilities.sort();
         capabilities.dedup();
-        RemoteSystemProfile { id, kind, nodes, cores_per_node, memory_per_node_bytes, capabilities }
+        RemoteSystemProfile {
+            id,
+            kind,
+            nodes,
+            cores_per_node,
+            memory_per_node_bytes,
+            capabilities,
+        }
     }
 
     /// The paper's evaluation cluster: 4 nodes (1 master + 3 data nodes),
@@ -113,7 +120,12 @@ impl RemoteSystemProfile {
             3, // data nodes doing work
             2,
             8 * 1024 * 1024 * 1024,
-            vec![Capability::Filter, Capability::Project, Capability::Join, Capability::Aggregate],
+            vec![
+                Capability::Filter,
+                Capability::Project,
+                Capability::Join,
+                Capability::Aggregate,
+            ],
         )
     }
 

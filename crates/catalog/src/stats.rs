@@ -21,7 +21,11 @@ pub struct TableStats {
 impl TableStats {
     /// Creates empty stats for a table of known size.
     pub fn new(row_count: u64, avg_row_bytes: u64) -> Self {
-        TableStats { row_count, avg_row_bytes, columns: BTreeMap::new() }
+        TableStats {
+            row_count,
+            avg_row_bytes,
+            columns: BTreeMap::new(),
+        }
     }
 
     /// Adds stats for one column (builder style).

@@ -29,7 +29,13 @@ pub struct TableDef {
 impl TableDef {
     /// Creates a table definition.
     pub fn new(name: &str, schema: Vec<ColumnDef>, stats: TableStats, location: SystemId) -> Self {
-        TableDef { name: name.to_string(), schema, stats, location, partitioned_by: None }
+        TableDef {
+            name: name.to_string(),
+            schema,
+            stats,
+            location,
+            partitioned_by: None,
+        }
     }
 
     /// Declares a partitioning column (builder style).

@@ -76,7 +76,10 @@ impl CostEstimate {
     /// Creates an estimate, clamping negative predictions to zero (a
     /// regression extrapolation can dip below zero near the origin).
     pub fn new(secs: f64, source: EstimateSource) -> Self {
-        CostEstimate { secs: secs.max(0.0), source }
+        CostEstimate {
+            secs: secs.max(0.0),
+            source,
+        }
     }
 
     /// The estimate in microseconds (simulator units).
@@ -105,7 +108,10 @@ mod tests {
     fn serde_roundtrip() {
         let e = CostEstimate::new(
             1.0,
-            EstimateSource::OnlineRemedy { alpha: 0.62, pivots: vec![1, 3] },
+            EstimateSource::OnlineRemedy {
+                alpha: 0.62,
+                pivots: vec![1, 3],
+            },
         );
         let json = serde_json::to_string(&e).unwrap();
         let back: CostEstimate = serde_json::from_str(&json).unwrap();

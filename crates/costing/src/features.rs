@@ -32,7 +32,12 @@ pub fn join_dim_names() -> [&'static str; JOIN_DIMS] {
 
 /// Names of the aggregation dimensions, in feature order.
 pub fn agg_dim_names() -> [&'static str; AGG_DIMS] {
-    ["num_input_rows", "input_row_size", "num_output_rows", "output_row_size"]
+    [
+        "num_input_rows",
+        "input_row_size",
+        "num_output_rows",
+        "output_row_size",
+    ]
 }
 
 /// An extracted feature vector tagged with its operator kind.
@@ -73,14 +78,23 @@ pub fn extract(analysis: &QueryAnalysis) -> QueryFeatures {
         // Aggregation above a join is still modelled by the aggregation
         // operator here; the join contributes its own operator estimate.
         if analysis.core != CoreKind::Join {
-            return QueryFeatures { op: OperatorKind::Aggregation, values: f.to_vec() };
+            return QueryFeatures {
+                op: OperatorKind::Aggregation,
+                values: f.to_vec(),
+            };
         }
     }
     if let Some(f) = join_features(analysis) {
-        return QueryFeatures { op: OperatorKind::Join, values: f.to_vec() };
+        return QueryFeatures {
+            op: OperatorKind::Join,
+            values: f.to_vec(),
+        };
     }
     if let Some(f) = agg_features(analysis) {
-        return QueryFeatures { op: OperatorKind::Aggregation, values: f.to_vec() };
+        return QueryFeatures {
+            op: OperatorKind::Aggregation,
+            values: f.to_vec(),
+        };
     }
     let scan_in = analysis.scan_in.unwrap_or(analysis.root);
     QueryFeatures {
@@ -145,10 +159,7 @@ mod tests {
 
     #[test]
     fn join_features_have_seven_dims_in_fig2_order() {
-        let cat = catalog_with(&[
-            TableSpec::new(1_000_000, 250),
-            TableSpec::new(100_000, 100),
-        ]);
+        let cat = catalog_with(&[TableSpec::new(1_000_000, 250), TableSpec::new(100_000, 100)]);
         let f = features_from_sql(
             &cat,
             "SELECT r.a1, s.a1 FROM T1000000_250 r JOIN T100000_100 s ON r.a1 = s.a1",

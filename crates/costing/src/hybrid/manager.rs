@@ -63,8 +63,8 @@ impl HybridCostManager {
         catalog: &Catalog,
         sql: &str,
     ) -> Result<QueryCost, CostingError> {
-        let plan = sqlkit::sql_to_plan(sql)
-            .map_err(|_| CostingError::NoOperator(OperatorKind::Scan))?;
+        let plan =
+            sqlkit::sql_to_plan(sql).map_err(|_| CostingError::NoOperator(OperatorKind::Scan))?;
         let analysis =
             analyze(catalog, &plan).map_err(|_| CostingError::NoOperator(OperatorKind::Scan))?;
         self.estimate(system, &analysis)
@@ -138,7 +138,11 @@ mod tests {
         let mut mgr = HybridCostManager::new();
         let e = hive_with_tables();
         let err = mgr
-            .estimate_sql(&SystemId::new("ghost"), e.catalog(), "SELECT a1 FROM T100000_100")
+            .estimate_sql(
+                &SystemId::new("ghost"),
+                e.catalog(),
+                "SELECT a1 FROM T100000_100",
+            )
             .unwrap_err();
         assert!(matches!(err, CostingError::UnknownSystem(_)));
     }
@@ -150,9 +154,18 @@ mod tests {
         mgr.register(subop_profile(&mut e, "hive-a"));
         mgr.register(subop_profile(&mut e, "hive-b"));
         let sql = "SELECT a5, SUM(a1) AS s FROM T1000000_250 GROUP BY a5";
-        let a = mgr.estimate_sql(&SystemId::new("hive-a"), e.catalog(), sql).unwrap();
-        let b = mgr.estimate_sql(&SystemId::new("hive-b"), e.catalog(), sql).unwrap();
+        let a = mgr
+            .estimate_sql(&SystemId::new("hive-a"), e.catalog(), sql)
+            .unwrap();
+        let b = mgr
+            .estimate_sql(&SystemId::new("hive-b"), e.catalog(), sql)
+            .unwrap();
         assert_eq!(a.total_secs, b.total_secs);
-        assert_eq!(mgr.profile(&SystemId::new("hive-a")).unwrap().estimates_made, 1);
+        assert_eq!(
+            mgr.profile(&SystemId::new("hive-a"))
+                .unwrap()
+                .estimates_made,
+            1
+        );
     }
 }

@@ -81,15 +81,15 @@ pub fn save_manager(
 }
 
 /// Rebuilds a manager from every `*.profile.json` under `dir`.
-pub fn load_manager(
-    dir: &Path,
-) -> Result<crate::hybrid::manager::HybridCostManager, PersistError> {
+pub fn load_manager(dir: &Path) -> Result<crate::hybrid::manager::HybridCostManager, PersistError> {
     let mut manager = crate::hybrid::manager::HybridCostManager::new();
     for entry in fs::read_dir(dir)? {
         let path = entry?.path();
-        if path.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
-            n.ends_with(".profile.json")
-        }) {
+        if path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".profile.json"))
+        {
             manager.register(load_profile(&path)?);
         }
     }

@@ -108,7 +108,13 @@ pub struct CostingProfile {
 impl CostingProfile {
     /// Creates a profile with one approach for everything.
     pub fn new(system: SystemId, kind: SystemKind, approach: CostingApproach) -> Self {
-        CostingProfile { system, kind, approach, overrides: BTreeMap::new(), estimates_made: 0 }
+        CostingProfile {
+            system,
+            kind,
+            approach,
+            overrides: BTreeMap::new(),
+            estimates_made: 0,
+        }
     }
 
     /// Sets a per-operator override.
@@ -118,13 +124,13 @@ impl CostingProfile {
     }
 
     /// Costs every costable operator in an analysed query.
-    pub fn estimate_query(
-        &mut self,
-        analysis: &QueryAnalysis,
-    ) -> Result<QueryCost, CostingError> {
+    pub fn estimate_query(&mut self, analysis: &QueryAnalysis) -> Result<QueryCost, CostingError> {
         let mut operators = Vec::new();
         if analysis.join.is_some() {
-            operators.push((OperatorKind::Join, self.estimate_operator(OperatorKind::Join, analysis)?));
+            operators.push((
+                OperatorKind::Join,
+                self.estimate_operator(OperatorKind::Join, analysis)?,
+            ));
         }
         if analysis.agg.is_some() {
             operators.push((
@@ -133,7 +139,10 @@ impl CostingProfile {
             ));
         }
         if operators.is_empty() {
-            operators.push((OperatorKind::Scan, self.estimate_operator(OperatorKind::Scan, analysis)?));
+            operators.push((
+                OperatorKind::Scan,
+                self.estimate_operator(OperatorKind::Scan, analysis)?,
+            ));
         }
         if analysis.sort_in.is_some() {
             // Sub-op profiles price the ORDER BY pass explicitly; black-box
@@ -148,7 +157,10 @@ impl CostingProfile {
             }
         }
         let total_secs = operators.iter().map(|(_, e)| e.secs).sum();
-        Ok(QueryCost { operators, total_secs })
+        Ok(QueryCost {
+            operators,
+            total_secs,
+        })
     }
 
     /// Costs one operator of the query.
@@ -186,12 +198,13 @@ impl CostingProfile {
     }
 }
 
-fn active(
-    approach: &mut CostingApproach,
-    estimates_made: u64,
-) -> &mut CostingApproach {
+fn active(approach: &mut CostingApproach, estimates_made: u64) -> &mut CostingApproach {
     match approach {
-        CostingApproach::Timed { before, after, switch_after_estimates } => {
+        CostingApproach::Timed {
+            before,
+            after,
+            switch_after_estimates,
+        } => {
             if estimates_made <= *switch_after_estimates {
                 active(before, estimates_made)
             } else {
@@ -211,8 +224,7 @@ fn estimate_with(
     match active(approach, estimates_made) {
         CostingApproach::SubOp(sub) => match op {
             OperatorKind::Join => {
-                let (info, ctx) =
-                    analysis.join.as_ref().ok_or(CostingError::NoOperator(op))?;
+                let (info, ctx) = analysis.join.as_ref().ok_or(CostingError::NoOperator(op))?;
                 let inputs = RuleInputs::from_join(info, ctx);
                 Ok(sub.estimate_join(info, &inputs))
             }
@@ -236,16 +248,16 @@ fn estimate_with(
         },
         CostingApproach::LogicalOp(suite) => match op {
             OperatorKind::Join => {
-                let features =
-                    join_features(analysis).ok_or(CostingError::NoOperator(op))?;
+                let features = join_features(analysis).ok_or(CostingError::NoOperator(op))?;
                 let flow = suite.join.as_mut().ok_or(CostingError::ModelMissing(op))?;
                 Ok(flow.estimate(&features))
             }
             OperatorKind::Aggregation => {
-                let features =
-                    agg_features(analysis).ok_or(CostingError::NoOperator(op))?;
-                let flow =
-                    suite.aggregation.as_mut().ok_or(CostingError::ModelMissing(op))?;
+                let features = agg_features(analysis).ok_or(CostingError::NoOperator(op))?;
+                let flow = suite
+                    .aggregation
+                    .as_mut()
+                    .ok_or(CostingError::ModelMissing(op))?;
                 Ok(flow.estimate(&features))
             }
             OperatorKind::Scan | OperatorKind::Sort => Err(CostingError::ModelMissing(op)),
@@ -269,8 +281,7 @@ fn observe_with(
                 }
             }
             OperatorKind::Aggregation => {
-                if let (Some(f), Some(flow)) =
-                    (agg_features(analysis), suite.aggregation.as_mut())
+                if let (Some(f), Some(flow)) = (agg_features(analysis), suite.aggregation.as_mut())
                 {
                     flow.observe_actual(&f, actual_secs);
                 }
@@ -401,9 +412,15 @@ mod tests {
         );
         let a = analysis_of(&e, "SELECT a5, SUM(a1) AS s FROM T1000000_250 GROUP BY a5");
         let first = p.estimate_query(&a).unwrap();
-        assert!(matches!(first.operators[0].1.source, EstimateSource::SubOpAggregation));
+        assert!(matches!(
+            first.operators[0].1.source,
+            EstimateSource::SubOpAggregation
+        ));
         let second = p.estimate_query(&a).unwrap();
-        assert!(matches!(second.operators[0].1.source, EstimateSource::SubOpAggregation));
+        assert!(matches!(
+            second.operators[0].1.source,
+            EstimateSource::SubOpAggregation
+        ));
         let third = p.estimate_query(&a).unwrap();
         assert!(matches!(
             third.operators[0].1.source,
@@ -414,9 +431,12 @@ mod tests {
     #[test]
     fn per_operator_override_routes_independently() {
         let mut e = engine();
-        let mut p =
-            CostingProfile::new(SystemId::new("hive"), SystemKind::Hive, subop_approach(&mut e))
-                .with_override(OperatorKind::Aggregation, logical_approach());
+        let mut p = CostingProfile::new(
+            SystemId::new("hive"),
+            SystemKind::Hive,
+            subop_approach(&mut e),
+        )
+        .with_override(OperatorKind::Aggregation, logical_approach());
         let aj = analysis_of(
             &e,
             "SELECT r.a1, s.a1 FROM T1000000_250 r JOIN T100000_100 s ON r.a1 = s.a1",
@@ -459,8 +479,14 @@ mod tests {
             &e,
             "SELECT a5, SUM(a1) AS s FROM T1000000_250 GROUP BY a5 ORDER BY a5 LIMIT 10",
         );
-        let cost = p.estimate_query(&a).expect("sorted queries must still cost");
-        assert_eq!(cost.operators.len(), 1, "sort absorbed into the operator estimate");
+        let cost = p
+            .estimate_query(&a)
+            .expect("sorted queries must still cost");
+        assert_eq!(
+            cost.operators.len(),
+            1,
+            "sort absorbed into the operator estimate"
+        );
         assert_eq!(cost.operators[0].0, OperatorKind::Aggregation);
     }
 
@@ -481,9 +507,7 @@ mod tests {
         assert_eq!(ops, vec![OperatorKind::Join, OperatorKind::Aggregation]);
         assert!(cost.operators.iter().all(|(_, e)| e.secs > 0.0));
         assert!(
-            (cost.total_secs
-                - cost.operators.iter().map(|(_, e)| e.secs).sum::<f64>())
-            .abs()
+            (cost.total_secs - cost.operators.iter().map(|(_, e)| e.secs).sum::<f64>()).abs()
                 < 1e-12
         );
     }

@@ -31,6 +31,7 @@ pub mod estimator;
 pub mod features;
 pub mod hybrid;
 pub mod logical_op;
+pub mod service;
 pub mod sub_op;
 
 pub use estimator::{CostEstimate, EstimateSource, OperatorKind};
@@ -39,4 +40,5 @@ pub use hybrid::{CostingApproach, CostingProfile, HybridCostManager};
 pub use logical_op::{
     flow::LogicalOpCosting, model::FitConfig, model::LogicalOpModel, remedy::RemedyConfig,
 };
+pub use service::{CacheStats, EstimatorService, ServiceConfig, ServiceError};
 pub use sub_op::{choice::ChoicePolicy, SubOpCosting};

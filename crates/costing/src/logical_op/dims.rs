@@ -52,7 +52,13 @@ impl DimensionMeta {
             // a nominal step of 10% of the value.
             (min.abs() * 0.1).max(1.0)
         };
-        DimensionMeta { name: name.to_string(), min, max, step_size, detached: Vec::new() }
+        DimensionMeta {
+            name: name.to_string(),
+            min,
+            max,
+            step_size,
+            detached: Vec::new(),
+        }
     }
 
     /// True when `v` lies inside (or within `beta·step` of) the trained
@@ -79,8 +85,7 @@ impl DimensionMeta {
         let slack = beta * self.step_size;
         let mut changed = false;
 
-        let mut above: Vec<f64> =
-            observed.iter().copied().filter(|&v| v > self.max).collect();
+        let mut above: Vec<f64> = observed.iter().copied().filter(|&v| v > self.max).collect();
         above.sort_by(f64::total_cmp);
         above.dedup();
         let mut broken = false;
@@ -96,8 +101,7 @@ impl DimensionMeta {
             }
         }
 
-        let mut below: Vec<f64> =
-            observed.iter().copied().filter(|&v| v < self.min).collect();
+        let mut below: Vec<f64> = observed.iter().copied().filter(|&v| v < self.min).collect();
         below.sort_by(|a, b| f64::total_cmp(b, a)); // descending towards min
         below.dedup();
         let mut broken = false;
@@ -131,7 +135,11 @@ impl TrainingMeta {
     /// Panics when `rows` is empty or `names` does not match the arity.
     pub fn from_rows(names: &[&str], rows: &[Vec<f64>]) -> Self {
         assert!(!rows.is_empty(), "TrainingMeta: no rows");
-        assert_eq!(names.len(), rows[0].len(), "TrainingMeta: name/arity mismatch");
+        assert_eq!(
+            names.len(),
+            rows[0].len(),
+            "TrainingMeta: name/arity mismatch"
+        );
         let dims = names
             .iter()
             .enumerate()
@@ -146,7 +154,11 @@ impl TrainingMeta {
     /// Indices of the dimensions of `x` that are way off the trained
     /// range — the *pivot* dimensions of the online remedy.
     pub fn pivots(&self, x: &[f64], beta: f64) -> Vec<usize> {
-        assert_eq!(x.len(), self.dims.len(), "TrainingMeta::pivots: arity mismatch");
+        assert_eq!(
+            x.len(),
+            self.dims.len(),
+            "TrainingMeta::pivots: arity mismatch"
+        );
         self.dims
             .iter()
             .enumerate()
@@ -182,8 +194,8 @@ mod tests {
     fn rows_grid() -> Vec<f64> {
         // A Fig. 10-like log-spaced grid: 10k..8M.
         vec![
-            10e3, 20e3, 40e3, 60e3, 80e3, 100e3, 200e3, 400e3, 600e3, 800e3, 1e6, 2e6,
-            4e6, 6e6, 8e6,
+            10e3, 20e3, 40e3, 60e3, 80e3, 100e3, 200e3, 400e3, 600e3, 800e3, 1e6, 2e6, 4e6, 6e6,
+            8e6,
         ]
     }
 
@@ -248,11 +260,7 @@ mod tests {
 
     #[test]
     fn training_meta_pivots() {
-        let rows = vec![
-            vec![100.0, 1e4],
-            vec![500.0, 1e5],
-            vec![1_000.0, 1e6],
-        ];
+        let rows = vec![vec![100.0, 1e4], vec![500.0, 1e5], vec![1_000.0, 1e6]];
         let meta = TrainingMeta::from_rows(&["size", "rows"], &rows);
         // size within range, rows way off -> pivot index 1.
         assert_eq!(meta.pivots(&[500.0, 2e7], 2.0), vec![1]);

@@ -60,7 +60,10 @@ impl LogicalOpCosting {
                 .push((x.to_vec(), out.nn_estimate, out.regression_estimate));
             CostEstimate::new(
                 out.estimate,
-                EstimateSource::OnlineRemedy { alpha: out.alpha, pivots: out.pivots },
+                EstimateSource::OnlineRemedy {
+                    alpha: out.alpha,
+                    pivots: out.pivots,
+                },
             )
         }
     }
@@ -74,7 +77,10 @@ impl LogicalOpCosting {
             let out = remedy_estimate(&self.model, x, &self.remedy, self.tuner.alpha());
             CostEstimate::new(
                 out.estimate,
-                EstimateSource::OnlineRemedy { alpha: out.alpha, pivots: out.pivots },
+                EstimateSource::OnlineRemedy {
+                    alpha: out.alpha,
+                    pivots: out.pivots,
+                },
             )
         }
     }
@@ -88,6 +94,21 @@ impl LogicalOpCosting {
             let (_, nn, reg) = self.pending_remedies.remove(pos);
             self.tuner.record(nn, reg, actual_secs);
         }
+    }
+
+    /// Observes an actual execution whose estimate was served through a
+    /// read-only path (e.g. a shared estimation service) and therefore left
+    /// no pending remedy record. If the features were out of the trained
+    /// range the remedy components are recomputed here so the α tuner is
+    /// still fed; either way the observation lands in the offline-tuning
+    /// log.
+    pub fn observe_detached(&mut self, x: &[f64], actual_secs: f64) {
+        if !self.model.meta.all_in_range(x, self.remedy.beta) {
+            let out = remedy_estimate(&self.model, x, &self.remedy, self.tuner.alpha());
+            self.tuner
+                .record(out.nn_estimate, out.regression_estimate, actual_secs);
+        }
+        self.log.push(x.to_vec(), actual_secs);
     }
 
     /// Re-fits α from everything recorded so far (the paper adjusts after
@@ -190,6 +211,20 @@ mod tests {
         );
         // The expanded range means the probe no longer pivots.
         assert!(c.model.meta.all_in_range(&probe, c.remedy.beta));
+    }
+
+    #[test]
+    fn detached_observation_feeds_tuner_and_log() {
+        let mut c = costing();
+        // Out of range: the tuner must be fed even though no estimate()
+        // call recorded pending remedy components.
+        c.observe_detached(&[2e7, 200.0], 60.0);
+        assert_eq!(c.tuner.observations(), 1);
+        assert_eq!(c.log.len(), 1);
+        // In range: log only.
+        c.observe_detached(&[5e5, 200.0], 2.0);
+        assert_eq!(c.tuner.observations(), 1);
+        assert_eq!(c.log.len(), 2);
     }
 
     #[test]

@@ -11,9 +11,7 @@ use crate::estimator::OperatorKind;
 use crate::logical_op::dims::TrainingMeta;
 use mathkit::scale::{MinMaxScaler, ScalarScaler};
 use mathkit::{r2_score, rmse, rmse_pct};
-use neuro::{
-    search_topology, train, Adam, Dataset, Network, Topology, TrainConfig, TrainTrace,
-};
+use neuro::{search_topology, train, Adam, Dataset, Network, Topology, TrainConfig, TrainTrace};
 use serde::{Deserialize, Serialize};
 
 /// How model inputs and targets are normalised before training.
@@ -75,7 +73,10 @@ pub struct FitConfig {
 impl Default for FitConfig {
     fn default() -> Self {
         FitConfig {
-            topology: TopologyChoice::CrossValidated { step: 2, search_iterations: 1_500 },
+            topology: TopologyChoice::CrossValidated {
+                step: 2,
+                search_iterations: 1_500,
+            },
             iterations: 20_000,
             batch_size: 32,
             trace_every: 250,
@@ -89,7 +90,10 @@ impl FitConfig {
     /// A fast configuration for tests and quick experiments.
     pub fn fast() -> Self {
         FitConfig {
-            topology: TopologyChoice::Fixed { layer1: 10, layer2: 5 },
+            topology: TopologyChoice::Fixed {
+                layer1: 10,
+                layer2: 5,
+            },
             iterations: 2_500,
             batch_size: 32,
             trace_every: 0,
@@ -160,12 +164,18 @@ impl LogicalOpModel {
         let domain_inputs: Vec<Vec<f64>> =
             data.inputs.iter().map(|r| to_domain(scaling, r)).collect();
         let scaler_x = MinMaxScaler::fit(&domain_inputs);
-        let domain_targets: Vec<f64> =
-            data.targets.iter().map(|&t| to_domain_scalar(scaling, t)).collect();
+        let domain_targets: Vec<f64> = data
+            .targets
+            .iter()
+            .map(|&t| to_domain_scalar(scaling, t))
+            .collect();
         let scaler_y = ScalarScaler::fit(&domain_targets);
         let scaled = Dataset::new(
             scaler_x.transform_batch(&domain_inputs),
-            domain_targets.iter().map(|&t| scaler_y.transform(t)).collect(),
+            domain_targets
+                .iter()
+                .map(|&t| scaler_y.transform(t))
+                .collect(),
         );
 
         let (train_set, test_set) = scaled.split(0.7, config.seed);
@@ -184,7 +194,10 @@ impl LogicalOpModel {
                 let trace = train(&mut net, &train_set, &test_set, &mut adam, &train_cfg);
                 (net, Topology { layer1, layer2 }, trace)
             }
-            TopologyChoice::CrossValidated { step, search_iterations } => {
+            TopologyChoice::CrossValidated {
+                step,
+                search_iterations,
+            } => {
                 let (net, report) =
                     search_topology(&scaled, step, search_iterations, &train_cfg, config.seed);
                 // Re-derive a trace for the winner (search_topology trains
@@ -252,6 +265,22 @@ impl LogicalOpModel {
         let scaled = self.scaler_x.transform(&to_domain(self.scaling, x));
         let y = self.network.predict(&scaled);
         from_domain_scalar(self.scaling, self.scaler_y.inverse(y)).max(0.0)
+    }
+
+    /// Raw NN predictions for a batch of rows — one scaling pass and one
+    /// [`neuro::Network::predict_batch`] call, so per-row allocations are
+    /// amortised. Produces exactly the values [`LogicalOpModel::predict_nn`]
+    /// would, row by row.
+    pub fn predict_nn_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        let scaled: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|x| self.scaler_x.transform(&to_domain(self.scaling, x)))
+            .collect();
+        self.network
+            .predict_batch(&scaled)
+            .into_iter()
+            .map(|y| from_domain_scalar(self.scaling, self.scaler_y.inverse(y)).max(0.0))
+            .collect()
     }
 
     /// The raw training data (used by the online remedy).
@@ -341,7 +370,13 @@ mod tests {
         let cfg = FitConfig::fast();
         let (_, report) = LogicalOpModel::fit(OperatorKind::Aggregation, &NAMES, &data, &cfg);
         assert!(report.test_r2 > 0.9, "r2 {}", report.test_r2);
-        assert_eq!(report.topology, Topology { layer1: 10, layer2: 5 });
+        assert_eq!(
+            report.topology,
+            Topology {
+                layer1: 10,
+                layer2: 5
+            }
+        );
     }
 
     #[test]
@@ -352,7 +387,10 @@ mod tests {
         let x = &data.inputs[7];
         let pred = model.predict_nn(x);
         let actual = data.targets[7];
-        assert!((pred - actual).abs() / actual < 0.5, "pred {pred} vs {actual}");
+        assert!(
+            (pred - actual).abs() / actual < 0.5,
+            "pred {pred} vs {actual}"
+        );
     }
 
     #[test]
@@ -369,7 +407,10 @@ mod tests {
     fn cross_validated_topology_is_within_paper_bounds() {
         let data = synth_dataset(120);
         let cfg = FitConfig {
-            topology: TopologyChoice::CrossValidated { step: 4, search_iterations: 200 },
+            topology: TopologyChoice::CrossValidated {
+                step: 4,
+                search_iterations: 200,
+            },
             iterations: 600,
             batch_size: 16,
             trace_every: 0,
@@ -402,6 +443,17 @@ mod tests {
         model.retrain(&extra, &FitConfig::fast());
         let after = (model.predict_nn(&probe) - truth).abs();
         assert!(after < before, "before err {before}, after err {after}");
+    }
+
+    #[test]
+    fn batched_predictions_match_single_row_path() {
+        let data = synth_dataset(120);
+        let (model, _) =
+            LogicalOpModel::fit(OperatorKind::Aggregation, &NAMES, &data, &FitConfig::fast());
+        let batched = model.predict_nn_batch(&data.inputs);
+        for (x, &b) in data.inputs.iter().zip(&batched) {
+            assert_eq!(model.predict_nn(x), b);
+        }
     }
 
     #[test]

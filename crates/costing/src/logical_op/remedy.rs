@@ -31,7 +31,10 @@ pub struct RemedyConfig {
 
 impl Default for RemedyConfig {
     fn default() -> Self {
-        RemedyConfig { beta: 2.0, k_neighbors: 8 }
+        RemedyConfig {
+            beta: 2.0,
+            k_neighbors: 8,
+        }
     }
 }
 
@@ -66,7 +69,13 @@ pub fn remedy_estimate(
     let nn_estimate = model.predict_nn(x);
     let regression_estimate = pivot_regression(model, x, &pivots, cfg.k_neighbors);
     let estimate = (alpha * nn_estimate + (1.0 - alpha) * regression_estimate).max(0.0);
-    RemedyOutcome { estimate, nn_estimate, regression_estimate, pivots, alpha }
+    RemedyOutcome {
+        estimate,
+        nn_estimate,
+        regression_estimate,
+        pivots,
+        alpha,
+    }
 }
 
 /// Builds the on-the-fly regression over the pivot dimension(s) from the
@@ -174,7 +183,10 @@ impl AlphaTuner {
     /// Starts with the paper's initial α = 0.5.
     pub fn new(initial_alpha: f64) -> Self {
         assert!((0.0..=1.0).contains(&initial_alpha));
-        AlphaTuner { alpha: initial_alpha, history: Vec::new() }
+        AlphaTuner {
+            alpha: initial_alpha,
+            history: Vec::new(),
+        }
     }
 
     /// The current α.
@@ -221,8 +233,10 @@ impl AlphaTuner {
     /// (used by the Table 1 experiment to report per-batch error).
     pub fn rmse_pct_for(&self, alpha: f64, from: usize, to: usize) -> f64 {
         let slice = &self.history[from.min(self.history.len())..to.min(self.history.len())];
-        let preds: Vec<f64> =
-            slice.iter().map(|&(nn, reg, _)| alpha * nn + (1.0 - alpha) * reg).collect();
+        let preds: Vec<f64> = slice
+            .iter()
+            .map(|&(nn, reg, _)| alpha * nn + (1.0 - alpha) * reg)
+            .collect();
         let actuals: Vec<f64> = slice.iter().map(|&(_, _, y)| y).collect();
         mathkit::rmse_pct(&preds, &actuals)
     }
@@ -271,7 +285,11 @@ mod tests {
         let out = remedy_estimate(&model, &x, &cfg, 0.0); // pure regression
         let truth = 1.0 + 2e-6 * 1e7 + 0.01 * 300.0;
         let rel = (out.regression_estimate - truth).abs() / truth;
-        assert!(rel < 0.15, "regression {} vs truth {truth}", out.regression_estimate);
+        assert!(
+            rel < 0.15,
+            "regression {} vs truth {truth}",
+            out.regression_estimate
+        );
         assert_eq!(out.pivots, vec![0]);
     }
 
@@ -314,7 +332,11 @@ mod tests {
         assert_eq!(out.pivots, vec![0, 1]);
         let truth = 1.0 + 2e-6 * 1e7 + 0.01 * 5_000.0;
         let rel = (out.regression_estimate - truth).abs() / truth;
-        assert!(rel < 0.3, "estimate {} vs truth {truth}", out.regression_estimate);
+        assert!(
+            rel < 0.3,
+            "estimate {} vs truth {truth}",
+            out.regression_estimate
+        );
     }
 
     #[test]
@@ -358,5 +380,142 @@ mod tests {
         }
         assert_eq!(t.rmse_pct_for(0.5, 0, 10), 0.0);
         assert_eq!(t.observations(), 10);
+    }
+
+    mod properties {
+        use super::*;
+        use crate::estimator::{CostEstimate, EstimateSource};
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        /// Training an NN per generated case would dominate the suite;
+        /// the properties below only need *one* model, probed many ways.
+        fn shared_model() -> &'static LogicalOpModel {
+            static MODEL: OnceLock<LogicalOpModel> = OnceLock::new();
+            MODEL.get_or_init(fitted_model)
+        }
+
+        proptest! {
+            /// For any α ∈ [0,1] the blend can never escape the interval
+            /// spanned by its two ingredients, and the reported pivots are
+            /// exactly the way-off dimensions.
+            #[test]
+            fn prop_blend_stays_between_sources(
+                rows in 5.0e6f64..5.0e7,
+                size in 50.0f64..5_000.0,
+                alpha in 0.0f64..=1.0,
+            ) {
+                let model = shared_model();
+                let cfg = RemedyConfig::default();
+                // `rows` is always way beyond the trained 2e6; `size`
+                // straddles the boundary, so both the single- and the
+                // multi-pivot regression branches get exercised.
+                let x = vec![rows, size];
+                prop_assume!(!model.meta.all_in_range(&x, cfg.beta));
+                let out = remedy_estimate(model, &x, &cfg, alpha);
+                let lo = out.nn_estimate.min(out.regression_estimate);
+                let hi = out.nn_estimate.max(out.regression_estimate);
+                prop_assert!(
+                    out.estimate >= lo - 1e-9 && out.estimate <= hi + 1e-9,
+                    "blend {} escaped [{lo}, {hi}] at alpha {alpha}",
+                    out.estimate
+                );
+                prop_assert!(out.estimate >= 0.0);
+                prop_assert!(out.alpha == alpha);
+                prop_assert_eq!(&out.pivots, &model.meta.pivots(&x, cfg.beta));
+                prop_assert!(!out.pivots.is_empty());
+            }
+
+            /// Probes within β·stepSize slack of every trained range have
+            /// no pivot dimensions — the remedy must never trigger there.
+            #[test]
+            fn prop_no_pivots_within_slack(
+                f_rows in 0.0f64..=1.0,
+                f_size in 0.0f64..=1.0,
+                beta in 1.1f64..4.0,
+            ) {
+                let model = shared_model();
+                let x: Vec<f64> = model
+                    .meta
+                    .dims
+                    .iter()
+                    .zip([f_rows, f_size])
+                    .map(|(d, f)| {
+                        let slack = beta * d.step_size;
+                        (d.min - slack) + f * ((d.max + slack) - (d.min - slack))
+                    })
+                    .collect();
+                prop_assert!(
+                    model.meta.pivots(&x, beta).is_empty(),
+                    "pivot reported for in-slack probe {x:?} at beta {beta}"
+                );
+                prop_assert!(model.meta.all_in_range(&x, beta));
+            }
+
+            /// However the history looks, retuning keeps α inside [0,1].
+            #[test]
+            fn prop_retuned_alpha_stays_in_unit_interval(
+                triples in prop::collection::vec(
+                    (0.1f64..100.0, 0.1f64..100.0, 0.1f64..100.0),
+                    2..30,
+                ),
+            ) {
+                let mut t = AlphaTuner::default();
+                for &(nn, reg, actual) in &triples {
+                    t.record(nn, reg, actual);
+                }
+                let a = t.retune();
+                prop_assert!((0.0..=1.0).contains(&a), "alpha {a}");
+                prop_assert!(t.alpha() == a);
+            }
+
+            /// The retuned α is optimal over the 0.01 grid: no fixed grid
+            /// point may beat it on the history it was fitted to.
+            #[test]
+            fn prop_retune_beats_any_fixed_grid_alpha(
+                triples in prop::collection::vec(
+                    (0.1f64..100.0, 0.1f64..100.0, 0.1f64..100.0),
+                    2..30,
+                ),
+                k in 0usize..=100,
+            ) {
+                let mut t = AlphaTuner::default();
+                for &(nn, reg, actual) in &triples {
+                    t.record(nn, reg, actual);
+                }
+                t.retune();
+                let n = t.observations();
+                let tuned = t.rmse_pct_for(t.alpha(), 0, n);
+                let fixed = t.rmse_pct_for(k as f64 * 0.01, 0, n);
+                prop_assert!(
+                    tuned <= fixed + 1e-6 * (1.0 + fixed),
+                    "tuned RMSE% {tuned} lost to fixed alpha {}: {fixed}",
+                    k as f64 * 0.01
+                );
+            }
+
+            /// `CostEstimate::new` clamps: seconds (and hence micros) are
+            /// never negative, whatever a regression extrapolates.
+            #[test]
+            fn prop_cost_estimate_never_negative(secs in any::<f64>()) {
+                let e = CostEstimate::new(secs, EstimateSource::NeuralNetwork);
+                prop_assert!(e.secs >= 0.0, "secs {} from input {secs}", e.secs);
+                prop_assert!(e.micros() >= 0.0);
+            }
+        }
+
+        #[test]
+        fn cost_estimate_clamps_non_finite_inputs() {
+            assert_eq!(
+                CostEstimate::new(f64::NAN, EstimateSource::NeuralNetwork).secs,
+                0.0
+            );
+            assert_eq!(
+                CostEstimate::new(f64::NEG_INFINITY, EstimateSource::NeuralNetwork).secs,
+                0.0
+            );
+            let inf = CostEstimate::new(f64::INFINITY, EstimateSource::NeuralNetwork);
+            assert!(inf.secs.is_infinite() && inf.secs > 0.0);
+        }
     }
 }

@@ -88,7 +88,12 @@ pub fn run_training<R: RemoteSystem + ?Sized>(
             Err(e) => failures.push((sql.clone(), e.to_string())),
         }
     }
-    TrainingOutput { op, runs, cumulative, failures }
+    TrainingOutput {
+        op,
+        runs,
+        cumulative,
+        failures,
+    }
 }
 
 fn extract_features<R: RemoteSystem + ?Sized>(
@@ -151,8 +156,10 @@ mod tests {
             TableSpec::new(20_000, 40),
             TableSpec::new(40_000, 40),
         ];
-        let queries: Vec<String> =
-            join_training_queries(&specs).iter().map(|q| q.sql()).collect();
+        let queries: Vec<String> = join_training_queries(&specs)
+            .iter()
+            .map(|q| q.sql())
+            .collect();
         let out = run_training(&mut e, OperatorKind::Join, &queries);
         assert_eq!(out.runs.len(), queries.len());
         assert_eq!(out.dataset().arity(), crate::features::JOIN_DIMS);

@@ -34,7 +34,10 @@ impl ExecutionLog {
 
     /// Appends one observation ("Dump a record into the batch", Fig. 3).
     pub fn push(&mut self, features: Vec<f64>, actual_secs: f64) {
-        self.entries.push(LogEntry { features, actual_secs });
+        self.entries.push(LogEntry {
+            features,
+            actual_secs,
+        });
     }
 
     /// Number of pending entries.
@@ -81,7 +84,11 @@ pub fn offline_tune(
     config: &FitConfig,
 ) -> TuneReport {
     if log.is_empty() {
-        return TuneReport { entries_used: 0, dims_expanded: vec![], rmse_pct_after: f64::NAN };
+        return TuneReport {
+            entries_used: 0,
+            dims_expanded: vec![],
+            rmse_pct_after: f64::NAN,
+        };
     }
     let extra = log.dataset();
     // Absorb under the continuity rule FIRST, on the pre-retrain metadata;
@@ -90,10 +97,28 @@ pub fn offline_tune(
     // afterwards.
     let dims_expanded = model.meta.absorb_rows(&extra.inputs, beta);
     let preserved_meta = model.meta.clone();
-    let rmse_pct_after = model.retrain(&extra, config);
+    // The log is typically a thin slice of newly-observed territory next
+    // to a much larger in-range training set, and refitting the scalers
+    // to the extended range compresses that territory further. Oversample
+    // the log so the new region carries roughly a quarter of the SGD
+    // sampling mass; duplicating observations adds no information but
+    // makes mini-batch training actually visit the region being learned.
+    let n_train = model.training_data().len();
+    let reps = (n_train + extra.len())
+        .div_ceil(2 * extra.len().max(1))
+        .max(1);
+    let mut weighted = extra.clone();
+    for _ in 1..reps {
+        weighted.extend(&extra);
+    }
+    let rmse_pct_after = model.retrain(&weighted, config);
     model.meta = preserved_meta;
     let entries_used = log.drain().len();
-    TuneReport { entries_used, dims_expanded, rmse_pct_after }
+    TuneReport {
+        entries_used,
+        dims_expanded,
+        rmse_pct_after,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,673 @@
+//! The estimation service: a thread-safe, shareable front-end over the
+//! logical-operator costing models.
+//!
+//! The paper's Fig. 9 architecture keeps one costing profile per remote
+//! system inside the master engine's optimizer; a federated planner costs
+//! many `(system, operator)` candidates for every query it plans, and an
+//! optimizer with any intra-query parallelism does so from several
+//! threads at once. [`EstimatorService`] packages the estimation read
+//! path for that workload:
+//!
+//! * a **sharded model registry** keyed by `(remote system, operator)` —
+//!   each shard is an independent [`parking_lot::RwLock`], so concurrent
+//!   estimates against different systems never contend, and estimates
+//!   against the same system share a read lock;
+//! * an **LRU estimate cache** per shard, keyed by quantized feature
+//!   vectors (see [`cache`]), with global hit/miss counters;
+//! * a **batched path** ([`EstimatorService::estimate_batch`]) that runs
+//!   all in-range rows through one amortised
+//!   [`neuro::Network::predict_batch`] forward pass;
+//! * cheap **cloneable handles**: the service is an `Arc` internally, so
+//!   `service.clone()` hands a planner thread its own handle.
+//!
+//! Estimates served through the service use the *read-only* flow
+//! ([`crate::logical_op::flow::LogicalOpCosting::estimate_readonly`]),
+//! which is a pure function of the registered model state — two threads
+//! asking the same question always get bit-identical answers, and a
+//! concurrent fan-out returns exactly what a serial loop would. Writes
+//! (observing actuals, α adjustment, offline tuning) take the shard's
+//! write lock and bump a generation counter that lazily invalidates
+//! cached estimates.
+
+pub mod cache;
+
+use crate::{
+    estimator::{CostEstimate, OperatorKind},
+    logical_op::{flow::LogicalOpCosting, model::FitConfig, tuning::TuneReport},
+};
+use cache::{CacheKey, LruCache};
+use catalog::SystemId;
+use parking_lot::{Mutex, RwLock};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Number of registry/cache shards (rounded up to at least 1).
+    pub shards: usize,
+    /// LRU capacity per shard.
+    pub cache_capacity_per_shard: usize,
+    /// Significant decimal digits kept when quantizing cache keys.
+    pub sig_digits: i32,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 8,
+            cache_capacity_per_shard: 1024,
+            sig_digits: 9,
+        }
+    }
+}
+
+/// Estimation-service failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// No model registered under `(system, op)`.
+    UnknownModel {
+        /// The requested system.
+        system: SystemId,
+        /// The requested operator.
+        op: OperatorKind,
+    },
+    /// The feature vector's length does not match the model's arity.
+    ArityMismatch {
+        /// The model's input dimensionality.
+        expected: usize,
+        /// The supplied feature count.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownModel { system, op } => {
+                write!(f, "no model registered for {op} on system `{system}`")
+            }
+            ServiceError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "feature arity mismatch: model expects {expected}, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to run a model.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total requests served.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+struct Shard {
+    models: RwLock<HashMap<(SystemId, OperatorKind), LogicalOpCosting>>,
+    cache: Mutex<LruCache>,
+}
+
+struct Inner {
+    shards: Vec<Shard>,
+    /// Bumped on every registry mutation; cache entries from older
+    /// generations read as misses.
+    generation: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    sig_digits: i32,
+}
+
+/// A thread-safe, cheaply-cloneable handle to the estimation service.
+#[derive(Clone)]
+pub struct EstimatorService {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for EstimatorService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("EstimatorService")
+            .field("shards", &self.inner.shards.len())
+            .field("models", &self.registered().len())
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+impl Default for EstimatorService {
+    fn default() -> Self {
+        EstimatorService::new(ServiceConfig::default())
+    }
+}
+
+impl EstimatorService {
+    /// Builds an empty service.
+    pub fn new(config: ServiceConfig) -> Self {
+        let n = config.shards.max(1);
+        let shards = (0..n)
+            .map(|_| Shard {
+                models: RwLock::new(HashMap::new()),
+                cache: Mutex::new(LruCache::new(config.cache_capacity_per_shard.max(1))),
+            })
+            .collect();
+        EstimatorService {
+            inner: Arc::new(Inner {
+                shards,
+                generation: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                sig_digits: config.sig_digits,
+            }),
+        }
+    }
+
+    fn shard(&self, system: &SystemId, op: OperatorKind) -> &Shard {
+        let mut h = DefaultHasher::new();
+        system.hash(&mut h);
+        op.hash(&mut h);
+        let idx = (h.finish() % self.inner.shards.len() as u64) as usize;
+        &self.inner.shards[idx]
+    }
+
+    fn bump_generation(&self) {
+        self.inner.generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers (or replaces) the costing flow for one operator on one
+    /// system; the operator kind comes from the trained model itself.
+    pub fn register(&self, system: SystemId, flow: LogicalOpCosting) {
+        let op = flow.model.op;
+        self.shard(&system, op)
+            .models
+            .write()
+            .insert((system, op), flow);
+        self.bump_generation();
+    }
+
+    /// Every registered `(system, operator)` pair, sorted.
+    pub fn registered(&self) -> Vec<(SystemId, OperatorKind)> {
+        let mut all: Vec<(SystemId, OperatorKind)> = self
+            .inner
+            .shards
+            .iter()
+            .flat_map(|s| s.models.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        all.sort();
+        all
+    }
+
+    /// Estimates one operator's cost, consulting the cache first. A miss
+    /// runs the read-only remedy flow under the shard's read lock, so any
+    /// number of threads may estimate concurrently.
+    pub fn estimate(
+        &self,
+        system: &SystemId,
+        op: OperatorKind,
+        features: &[f64],
+    ) -> Result<CostEstimate, ServiceError> {
+        let shard = self.shard(system, op);
+        let generation = self.inner.generation.load(Ordering::Relaxed);
+        let key = CacheKey::new(system, op, features, self.inner.sig_digits);
+        if let Some(hit) = shard.cache.lock().get(&key, generation) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        let est = {
+            let models = shard.models.read();
+            let flow =
+                models
+                    .get(&(system.clone(), op))
+                    .ok_or_else(|| ServiceError::UnknownModel {
+                        system: system.clone(),
+                        op,
+                    })?;
+            check_arity(flow, features)?;
+            flow.estimate_readonly(features)
+        };
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        shard.cache.lock().insert(key, est.clone(), generation);
+        Ok(est)
+    }
+
+    /// Estimates a whole batch of feature vectors for one `(system, op)`.
+    ///
+    /// Cached rows are answered from the cache; the remaining in-range
+    /// rows share a single batched NN forward pass
+    /// ([`crate::logical_op::model::LogicalOpModel::predict_nn_batch`]),
+    /// and out-of-range rows go through the remedy individually. Results
+    /// are identical, bit for bit, to calling
+    /// [`EstimatorService::estimate`] per row.
+    pub fn estimate_batch(
+        &self,
+        system: &SystemId,
+        op: OperatorKind,
+        rows: &[Vec<f64>],
+    ) -> Result<Vec<CostEstimate>, ServiceError> {
+        let shard = self.shard(system, op);
+        let generation = self.inner.generation.load(Ordering::Relaxed);
+        let keys: Vec<CacheKey> = rows
+            .iter()
+            .map(|r| CacheKey::new(system, op, r, self.inner.sig_digits))
+            .collect();
+
+        let mut results: Vec<Option<CostEstimate>> = vec![None; rows.len()];
+        let mut miss_idx: Vec<usize> = Vec::new();
+        {
+            let mut cache = shard.cache.lock();
+            for (i, key) in keys.iter().enumerate() {
+                match cache.get(key, generation) {
+                    Some(hit) => results[i] = Some(hit),
+                    None => miss_idx.push(i),
+                }
+            }
+        }
+        self.inner
+            .hits
+            .fetch_add((rows.len() - miss_idx.len()) as u64, Ordering::Relaxed);
+        if miss_idx.is_empty() {
+            return Ok(results.into_iter().map(|r| r.expect("all hits")).collect());
+        }
+
+        {
+            let models = shard.models.read();
+            let flow =
+                models
+                    .get(&(system.clone(), op))
+                    .ok_or_else(|| ServiceError::UnknownModel {
+                        system: system.clone(),
+                        op,
+                    })?;
+            for &i in &miss_idx {
+                check_arity(flow, &rows[i])?;
+            }
+            // In-range rows take the batched forward pass; out-of-range
+            // rows need per-row pivot regressions anyway.
+            let (in_range, out_of_range): (Vec<usize>, Vec<usize>) = miss_idx
+                .iter()
+                .copied()
+                .partition(|&i| flow.model.meta.all_in_range(&rows[i], flow.remedy.beta));
+            let batch: Vec<Vec<f64>> = in_range.iter().map(|&i| rows[i].clone()).collect();
+            for (&i, secs) in in_range.iter().zip(flow.model.predict_nn_batch(&batch)) {
+                results[i] = Some(CostEstimate::new(
+                    secs,
+                    crate::estimator::EstimateSource::NeuralNetwork,
+                ));
+            }
+            for &i in &out_of_range {
+                results[i] = Some(flow.estimate_readonly(&rows[i]));
+            }
+        }
+        self.inner
+            .misses
+            .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+
+        let mut cache = shard.cache.lock();
+        for &i in &miss_idx {
+            cache.insert(
+                keys[i].clone(),
+                results[i].as_ref().expect("computed").clone(),
+                generation,
+            );
+        }
+        drop(cache);
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("all filled"))
+            .collect())
+    }
+
+    /// Feeds an observed actual execution into the owning flow (log + α
+    /// tuner) under the shard's write lock, and invalidates cached
+    /// estimates via the generation counter.
+    pub fn observe_actual(
+        &self,
+        system: &SystemId,
+        op: OperatorKind,
+        features: &[f64],
+        actual_secs: f64,
+    ) -> Result<(), ServiceError> {
+        let shard = self.shard(system, op);
+        let mut models = shard.models.write();
+        let flow =
+            models
+                .get_mut(&(system.clone(), op))
+                .ok_or_else(|| ServiceError::UnknownModel {
+                    system: system.clone(),
+                    op,
+                })?;
+        check_arity(flow, features)?;
+        flow.observe_detached(features, actual_secs);
+        drop(models);
+        self.bump_generation();
+        Ok(())
+    }
+
+    /// Re-fits the α blend weight from everything observed so far.
+    pub fn adjust_alpha(&self, system: &SystemId, op: OperatorKind) -> Result<f64, ServiceError> {
+        let shard = self.shard(system, op);
+        let mut models = shard.models.write();
+        let flow =
+            models
+                .get_mut(&(system.clone(), op))
+                .ok_or_else(|| ServiceError::UnknownModel {
+                    system: system.clone(),
+                    op,
+                })?;
+        let alpha = flow.adjust_alpha();
+        drop(models);
+        self.bump_generation();
+        Ok(alpha)
+    }
+
+    /// Runs the offline tuning phase over the accumulated execution log.
+    pub fn offline_tune(
+        &self,
+        system: &SystemId,
+        op: OperatorKind,
+        config: &FitConfig,
+    ) -> Result<TuneReport, ServiceError> {
+        let shard = self.shard(system, op);
+        let mut models = shard.models.write();
+        let flow =
+            models
+                .get_mut(&(system.clone(), op))
+                .ok_or_else(|| ServiceError::UnknownModel {
+                    system: system.clone(),
+                    op,
+                })?;
+        let report = flow.offline_tune(config);
+        drop(models);
+        self.bump_generation();
+        Ok(report)
+    }
+
+    /// Runs a closure against a registered flow (read lock) — an escape
+    /// hatch for inspection without exposing the map.
+    pub fn with_flow<T>(
+        &self,
+        system: &SystemId,
+        op: OperatorKind,
+        f: impl FnOnce(&LogicalOpCosting) -> T,
+    ) -> Result<T, ServiceError> {
+        let shard = self.shard(system, op);
+        let models = shard.models.read();
+        let flow = models
+            .get(&(system.clone(), op))
+            .ok_or_else(|| ServiceError::UnknownModel {
+                system: system.clone(),
+                op,
+            })?;
+        Ok(f(flow))
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the hit/miss counters.
+    pub fn reset_stats(&self) {
+        self.inner.hits.store(0, Ordering::Relaxed);
+        self.inner.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Empties every shard's estimate cache (counters are untouched).
+    pub fn clear_cache(&self) {
+        for shard in &self.inner.shards {
+            shard.cache.lock().clear();
+        }
+    }
+}
+
+fn check_arity(flow: &LogicalOpCosting, features: &[f64]) -> Result<(), ServiceError> {
+    let expected = flow.model.arity();
+    if features.len() != expected {
+        return Err(ServiceError::ArityMismatch {
+            expected,
+            got: features.len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::EstimateSource;
+    use crate::logical_op::model::LogicalOpModel;
+    use neuro::Dataset;
+
+    fn trained_flow(slope: f64) -> LogicalOpCosting {
+        let mut inputs = vec![];
+        let mut targets = vec![];
+        for r in 1..=15 {
+            for s in 1..=4 {
+                let rows = r as f64 * 1e5;
+                let size = s as f64 * 100.0;
+                inputs.push(vec![rows, size]);
+                targets.push(1.0 + slope * rows + 0.01 * size);
+            }
+        }
+        let (model, _) = LogicalOpModel::fit(
+            OperatorKind::Aggregation,
+            &["rows", "size"],
+            &Dataset::new(inputs, targets),
+            &FitConfig::fast(),
+        );
+        LogicalOpCosting::new(model)
+    }
+
+    fn service_with_model() -> (EstimatorService, SystemId) {
+        let svc = EstimatorService::default();
+        let sys = SystemId::new("hive-a");
+        svc.register(sys.clone(), trained_flow(2e-6));
+        (svc, sys)
+    }
+
+    #[test]
+    fn routes_to_registered_model_and_counts_misses_then_hits() {
+        let (svc, sys) = service_with_model();
+        let x = [5e5, 200.0];
+        let first = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        assert_eq!(first.source, EstimateSource::NeuralNetwork);
+        let second = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        assert_eq!(first, second);
+        let stats = svc.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.requests(), 2);
+    }
+
+    #[test]
+    fn unknown_system_or_operator_errors() {
+        let (svc, sys) = service_with_model();
+        assert!(matches!(
+            svc.estimate(
+                &SystemId::new("ghost"),
+                OperatorKind::Aggregation,
+                &[1.0, 2.0]
+            ),
+            Err(ServiceError::UnknownModel { .. })
+        ));
+        assert!(matches!(
+            svc.estimate(&sys, OperatorKind::Join, &[1.0, 2.0]),
+            Err(ServiceError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let (svc, sys) = service_with_model();
+        let err = svc
+            .estimate(&sys, OperatorKind::Aggregation, &[1.0])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "feature arity mismatch: model expects 2, got 1"
+        );
+    }
+
+    #[test]
+    fn cached_estimates_match_the_flow_exactly() {
+        let (svc, sys) = service_with_model();
+        let x = [7e5, 300.0];
+        let direct = svc
+            .with_flow(&sys, OperatorKind::Aggregation, |f| f.estimate_readonly(&x))
+            .unwrap();
+        let via_service = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        let via_cache = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        assert_eq!(direct, via_service);
+        assert_eq!(direct, via_cache);
+    }
+
+    #[test]
+    fn batch_path_is_bit_identical_to_single_path_and_counts_once() {
+        let (svc, sys) = service_with_model();
+        // Mix of in-range and far out-of-range rows.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![1e5 + i as f64 * 2.5e6, 100.0 + (i % 4) as f64 * 100.0])
+            .collect();
+        let batched = svc
+            .estimate_batch(&sys, OperatorKind::Aggregation, &rows)
+            .unwrap();
+        let stats = svc.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 20));
+        for (row, b) in rows.iter().zip(&batched) {
+            let single = svc.estimate(&sys, OperatorKind::Aggregation, row).unwrap();
+            assert_eq!(&single, b, "row {row:?}");
+        }
+        // Those singles were all cache hits.
+        let stats = svc.stats();
+        assert_eq!((stats.hits, stats.misses), (20, 20));
+        // A second batch over the same rows is all hits.
+        let again = svc
+            .estimate_batch(&sys, OperatorKind::Aggregation, &rows)
+            .unwrap();
+        assert_eq!(again, batched);
+        assert_eq!(
+            svc.stats(),
+            CacheStats {
+                hits: 40,
+                misses: 20
+            }
+        );
+    }
+
+    #[test]
+    fn observation_invalidates_cache_and_feeds_the_tuner() {
+        let (svc, sys) = service_with_model();
+        let oor = [2e7, 200.0];
+        let _ = svc.estimate(&sys, OperatorKind::Aggregation, &oor).unwrap();
+        svc.observe_actual(&sys, OperatorKind::Aggregation, &oor, 55.0)
+            .unwrap();
+        // Generation bump: the cached value no longer counts as a hit.
+        let _ = svc.estimate(&sys, OperatorKind::Aggregation, &oor).unwrap();
+        assert_eq!(svc.stats(), CacheStats { hits: 0, misses: 2 });
+        let (obs, log_len) = svc
+            .with_flow(&sys, OperatorKind::Aggregation, |f| {
+                (f.tuner.observations(), f.log.len())
+            })
+            .unwrap();
+        assert_eq!((obs, log_len), (1, 1));
+        // α re-fit goes through the service too.
+        let alpha = svc.adjust_alpha(&sys, OperatorKind::Aggregation).unwrap();
+        assert!((0.0..=1.0).contains(&alpha));
+    }
+
+    #[test]
+    fn models_for_different_systems_are_independent() {
+        let svc = EstimatorService::default();
+        let a = SystemId::new("hive-a");
+        let b = SystemId::new("presto-b");
+        svc.register(a.clone(), trained_flow(2e-6));
+        svc.register(b.clone(), trained_flow(8e-6));
+        let x = [5e5, 200.0];
+        let ea = svc.estimate(&a, OperatorKind::Aggregation, &x).unwrap();
+        let eb = svc.estimate(&b, OperatorKind::Aggregation, &x).unwrap();
+        assert_ne!(ea.secs, eb.secs, "different systems, different models");
+        assert_eq!(svc.registered().len(), 2);
+    }
+
+    #[test]
+    fn clear_cache_forces_recomputation() {
+        let (svc, sys) = service_with_model();
+        let x = [5e5, 200.0];
+        let _ = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        svc.clear_cache();
+        let _ = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        assert_eq!(svc.stats(), CacheStats { hits: 0, misses: 2 });
+        svc.reset_stats();
+        assert_eq!(svc.stats().requests(), 0);
+    }
+
+    #[test]
+    fn cloned_handles_share_state() {
+        let (svc, sys) = service_with_model();
+        let handle = svc.clone();
+        let x = [5e5, 200.0];
+        let _ = handle
+            .estimate(&sys, OperatorKind::Aggregation, &x)
+            .unwrap();
+        let _ = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        assert_eq!(svc.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn concurrent_estimates_match_serial_smoke() {
+        let (svc, sys) = service_with_model();
+        let rows: Vec<Vec<f64>> = (0..64)
+            .map(|i| vec![1e5 + i as f64 * 4e5, 100.0 + (i % 4) as f64 * 100.0])
+            .collect();
+        let serial: Vec<CostEstimate> = rows
+            .iter()
+            .map(|r| svc.estimate(&sys, OperatorKind::Aggregation, r).unwrap())
+            .collect();
+        svc.clear_cache();
+        let concurrent: Vec<CostEstimate> = std::thread::scope(|scope| {
+            let handles: Vec<_> = rows
+                .chunks(16)
+                .map(|chunk| {
+                    let svc = svc.clone();
+                    let sys = sys.clone();
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|r| svc.estimate(&sys, OperatorKind::Aggregation, r).unwrap())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(serial, concurrent);
+    }
+}

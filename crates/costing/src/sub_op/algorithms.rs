@@ -71,7 +71,11 @@ fn broadcast_join(name: &str, reload: SubOp) -> CostFormula {
         ],
         parallel: vec![
             subop(reload, small_times_big_blocks(), d(SmallRowBytes)),
-            hash_build(small_times_big_blocks(), d(SmallRowBytes), small_table_bytes()),
+            hash_build(
+                small_times_big_blocks(),
+                d(SmallRowBytes),
+                small_table_bytes(),
+            ),
             subop(SubOp::ReadLocal, d(BigRows), d(BigRowBytes)),
             subop(SubOp::HashProbe, d(BigRows), d(BigRowBytes)),
             subop(SubOp::WriteDfs, d(OutRows), d(OutRowBytes)),
@@ -132,9 +136,7 @@ pub fn join_formula(algo: JoinAlgorithm) -> CostFormula {
             ],
             tasks: Some(Qty::blocks(BigRows, BigRowBytes)),
         },
-        JoinAlgorithm::SparkBroadcastHashJoin => {
-            broadcast_join("Broadcast Hash Join", SubOp::Scan)
-        }
+        JoinAlgorithm::SparkBroadcastHashJoin => broadcast_join("Broadcast Hash Join", SubOp::Scan),
         JoinAlgorithm::SparkShuffleHashJoin => CostFormula {
             name: "Shuffle Hash Join".into(),
             stages: 2,
@@ -291,9 +293,17 @@ pub fn agg_hash_formula(distributed: bool) -> CostFormula {
             subop(SubOp::Scan, d(InRows), d(InRowBytes)),
             subop(SubOp::HashProbe, d(InRows), d(InRowBytes)),
             subop(SubOp::Scan, d(InRows).mul(d(NAggs)), d(InRowBytes)),
-            hash_build(partial_rows(), d(OutRowBytes), d(Groups).mul(d(OutRowBytes))),
+            hash_build(
+                partial_rows(),
+                d(OutRowBytes),
+                d(Groups).mul(d(OutRowBytes)),
+            ),
             subop(SubOp::Shuffle, partial_rows(), d(OutRowBytes)),
-            subop(SubOp::RecMerge, partial_rows().sub(d(Groups)).max(Qty::num(0.0)), d(OutRowBytes)),
+            subop(
+                SubOp::RecMerge,
+                partial_rows().sub(d(Groups)).max(Qty::num(0.0)),
+                d(OutRowBytes),
+            ),
             subop(SubOp::Scan, partial_rows(), d(OutRowBytes)),
             subop(SubOp::WriteDfs, d(Groups), d(OutRowBytes)),
         ],
@@ -328,7 +338,11 @@ pub fn agg_sort_formula(distributed: bool) -> CostFormula {
             subop(SubOp::Sort, d(InRows), d(InRowBytes)),
             subop(SubOp::Scan, d(InRows).mul(d(NAggs)), d(InRowBytes)),
             subop(SubOp::Shuffle, partial_rows(), d(OutRowBytes)),
-            subop(SubOp::RecMerge, partial_rows().sub(d(Groups)).max(Qty::num(0.0)), d(OutRowBytes)),
+            subop(
+                SubOp::RecMerge,
+                partial_rows().sub(d(Groups)).max(Qty::num(0.0)),
+                d(OutRowBytes),
+            ),
             subop(SubOp::Scan, partial_rows(), d(OutRowBytes)),
             subop(SubOp::WriteDfs, d(Groups), d(OutRowBytes)),
         ],
@@ -339,7 +353,11 @@ pub fn agg_sort_formula(distributed: bool) -> CostFormula {
 /// `ORDER BY` formula: re-read the intermediate result, sort it, write
 /// it back.
 pub fn sort_formula(distributed: bool) -> CostFormula {
-    let write = if distributed { SubOp::WriteDfs } else { SubOp::WriteLocal };
+    let write = if distributed {
+        SubOp::WriteDfs
+    } else {
+        SubOp::WriteLocal
+    };
     CostFormula {
         name: "Order By".into(),
         stages: 1,

@@ -32,9 +32,7 @@ impl ChoicePolicy {
         match self {
             ChoicePolicy::Worst => costs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
             ChoicePolicy::Average => costs.iter().sum::<f64>() / costs.len() as f64,
-            ChoicePolicy::InHouseComparable => {
-                costs.iter().copied().fold(f64::INFINITY, f64::min)
-            }
+            ChoicePolicy::InHouseComparable => costs.iter().copied().fold(f64::INFINITY, f64::min),
         }
     }
 
@@ -71,7 +69,11 @@ mod tests {
 
     #[test]
     fn single_candidate_is_identity_for_all() {
-        for p in [ChoicePolicy::Worst, ChoicePolicy::Average, ChoicePolicy::InHouseComparable] {
+        for p in [
+            ChoicePolicy::Worst,
+            ChoicePolicy::Average,
+            ChoicePolicy::InHouseComparable,
+        ] {
             assert_eq!(p.resolve(&[42.0]), 42.0);
         }
     }

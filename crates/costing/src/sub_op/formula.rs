@@ -130,7 +130,11 @@ impl Qty {
 
     /// `ceil(rows·bytes / blockBytes)` — the `blocks(X)` helper.
     pub fn blocks(rows: DimRef, bytes: DimRef) -> Qty {
-        Qty::dim(rows).mul(Qty::dim(bytes)).div(Qty::dim(DimRef::BlockBytes)).ceil().max(Qty::num(1.0))
+        Qty::dim(rows)
+            .mul(Qty::dim(bytes))
+            .div(Qty::dim(DimRef::BlockBytes))
+            .ceil()
+            .max(Qty::num(1.0))
     }
 
     /// Evaluates against a context.
@@ -251,7 +255,11 @@ impl Term {
                 let b = bytes.eval(ctx).max(0.0);
                 models.per_record_us(*op, b) * r
             }
-            Term::HashBuildTotal { rows, bytes, table_bytes } => {
+            Term::HashBuildTotal {
+                rows,
+                bytes,
+                table_bytes,
+            } => {
                 let r = rows.eval(ctx).max(0.0);
                 let b = bytes.eval(ctx).max(0.0);
                 let t = table_bytes.eval(ctx).max(0.0);
@@ -269,7 +277,11 @@ pub fn subop(op: SubOp, rows: Qty, bytes: Qty) -> Term {
 
 /// Convenience constructor for the regime-aware hash build.
 pub fn hash_build(rows: Qty, bytes: Qty, table_bytes: Qty) -> Term {
-    Term::HashBuildTotal { rows, bytes, table_bytes }
+    Term::HashBuildTotal {
+        rows,
+        bytes,
+        table_bytes,
+    }
 }
 
 /// A complete cost formula for one physical algorithm.
@@ -314,7 +326,11 @@ impl std::fmt::Display for Term {
             Term::SubOpTotal { op, rows, bytes } => {
                 write!(f, "{}[{bytes}B] * {rows}", op.symbol())
             }
-            Term::HashBuildTotal { rows, bytes, table_bytes } => {
+            Term::HashBuildTotal {
+                rows,
+                bytes,
+                table_bytes,
+            } => {
                 write!(f, "hI[{bytes}B, table={table_bytes}B] * {rows}")
             }
             Term::FixedUs(v) => write!(f, "{v}us"),
@@ -461,8 +477,13 @@ mod tests {
     fn stages_add_job_overhead() {
         let m = models();
         let c = ctx();
-        let empty =
-            CostFormula { name: "x".into(), stages: 2, serial: vec![], parallel: vec![], tasks: None };
+        let empty = CostFormula {
+            name: "x".into(),
+            stages: 2,
+            serial: vec![],
+            parallel: vec![],
+            tasks: None,
+        };
         let secs = empty.evaluate(&m, &c);
         assert!((secs - 2.0 * m.job_overhead_us / 1e6).abs() < 1e-9);
     }

@@ -164,7 +164,10 @@ impl SubOpMeasurement {
             return pts
                 .iter()
                 .map(|&(rows, el)| {
-                    (rows as u64, ((el - line.intercept) * self.cores / rows).max(0.0))
+                    (
+                        rows as u64,
+                        ((el - line.intercept) * self.cores / rows).max(0.0),
+                    )
                 })
                 .collect();
         }

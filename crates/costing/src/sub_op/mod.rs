@@ -103,10 +103,17 @@ impl SubOpCosting {
     pub fn estimate_join(&self, j: &JoinInfo, inputs: &RuleInputs) -> CostEstimate {
         let menu = algorithms::algorithms_for(self.kind);
         let surviving = applicable_algorithms(&menu, &self.rules, inputs);
-        let costs: Vec<f64> =
-            surviving.iter().map(|&a| self.estimate_join_with(a, j)).collect();
+        let costs: Vec<f64> = surviving
+            .iter()
+            .map(|&a| self.estimate_join_with(a, j))
+            .collect();
         if surviving.len() == 1 {
-            CostEstimate::new(costs[0], EstimateSource::SubOpFormula { algorithm: surviving[0] })
+            CostEstimate::new(
+                costs[0],
+                EstimateSource::SubOpFormula {
+                    algorithm: surviving[0],
+                },
+            )
         } else {
             CostEstimate::new(
                 self.policy.resolve(&costs),
@@ -208,8 +215,16 @@ mod tests {
 
     fn join_info() -> JoinInfo {
         JoinInfo {
-            big: SideInfo { rows: 1e6, row_bytes: 250.0, proj_bytes: 8.0 },
-            small: SideInfo { rows: 1e5, row_bytes: 100.0, proj_bytes: 8.0 },
+            big: SideInfo {
+                rows: 1e6,
+                row_bytes: 250.0,
+                proj_bytes: 8.0,
+            },
+            small: SideInfo {
+                rows: 1e5,
+                row_bytes: 100.0,
+                proj_bytes: 8.0,
+            },
             out_rows: 1e5,
             out_bytes: 8.0,
             heavy_key_rows: 1.0,
@@ -272,10 +287,20 @@ mod tests {
     #[test]
     fn agg_estimate_switches_formula_on_group_volume() {
         let c = costing();
-        let small = AggInfo { in_rows: 1e6, in_bytes: 250.0, groups: 1e3, out_bytes: 12.0, n_aggs: 1 };
+        let small = AggInfo {
+            in_rows: 1e6,
+            in_bytes: 250.0,
+            groups: 1e3,
+            out_bytes: 12.0,
+            n_aggs: 1,
+        };
         let e1 = c.estimate_agg(&small);
         assert!(e1.secs > 0.0);
-        let huge = AggInfo { groups: 1e9, out_bytes: 100.0, ..small };
+        let huge = AggInfo {
+            groups: 1e9,
+            out_bytes: 100.0,
+            ..small
+        };
         let e2 = c.estimate_agg(&huge);
         assert!(e2.secs > e1.secs);
     }

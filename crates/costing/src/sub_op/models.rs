@@ -49,7 +49,11 @@ fn default_model(subop: SubOp) -> SimpleLinearModel {
         // Basic sub-ops have no defaults — they are mandatory.
         _ => unreachable!("default_model called for basic sub-op"),
     };
-    SimpleLinearModel { slope, intercept, r2: 0.0 }
+    SimpleLinearModel {
+        slope,
+        intercept,
+        r2: 0.0,
+    }
 }
 
 /// The complete fitted model set for one remote system.
@@ -73,10 +77,7 @@ pub struct SubOpModels {
 
 impl SubOpModels {
     /// Fits all models from a measurement campaign.
-    pub fn fit(
-        m: &SubOpMeasurement,
-        task_hash_budget_bytes: f64,
-    ) -> Result<Self, SubOpModelError> {
+    pub fn fit(m: &SubOpMeasurement, task_hash_budget_bytes: f64) -> Result<Self, SubOpModelError> {
         let mut linear = BTreeMap::new();
         for subop in SubOp::ALL {
             let pts = m.per_size_points(subop, false);
@@ -92,8 +93,8 @@ impl SubOpModels {
                 }
             }
             let (xs, ys): (Vec<f64>, Vec<f64>) = pts.into_iter().unzip();
-            let model = SimpleLinearModel::fit(&xs, &ys)
-                .map_err(|_| SubOpModelError::FitFailed(subop))?;
+            let model =
+                SimpleLinearModel::fit(&xs, &ys).map_err(|_| SubOpModelError::FitFailed(subop))?;
             linear.insert(subop, model);
         }
         let spill_pts = m.per_size_points(SubOp::HashBuild, true);
@@ -104,7 +105,11 @@ impl SubOpModels {
         } else {
             // Fall back to 3× the in-memory model.
             let mem = &linear[&SubOp::HashBuild];
-            SimpleLinearModel { slope: mem.slope * 3.0, intercept: mem.intercept * 3.0, r2: 0.0 }
+            SimpleLinearModel {
+                slope: mem.slope * 3.0,
+                intercept: mem.intercept * 3.0,
+                r2: 0.0,
+            }
         };
         Ok(SubOpModels {
             linear,
@@ -162,14 +167,22 @@ mod tests {
         // ReadDFS truth: 0.0041·s + 0.6323.
         let rd = models.line(SubOp::ReadDfs);
         assert!((rd.slope - 0.0041).abs() < 0.0005, "slope {}", rd.slope);
-        assert!((rd.intercept - 0.6323).abs() < 0.3, "intercept {}", rd.intercept);
+        assert!(
+            (rd.intercept - 0.6323).abs() < 0.3,
+            "intercept {}",
+            rd.intercept
+        );
         // WriteDFS truth: 0.0314·s + 0.7403 (Fig. 13c).
         let wd = models.line(SubOp::WriteDfs);
         assert!((wd.slope - 0.0314).abs() < 0.002, "slope {}", wd.slope);
         // Shuffle truth: 0.0126·s + 5.2551 (Fig. 13d).
         let sh = models.line(SubOp::Shuffle);
         assert!((sh.slope - 0.0126).abs() < 0.002, "slope {}", sh.slope);
-        assert!((sh.intercept - 5.2551).abs() < 1.0, "intercept {}", sh.intercept);
+        assert!(
+            (sh.intercept - 5.2551).abs() < 1.0,
+            "intercept {}",
+            sh.intercept
+        );
         // RecMerge truth: 0.0344·s + 36.701 (Fig. 13e).
         let rm = models.line(SubOp::RecMerge);
         assert!((rm.slope - 0.0344).abs() < 0.003);
@@ -180,8 +193,17 @@ mod tests {
     fn fits_are_tight() {
         // The paper reports R² ≥ 0.95 for the sub-op lines.
         let models = fitted();
-        for subop in [SubOp::ReadDfs, SubOp::WriteDfs, SubOp::Shuffle, SubOp::RecMerge] {
-            assert!(models.line(subop).r2 > 0.95, "{subop}: r2 {}", models.line(subop).r2);
+        for subop in [
+            SubOp::ReadDfs,
+            SubOp::WriteDfs,
+            SubOp::Shuffle,
+            SubOp::RecMerge,
+        ] {
+            assert!(
+                models.line(subop).r2 > 0.95,
+                "{subop}: r2 {}",
+                models.line(subop).r2
+            );
         }
     }
 
@@ -190,7 +212,10 @@ mod tests {
         let models = fitted();
         let small_table = models.hash_build_us(1000.0, 1.0e6);
         let big_table = models.hash_build_us(1000.0, 1.0e12);
-        assert!(big_table > 2.0 * small_table, "mem {small_table} spill {big_table}");
+        assert!(
+            big_table > 2.0 * small_table,
+            "mem {small_table} spill {big_table}"
+        );
     }
 
     #[test]
@@ -198,7 +223,10 @@ mod tests {
         let models = fitted();
         let at_2000 = models.per_record_us(SubOp::WriteDfs, 2000.0);
         let truth = 0.0314 * 2000.0 + 0.7403;
-        assert!((at_2000 - truth).abs() / truth < 0.1, "extrapolated {at_2000} vs {truth}");
+        assert!(
+            (at_2000 - truth).abs() / truth < 0.1,
+            "extrapolated {at_2000} vs {truth}"
+        );
     }
 
     #[test]

@@ -101,12 +101,10 @@ impl Condition {
             Condition::SmallSideLargerThan { bytes } => inputs.small_total_bytes > *bytes,
             Condition::SmallSideAtMost { bytes } => inputs.small_total_bytes <= *bytes,
             Condition::HeavyKeyFractionAbove { fraction } => {
-                inputs.big_rows > 0.0
-                    && inputs.heavy_key_rows / inputs.big_rows > *fraction
+                inputs.big_rows > 0.0 && inputs.heavy_key_rows / inputs.big_rows > *fraction
             }
             Condition::HeavyKeyFractionAtMost { fraction } => {
-                inputs.big_rows <= 0.0
-                    || inputs.heavy_key_rows / inputs.big_rows <= *fraction
+                inputs.big_rows <= 0.0 || inputs.heavy_key_rows / inputs.big_rows <= *fraction
             }
             Condition::Always => true,
         }

@@ -125,7 +125,10 @@ mod tests {
         assert_eq!(SubOp::Broadcast.category(), SubOpCategory::Basic);
         assert_eq!(SubOp::HashBuild.category(), SubOpCategory::Specific);
         assert_eq!(SubOp::RecMerge.category(), SubOpCategory::Specific);
-        let basic = SubOp::ALL.iter().filter(|s| s.category() == SubOpCategory::Basic).count();
+        let basic = SubOp::ALL
+            .iter()
+            .filter(|s| s.category() == SubOpCategory::Basic)
+            .count();
         assert_eq!(basic, 6);
     }
 

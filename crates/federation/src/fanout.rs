@@ -1,0 +1,289 @@
+//! Concurrent placement costing through the shared [`EstimatorService`].
+//!
+//! The sequential [`crate::planner`] owns a mutable [`HybridCostManager`]
+//! and costs one query at a time — faithful to the paper's flow, but a
+//! federated optimizer batching many queries (or re-planning a workload)
+//! wants its execution estimates in parallel. This module fans a slice of
+//! logical plans out over `std::thread`s, each thread holding a cloned
+//! handle to one shared [`EstimatorService`]. The service's estimates are
+//! pure reads, so the concurrent output is exactly what the serial loop
+//! produces, in the same order.
+//!
+//! [`HybridCostManager`]: costing::hybrid::HybridCostManager
+
+use crate::{
+    placement::enumerate_placements,
+    planner::{PlacementCost, PlanError, PlanReport},
+    transfer::TransferCostModel,
+};
+use catalog::Catalog;
+use costing::service::{EstimatorService, ServiceError};
+use costing::{agg_features, join_features, OperatorKind};
+use remote_sim::analyze::{analyze, QueryAnalysis};
+use sqlkit::logical::LogicalPlan;
+
+/// Estimates a query's execution time on one system via the service: the
+/// join and/or aggregation operators the analysis found, summed.
+///
+/// Returns `Err` when the service has no model for a required operator on
+/// that system — the caller skips the placement, mirroring how the serial
+/// planner treats systems without costing profiles.
+pub fn service_execution_secs(
+    service: &EstimatorService,
+    system: &catalog::SystemId,
+    analysis: &QueryAnalysis,
+) -> Result<f64, ServiceError> {
+    let mut total = 0.0;
+    let mut costed = false;
+    if analysis.join.is_some() {
+        if let Some(f) = join_features(analysis) {
+            total += service.estimate(system, OperatorKind::Join, &f)?.secs;
+            costed = true;
+        }
+    }
+    if analysis.agg.is_some() {
+        if let Some(f) = agg_features(analysis) {
+            total += service
+                .estimate(system, OperatorKind::Aggregation, &f)?
+                .secs;
+            costed = true;
+        }
+    }
+    if !costed {
+        // Scan-only queries have no logical-op model in the service.
+        return Err(ServiceError::UnknownModel {
+            system: system.clone(),
+            op: OperatorKind::Scan,
+        });
+    }
+    Ok(total)
+}
+
+/// Costs every placement of one query through the service and ranks them —
+/// the service-backed analogue of [`crate::planner::plan_query`].
+pub fn plan_query_with_service(
+    catalog: &Catalog,
+    service: &EstimatorService,
+    transfer_model: &TransferCostModel,
+    plan: &LogicalPlan,
+) -> Result<PlanReport, PlanError> {
+    let options =
+        enumerate_placements(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
+    let analysis = analyze(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
+
+    let mut candidates = Vec::new();
+    for option in options {
+        let exec = match service_execution_secs(service, &option.system, &analysis) {
+            Ok(secs) => secs,
+            // No model for this system: skip the candidate, like the
+            // serial planner skips systems without profiles.
+            Err(_) => continue,
+        };
+        let transfer_secs: f64 = option
+            .transfers
+            .iter()
+            .map(|t| transfer_model.transfer_secs(t.bytes, t.hops))
+            .sum::<f64>()
+            + 0.0;
+        candidates.push(PlacementCost {
+            option,
+            execution_secs: exec,
+            transfer_secs,
+        });
+    }
+    if candidates.is_empty() {
+        return Err(PlanError::NoViablePlacement);
+    }
+    candidates.sort_by(|a, b| {
+        a.total_secs()
+            .partial_cmp(&b.total_secs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(PlanReport { candidates })
+}
+
+/// Plans a batch of queries concurrently on `threads` OS threads, all
+/// sharing one [`EstimatorService`] handle (and its estimate cache).
+///
+/// Results come back in input order, and — because service estimates are
+/// read-only — are identical to running
+/// [`plan_query_with_service`] over the slice serially.
+pub fn plan_queries_concurrent(
+    catalog: &Catalog,
+    service: &EstimatorService,
+    transfer_model: &TransferCostModel,
+    plans: &[LogicalPlan],
+    threads: usize,
+) -> Vec<Result<PlanReport, PlanError>> {
+    let threads = threads.max(1).min(plans.len().max(1));
+    if threads == 1 {
+        return plans
+            .iter()
+            .map(|p| plan_query_with_service(catalog, service, transfer_model, p))
+            .collect();
+    }
+    type Slot<'a> = (usize, &'a mut Option<Result<PlanReport, PlanError>>);
+    let mut results: Vec<Option<Result<PlanReport, PlanError>>> = Vec::new();
+    results.resize_with(plans.len(), || None);
+    let slots: Vec<_> = results.iter_mut().collect();
+    std::thread::scope(|scope| {
+        // Round-robin strips: thread t takes plans t, t+threads, t+2·threads…
+        let mut strips: Vec<Vec<Slot>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, slot) in slots.into_iter().enumerate() {
+            strips[i % threads].push((i, slot));
+        }
+        for strip in strips {
+            let service = service.clone();
+            scope.spawn(move || {
+                for (i, slot) in strip {
+                    *slot = Some(plan_query_with_service(
+                        catalog,
+                        &service,
+                        transfer_model,
+                        &plans[i],
+                    ));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catalog::{ColumnDef, ColumnStats, RemoteSystemProfile, SystemId, TableDef, TableStats};
+    use costing::features::{agg_dim_names, join_dim_names};
+    use costing::logical_op::flow::LogicalOpCosting;
+    use costing::logical_op::model::{FitConfig, LogicalOpModel};
+    use costing::{AGG_DIMS, JOIN_DIMS};
+    use neuro::Dataset;
+
+    /// Trains tiny join + aggregation models with a per-system cost scale,
+    /// so different systems rank differently.
+    fn flows(scale: f64) -> (LogicalOpCosting, LogicalOpCosting) {
+        let mut jin = vec![];
+        let mut jt = vec![];
+        let mut ain = vec![];
+        let mut at = vec![];
+        for i in 0..80 {
+            let r = 1e5 + (i % 10) as f64 * 1e6;
+            let s = 1e4 + (i % 8) as f64 * 1e5;
+            // JOIN_DIMS arity feature vector: fill plausibly.
+            // Fig. 2 order: row_size_r, num_rows_r, row_size_s, num_rows_s,
+            // projected sizes, output rows.
+            let jf = vec![250.0, r, 100.0, s, 16.0, 16.0, s];
+            assert_eq!(jf.len(), JOIN_DIMS);
+            jin.push(jf);
+            jt.push(scale * (2.0 + r * 4e-7 + s * 2e-7));
+            let af = vec![r, 250.0, r / 10.0, 12.0];
+            assert_eq!(af.len(), AGG_DIMS);
+            ain.push(af);
+            at.push(scale * (1.0 + r * 3e-7));
+        }
+        let (jm, _) = LogicalOpModel::fit(
+            OperatorKind::Join,
+            &join_dim_names(),
+            &Dataset::new(jin, jt),
+            &FitConfig::fast(),
+        );
+        let (am, _) = LogicalOpModel::fit(
+            OperatorKind::Aggregation,
+            &agg_dim_names(),
+            &Dataset::new(ain, at),
+            &FitConfig::fast(),
+        );
+        (LogicalOpCosting::new(jm), LogicalOpCosting::new(am))
+    }
+
+    fn setup() -> (Catalog, EstimatorService) {
+        let mut catalog = Catalog::new();
+        catalog
+            .register_system(RemoteSystemProfile::paper_hive_cluster("hive-a"))
+            .unwrap();
+        catalog
+            .register_system(RemoteSystemProfile::new(
+                SystemId::master(),
+                catalog::SystemKind::Teradata,
+                1,
+                32,
+                1 << 38,
+                vec![
+                    catalog::Capability::Filter,
+                    catalog::Capability::Project,
+                    catalog::Capability::Join,
+                    catalog::Capability::Aggregate,
+                ],
+            ))
+            .unwrap();
+        for (name, sys, rows) in [
+            ("t_r", "hive-a", 4_000_000u64),
+            ("t_s", "teradata", 400_000),
+        ] {
+            let stats = TableStats::new(rows, 250)
+                .with_column("a1", ColumnStats::duplicated_range(rows, 1))
+                .with_column("a5", ColumnStats::duplicated_range(rows / 10, 10));
+            catalog
+                .register_table(TableDef::new(
+                    name,
+                    vec![
+                        ColumnDef::int("a1"),
+                        ColumnDef::int("a5"),
+                        ColumnDef::chars("d", 242),
+                    ],
+                    stats,
+                    SystemId::new(sys),
+                ))
+                .unwrap();
+        }
+        let service = EstimatorService::default();
+        let (j, a) = flows(1.0);
+        service.register(SystemId::new("hive-a"), j);
+        service.register(SystemId::new("hive-a"), a);
+        let (j, a) = flows(3.0);
+        service.register(SystemId::master(), j);
+        service.register(SystemId::master(), a);
+        (catalog, service)
+    }
+
+    fn join_plan() -> LogicalPlan {
+        sqlkit::sql_to_plan("SELECT r.a1, s.a1 FROM t_r r JOIN t_s s ON r.a1 = s.a1").unwrap()
+    }
+
+    #[test]
+    fn service_backed_planning_ranks_candidates() {
+        let (catalog, service) = setup();
+        let transfer = TransferCostModel::default();
+        let report = plan_query_with_service(&catalog, &service, &transfer, &join_plan()).unwrap();
+        assert_eq!(report.candidates.len(), 2);
+        assert!(report.candidates[0].total_secs() <= report.candidates[1].total_secs());
+    }
+
+    #[test]
+    fn concurrent_fanout_matches_serial_in_order() {
+        let (catalog, service) = setup();
+        let transfer = TransferCostModel::default();
+        let plans: Vec<LogicalPlan> = (0..12).map(|_| join_plan()).collect();
+        let serial = plan_queries_concurrent(&catalog, &service, &transfer, &plans, 1);
+        service.clear_cache();
+        let parallel = plan_queries_concurrent(&catalog, &service, &transfer, &plans, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.as_ref().unwrap(), p.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn scan_only_queries_have_no_service_model() {
+        let (catalog, service) = setup();
+        let transfer = TransferCostModel::default();
+        let plan = sqlkit::sql_to_plan("SELECT a1 FROM t_r").unwrap();
+        assert_eq!(
+            plan_query_with_service(&catalog, &service, &transfer, &plan),
+            Err(PlanError::NoViablePlacement)
+        );
+    }
+}

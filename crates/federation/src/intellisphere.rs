@@ -167,8 +167,8 @@ impl IntelliSphere {
             / engine.profile().cores_per_node as f64;
         let measurement = SubOpMeasurement::run(engine, suite);
         let time = measurement.training_time;
-        let models =
-            SubOpModels::fit(&measurement, budget).map_err(|e| SphereError::Models(e.to_string()))?;
+        let models = SubOpModels::fit(&measurement, budget)
+            .map_err(|e| SphereError::Models(e.to_string()))?;
         let costing = SubOpCosting::for_system(kind, models, 32.0 * 1024.0 * 1024.0);
         self.manager.register(CostingProfile::new(
             system.clone(),
@@ -241,7 +241,12 @@ impl IntelliSphere {
     pub fn plan(&mut self, sql: &str) -> Result<PlanReport, SphereError> {
         let plan = sqlkit::sql_to_plan(sql).map_err(|e| SphereError::Sql(e.to_string()))?;
         let catalog = self.global_catalog();
-        Ok(plan_query(&catalog, &mut self.manager, &self.transfer_model, &plan)?)
+        Ok(plan_query(
+            &catalog,
+            &mut self.manager,
+            &self.transfer_model,
+            &plan,
+        )?)
     }
 
     /// Plans and executes a SQL query: moves the needed tables to the
@@ -284,8 +289,7 @@ impl IntelliSphere {
         let actual_secs = exec.elapsed.as_secs();
 
         // Logging phase: route the observation to the profile.
-        let analysis =
-            analyze(&catalog, &plan).map_err(|e| SphereError::Sql(e.to_string()))?;
+        let analysis = analyze(&catalog, &plan).map_err(|e| SphereError::Sql(e.to_string()))?;
         let op = if analysis.join.is_some() {
             OperatorKind::Join
         } else if analysis.agg.is_some() {
@@ -293,7 +297,8 @@ impl IntelliSphere {
         } else {
             OperatorKind::Scan
         };
-        self.manager.observe_actual(&host, op, &analysis, actual_secs);
+        self.manager
+            .observe_actual(&host, op, &analysis, actual_secs);
 
         Ok(ExecutionReport {
             system: host,
@@ -320,27 +325,27 @@ mod tests {
 
     fn sphere() -> IntelliSphere {
         let mut s = IntelliSphere::new(42);
-        let hive = ClusterEngine::new(
-            "hive-a",
-            hive_persona(),
-            ClusterConfig::paper_hive(),
-            7,
-        )
-        .without_noise();
-        let spark = ClusterEngine::new(
-            "spark-b",
-            spark_persona(),
-            ClusterConfig::paper_hive(),
-            8,
-        )
-        .without_noise();
+        let hive = ClusterEngine::new("hive-a", hive_persona(), ClusterConfig::paper_hive(), 7)
+            .without_noise();
+        let spark = ClusterEngine::new("spark-b", spark_persona(), ClusterConfig::paper_hive(), 8)
+            .without_noise();
         s.add_remote(hive);
         s.add_remote(spark);
-        s.add_table(&SystemId::new("hive-a"), build_table(&TableSpec::new(1_000_000, 250)))
-            .unwrap();
-        s.add_table(&SystemId::new("spark-b"), build_table(&TableSpec::new(100_000, 100)))
-            .unwrap();
-        s.add_table(&SystemId::master(), build_table(&TableSpec::new(10_000, 40))).unwrap();
+        s.add_table(
+            &SystemId::new("hive-a"),
+            build_table(&TableSpec::new(1_000_000, 250)),
+        )
+        .unwrap();
+        s.add_table(
+            &SystemId::new("spark-b"),
+            build_table(&TableSpec::new(100_000, 100)),
+        )
+        .unwrap();
+        s.add_table(
+            &SystemId::master(),
+            build_table(&TableSpec::new(10_000, 40)),
+        )
+        .unwrap();
         // Sub-op profiles everywhere.
         let suite = probe_suite();
         for id in ["hive-a", "spark-b", "teradata"] {
@@ -411,12 +416,16 @@ mod tests {
             build_table(&TableSpec::new(80_000_000, 1000)),
         )
         .unwrap();
-        let report = s.plan("SELECT a1 FROM T80000000_1000 WHERE a1 < 1000").unwrap();
+        let report = s
+            .plan("SELECT a1 FROM T80000000_1000 WHERE a1 < 1000")
+            .unwrap();
         assert_eq!(report.best().option.system.as_str(), "hive-a");
         assert_eq!(report.best().transfer_secs, 0.0);
         // Conversely, a small table is worth shipping to the beefy master:
         // Hive's fixed job startup dominates tiny scans.
-        let small = s.plan("SELECT a1 FROM T1000000_250 WHERE a1 < 1000").unwrap();
+        let small = s
+            .plan("SELECT a1 FROM T1000000_250 WHERE a1 < 1000")
+            .unwrap();
         assert_eq!(small.best().option.system, SystemId::master());
     }
 

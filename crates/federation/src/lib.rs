@@ -24,11 +24,13 @@
 //!   executes (moving data through its QueryGrid emulation), and feeds
 //!   observed actuals back into the costing profiles.
 
+pub mod fanout;
 pub mod intellisphere;
 pub mod placement;
 pub mod planner;
 pub mod transfer;
 
+pub use fanout::{plan_queries_concurrent, plan_query_with_service};
 pub use intellisphere::{ExecutionReport, IntelliSphere};
 pub use placement::{enumerate_placements, PlacementOption, Transfer};
 pub use planner::{PlacementCost, PlanReport};

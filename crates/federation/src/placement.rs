@@ -51,11 +51,14 @@ pub fn enumerate_placements(
     let mut owners: Vec<(String, SystemId, f64)> = Vec::new();
     for (table, _) in &tables {
         let def = catalog.table(table)?;
-        owners.push((table.clone(), def.location.clone(), def.stats.total_bytes() as f64));
+        owners.push((
+            table.clone(),
+            def.location.clone(),
+            def.stats.total_bytes() as f64,
+        ));
     }
 
-    let mut candidates: BTreeSet<SystemId> =
-        owners.iter().map(|(_, sys, _)| sys.clone()).collect();
+    let mut candidates: BTreeSet<SystemId> = owners.iter().map(|(_, sys, _)| sys.clone()).collect();
     candidates.insert(SystemId::master());
 
     let mut options = Vec::new();
@@ -88,7 +91,10 @@ pub fn enumerate_placements(
                 }
             })
             .collect();
-        options.push(PlacementOption { system: host, transfers });
+        options.push(PlacementOption {
+            system: host,
+            transfers,
+        });
     }
     Ok(options)
 }
@@ -101,14 +107,20 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.register_system(RemoteSystemProfile::paper_hive_cluster("hive-a")).unwrap();
+        c.register_system(RemoteSystemProfile::paper_hive_cluster("hive-a"))
+            .unwrap();
         c.register_system(RemoteSystemProfile::new(
             SystemId::new("presto-b"),
             SystemKind::Spark,
             4,
             4,
             1 << 34,
-            vec![Capability::Filter, Capability::Project, Capability::Join, Capability::Aggregate],
+            vec![
+                Capability::Filter,
+                Capability::Project,
+                Capability::Join,
+                Capability::Aggregate,
+            ],
         ))
         .unwrap();
         c.register_system(RemoteSystemProfile::new(
@@ -117,12 +129,18 @@ mod tests {
             2,
             16,
             1 << 36,
-            vec![Capability::Filter, Capability::Project, Capability::Join, Capability::Aggregate],
+            vec![
+                Capability::Filter,
+                Capability::Project,
+                Capability::Join,
+                Capability::Aggregate,
+            ],
         ))
         .unwrap();
-        for (name, sys, rows) in
-            [("r_tab", "hive-a", 1_000_000u64), ("s_tab", "presto-b", 100_000)]
-        {
+        for (name, sys, rows) in [
+            ("r_tab", "hive-a", 1_000_000u64),
+            ("s_tab", "presto-b", 100_000),
+        ] {
             let stats = TableStats::new(rows, 100)
                 .with_column("a1", ColumnStats::duplicated_range(rows, 1));
             c.register_table(TableDef::new(
@@ -141,8 +159,7 @@ mod tests {
         let c = catalog();
         let plan = sql_to_plan("SELECT r.a1 FROM r_tab r JOIN s_tab s ON r.a1 = s.a1").unwrap();
         let opts = enumerate_placements(&c, &plan).unwrap();
-        let hosts: Vec<String> =
-            opts.iter().map(|o| o.system.as_str().to_string()).collect();
+        let hosts: Vec<String> = opts.iter().map(|o| o.system.as_str().to_string()).collect();
         assert_eq!(hosts.len(), 3);
         assert!(hosts.contains(&"hive-a".to_string()));
         assert!(hosts.contains(&"presto-b".to_string()));
@@ -158,7 +175,10 @@ mod tests {
         assert_eq!(on_hive.transfers.len(), 1);
         assert_eq!(on_hive.transfers[0].table, "s_tab");
         assert_eq!(on_hive.transfers[0].hops, 2);
-        let on_master = opts.iter().find(|o| o.system == SystemId::master()).unwrap();
+        let on_master = opts
+            .iter()
+            .find(|o| o.system == SystemId::master())
+            .unwrap();
         assert_eq!(on_master.transfers.len(), 2);
         assert!(on_master.transfers.iter().all(|t| t.hops == 1));
     }

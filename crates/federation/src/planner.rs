@@ -95,7 +95,11 @@ pub fn plan_query(
             .map(|t| transfer_model.transfer_secs(t.bytes, t.hops))
             .sum::<f64>()
             + 0.0; // normalise -0.0 from float arithmetic
-        candidates.push(PlacementCost { option, execution_secs: exec, transfer_secs });
+        candidates.push(PlacementCost {
+            option,
+            execution_secs: exec,
+            transfer_secs,
+        });
     }
     if candidates.is_empty() {
         return Err(last_err.map_or(PlanError::NoViablePlacement, PlanError::Costing));
@@ -115,7 +119,11 @@ pub fn choose_system(
     transfer_model: &TransferCostModel,
     plan: &LogicalPlan,
 ) -> Result<SystemId, PlanError> {
-    Ok(plan_query(catalog, manager, transfer_model, plan)?.best().option.system.clone())
+    Ok(plan_query(catalog, manager, transfer_model, plan)?
+        .best()
+        .option
+        .system
+        .clone())
 }
 
 #[cfg(test)]
@@ -130,7 +138,9 @@ mod tests {
     /// A catalog with one table on each of two systems plus the master.
     fn setup() -> (Catalog, HybridCostManager) {
         let mut catalog = Catalog::new();
-        catalog.register_system(RemoteSystemProfile::paper_hive_cluster("hive-a")).unwrap();
+        catalog
+            .register_system(RemoteSystemProfile::paper_hive_cluster("hive-a"))
+            .unwrap();
         catalog
             .register_system(RemoteSystemProfile::new(
                 SystemId::master(),
@@ -146,14 +156,21 @@ mod tests {
                 ],
             ))
             .unwrap();
-        for (name, sys, rows) in [("t_r", "hive-a", 4_000_000u64), ("t_s", "teradata", 400_000)] {
+        for (name, sys, rows) in [
+            ("t_r", "hive-a", 4_000_000u64),
+            ("t_s", "teradata", 400_000),
+        ] {
             let stats = TableStats::new(rows, 250)
                 .with_column("a1", ColumnStats::duplicated_range(rows, 1))
                 .with_column("z", ColumnStats::constant(0));
             catalog
                 .register_table(TableDef::new(
                     name,
-                    vec![ColumnDef::int("a1"), ColumnDef::int("z"), ColumnDef::chars("d", 242)],
+                    vec![
+                        ColumnDef::int("a1"),
+                        ColumnDef::int("z"),
+                        ColumnDef::chars("d", 242),
+                    ],
                     stats,
                     SystemId::new(sys),
                 ))
@@ -200,8 +217,7 @@ mod tests {
         let (catalog, mut manager) = setup();
         let transfer = TransferCostModel::default();
         let plan =
-            sqlkit::sql_to_plan("SELECT r.a1, s.a1 FROM t_r r JOIN t_s s ON r.a1 = s.a1")
-                .unwrap();
+            sqlkit::sql_to_plan("SELECT r.a1, s.a1 FROM t_r r JOIN t_s s ON r.a1 = s.a1").unwrap();
         let report = plan_query(&catalog, &mut manager, &transfer, &plan).unwrap();
         assert_eq!(report.candidates.len(), 2);
         assert!(report.candidates[0].total_secs() <= report.candidates[1].total_secs());
@@ -211,10 +227,12 @@ mod tests {
     #[test]
     fn transfer_costs_are_charged_per_foreign_table() {
         let (catalog, mut manager) = setup();
-        let transfer = TransferCostModel { setup_secs: 1.0, bytes_per_sec: 1.0e9 };
+        let transfer = TransferCostModel {
+            setup_secs: 1.0,
+            bytes_per_sec: 1.0e9,
+        };
         let plan =
-            sqlkit::sql_to_plan("SELECT r.a1, s.a1 FROM t_r r JOIN t_s s ON r.a1 = s.a1")
-                .unwrap();
+            sqlkit::sql_to_plan("SELECT r.a1, s.a1 FROM t_r r JOIN t_s s ON r.a1 = s.a1").unwrap();
         let report = plan_query(&catalog, &mut manager, &transfer, &plan).unwrap();
         for cand in &report.candidates {
             let expect: f64 = cand
@@ -235,8 +253,7 @@ mod tests {
         let (catalog, mut manager) = setup();
         let transfer = TransferCostModel::default();
         let plan =
-            sqlkit::sql_to_plan("SELECT r.a1, s.a1 FROM t_r r JOIN t_s s ON r.a1 = s.a1")
-                .unwrap();
+            sqlkit::sql_to_plan("SELECT r.a1, s.a1 FROM t_r r JOIN t_s s ON r.a1 = s.a1").unwrap();
         let winner = choose_system(&catalog, &mut manager, &transfer, &plan).unwrap();
         let report = plan_query(&catalog, &mut manager, &transfer, &plan).unwrap();
         assert_eq!(winner, report.best().option.system);
@@ -266,8 +283,7 @@ mod tests {
         manager.register(master_profile);
         let transfer = TransferCostModel::default();
         let plan =
-            sqlkit::sql_to_plan("SELECT r.a1, s.a1 FROM t_r r JOIN t_s s ON r.a1 = s.a1")
-                .unwrap();
+            sqlkit::sql_to_plan("SELECT r.a1, s.a1 FROM t_r r JOIN t_s s ON r.a1 = s.a1").unwrap();
         let report = plan_query(&catalog, &mut manager, &transfer, &plan).unwrap();
         assert_eq!(report.candidates.len(), 1);
         assert_eq!(report.best().option.system, SystemId::master());

@@ -21,7 +21,10 @@ pub struct TransferCostModel {
 impl Default for TransferCostModel {
     fn default() -> Self {
         // A 10 GbE link at ~60 % goodput.
-        TransferCostModel { setup_secs: 0.5, bytes_per_sec: 750.0e6 }
+        TransferCostModel {
+            setup_secs: 0.5,
+            bytes_per_sec: 750.0e6,
+        }
     }
 }
 
@@ -53,7 +56,10 @@ mod tests {
 
     #[test]
     fn cost_scales_with_bytes_and_hops() {
-        let m = TransferCostModel { setup_secs: 1.0, bytes_per_sec: 100.0 };
+        let m = TransferCostModel {
+            setup_secs: 1.0,
+            bytes_per_sec: 100.0,
+        };
         assert_eq!(m.hop_secs(200.0), 3.0);
         assert_eq!(m.transfer_secs(200.0, 2), 6.0);
     }

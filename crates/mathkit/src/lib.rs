@@ -17,11 +17,11 @@
 //! kernel, with no external numerical dependencies, so the rest of the
 //! workspace has a single well-tested numerical foundation.
 
+pub mod linreg;
 pub mod matrix;
 pub mod metrics;
-pub mod linreg;
-pub mod poly;
 pub mod piecewise;
+pub mod poly;
 pub mod scale;
 
 pub use linreg::{LinearModel, SimpleLinearModel};

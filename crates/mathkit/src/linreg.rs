@@ -31,10 +31,15 @@ impl SimpleLinearModel {
     /// degenerates to the constant mean with zero slope.
     pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self> {
         if xs.len() != ys.len() {
-            return Err(MathError::DimensionMismatch { context: "SimpleLinearModel::fit" });
+            return Err(MathError::DimensionMismatch {
+                context: "SimpleLinearModel::fit",
+            });
         }
         if xs.len() < 2 {
-            return Err(MathError::NotEnoughData { have: xs.len(), need: 2 });
+            return Err(MathError::NotEnoughData {
+                have: xs.len(),
+                need: 2,
+            });
         }
         if !all_finite(xs) || !all_finite(ys) {
             return Err(MathError::NonFinite);
@@ -52,7 +57,11 @@ impl SimpleLinearModel {
         };
         let preds: Vec<f64> = xs.iter().map(|&x| slope * x + intercept).collect();
         let r2 = crate::metrics::r2_score(&preds, ys);
-        Ok(SimpleLinearModel { slope, intercept, r2 })
+        Ok(SimpleLinearModel {
+            slope,
+            intercept,
+            r2,
+        })
     }
 
     /// Predicts `y` for a given `x` (extrapolates freely).
@@ -79,14 +88,21 @@ impl LinearModel {
     pub fn fit(rows: &[Vec<f64>], ys: &[f64]) -> Result<Self> {
         let n = rows.len();
         if n != ys.len() {
-            return Err(MathError::DimensionMismatch { context: "LinearModel::fit" });
+            return Err(MathError::DimensionMismatch {
+                context: "LinearModel::fit",
+            });
         }
         let d = rows.first().map_or(0, Vec::len);
         if n < d + 1 {
-            return Err(MathError::NotEnoughData { have: n, need: d + 1 });
+            return Err(MathError::NotEnoughData {
+                have: n,
+                need: d + 1,
+            });
         }
         if rows.iter().any(|r| r.len() != d) {
-            return Err(MathError::DimensionMismatch { context: "LinearModel::fit (ragged)" });
+            return Err(MathError::DimensionMismatch {
+                context: "LinearModel::fit (ragged)",
+            });
         }
         if rows.iter().any(|r| !all_finite(r)) || !all_finite(ys) {
             return Err(MathError::NonFinite);
@@ -108,8 +124,7 @@ impl LinearModel {
                 // Scale the ridge to the matrix magnitude: features like
                 // row counts make the Gram matrix entries huge, and an
                 // absolute epsilon would vanish against them.
-                let mean_diag = (0..=d).map(|i| xtx[(i, i)].abs()).sum::<f64>()
-                    / (d + 1) as f64;
+                let mean_diag = (0..=d).map(|i| xtx[(i, i)].abs()).sum::<f64>() / (d + 1) as f64;
                 xtx.add_ridge(1e-8 * mean_diag.max(1.0));
                 xtx.solve(&xty)?
             }
@@ -125,7 +140,11 @@ impl LinearModel {
     /// # Panics
     /// Panics if `x.len()` differs from the number of fitted weights.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.weights.len(), "LinearModel::predict: arity mismatch");
+        assert_eq!(
+            x.len(),
+            self.weights.len(),
+            "LinearModel::predict: arity mismatch"
+        );
         self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.intercept
     }
 
@@ -172,12 +191,19 @@ mod tests {
 
     #[test]
     fn simple_fit_rejects_nan() {
-        assert_eq!(SimpleLinearModel::fit(&[1.0, f64::NAN], &[1.0, 2.0]), Err(MathError::NonFinite));
+        assert_eq!(
+            SimpleLinearModel::fit(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(MathError::NonFinite)
+        );
     }
 
     #[test]
     fn simple_extrapolates_linearly() {
-        let m = SimpleLinearModel { slope: 2.0, intercept: 1.0, r2: 1.0 };
+        let m = SimpleLinearModel {
+            slope: 2.0,
+            intercept: 1.0,
+            r2: 1.0,
+        };
         assert_eq!(m.predict(100.0), 201.0);
         assert_eq!(m.predict(-10.0), -19.0);
     }
@@ -217,13 +243,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "arity mismatch")]
     fn predict_panics_on_wrong_arity() {
-        let m = LinearModel { weights: vec![1.0, 2.0], intercept: 0.0 };
+        let m = LinearModel {
+            weights: vec![1.0, 2.0],
+            intercept: 0.0,
+        };
         m.predict(&[1.0]);
     }
 
     #[test]
     fn serde_roundtrip() {
-        let m = SimpleLinearModel { slope: 0.0314, intercept: 0.7403, r2: 0.99875 };
+        let m = SimpleLinearModel {
+            slope: 0.0314,
+            intercept: 0.7403,
+            r2: 0.99875,
+        };
         let json = serde_json::to_string(&m).unwrap();
         let back: SimpleLinearModel = serde_json::from_str(&json).unwrap();
         assert_eq!(m, back);

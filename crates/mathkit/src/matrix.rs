@@ -15,7 +15,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a flat row-major buffer.
@@ -23,7 +27,9 @@ impl Matrix {
     /// Returns an error when `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
         if data.len() != rows * cols {
-            return Err(MathError::DimensionMismatch { context: "Matrix::from_vec" });
+            return Err(MathError::DimensionMismatch {
+                context: "Matrix::from_vec",
+            });
         }
         Ok(Matrix { rows, cols, data })
     }
@@ -35,13 +41,19 @@ impl Matrix {
         let nrows = rows.len();
         let ncols = rows.first().map_or(0, Vec::len);
         if rows.iter().any(|r| r.len() != ncols) {
-            return Err(MathError::DimensionMismatch { context: "Matrix::from_rows" });
+            return Err(MathError::DimensionMismatch {
+                context: "Matrix::from_rows",
+            });
         }
         let mut data = Vec::with_capacity(nrows * ncols);
         for r in rows {
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: nrows, cols: ncols, data })
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
     }
 
     /// The identity matrix of size `n`.
@@ -87,7 +99,9 @@ impl Matrix {
     /// Matrix product `self * rhs`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
-            return Err(MathError::DimensionMismatch { context: "Matrix::matmul" });
+            return Err(MathError::DimensionMismatch {
+                context: "Matrix::matmul",
+            });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
@@ -109,7 +123,9 @@ impl Matrix {
     /// Matrix–vector product `self * v`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
         if self.cols != v.len() {
-            return Err(MathError::DimensionMismatch { context: "Matrix::matvec" });
+            return Err(MathError::DimensionMismatch {
+                context: "Matrix::matvec",
+            });
         }
         Ok((0..self.rows)
             .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
@@ -122,10 +138,14 @@ impl Matrix {
     /// Returns [`MathError::Singular`] when a pivot is (numerically) zero.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         if self.rows != self.cols {
-            return Err(MathError::DimensionMismatch { context: "Matrix::solve (square)" });
+            return Err(MathError::DimensionMismatch {
+                context: "Matrix::solve (square)",
+            });
         }
         if b.len() != self.rows {
-            return Err(MathError::DimensionMismatch { context: "Matrix::solve (rhs)" });
+            return Err(MathError::DimensionMismatch {
+                context: "Matrix::solve (rhs)",
+            });
         }
         let n = self.rows;
         // Augmented working copy.

@@ -39,7 +39,12 @@ pub fn mae(predicted: &[f64], actual: &[f64]) -> f64 {
     if predicted.is_empty() {
         return 0.0;
     }
-    predicted.iter().zip(actual).map(|(p, a)| (p - a).abs()).sum::<f64>() / predicted.len() as f64
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
 }
 
 /// Coefficient of determination R² = 1 - SS_res / SS_tot.
@@ -54,9 +59,17 @@ pub fn r2_score(predicted: &[f64], actual: &[f64]) -> f64 {
     }
     let mean = actual.iter().sum::<f64>() / actual.len() as f64;
     let ss_tot: f64 = actual.iter().map(|a| (a - mean) * (a - mean)).sum();
-    let ss_res: f64 = predicted.iter().zip(actual).map(|(p, a)| (a - p) * (a - p)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (a - p) * (a - p))
+        .sum();
     if ss_tot == 0.0 {
-        return if ss_res == 0.0 { 1.0 } else { f64::NEG_INFINITY };
+        return if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     1.0 - ss_res / ss_tot
 }

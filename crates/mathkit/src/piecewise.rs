@@ -30,7 +30,9 @@ impl TwoRegimeModel {
     /// corresponding model is used". Each side needs at least two points.
     pub fn fit_with_breakpoint(xs: &[f64], ys: &[f64], breakpoint: f64) -> Result<Self> {
         if xs.len() != ys.len() {
-            return Err(MathError::DimensionMismatch { context: "TwoRegimeModel::fit" });
+            return Err(MathError::DimensionMismatch {
+                context: "TwoRegimeModel::fit",
+            });
         }
         let (mut lx, mut ly, mut hx, mut hy) = (vec![], vec![], vec![], vec![]);
         for (&x, &y) in xs.iter().zip(ys) {
@@ -44,7 +46,11 @@ impl TwoRegimeModel {
         }
         let low = SimpleLinearModel::fit(&lx, &ly)?;
         let high = SimpleLinearModel::fit(&hx, &hy)?;
-        Ok(TwoRegimeModel { low, high, breakpoint })
+        Ok(TwoRegimeModel {
+            low,
+            high,
+            breakpoint,
+        })
     }
 
     /// Fits segments and **searches** for the breakpoint minimising total
@@ -53,13 +59,22 @@ impl TwoRegimeModel {
     /// each side.
     pub fn fit_search(xs: &[f64], ys: &[f64]) -> Result<Self> {
         if xs.len() != ys.len() {
-            return Err(MathError::DimensionMismatch { context: "TwoRegimeModel::fit_search" });
+            return Err(MathError::DimensionMismatch {
+                context: "TwoRegimeModel::fit_search",
+            });
         }
         if xs.len() < 4 {
-            return Err(MathError::NotEnoughData { have: xs.len(), need: 4 });
+            return Err(MathError::NotEnoughData {
+                have: xs.len(),
+                need: 4,
+            });
         }
         let mut order: Vec<usize> = (0..xs.len()).collect();
-        order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            xs[a]
+                .partial_cmp(&xs[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let sx: Vec<f64> = order.iter().map(|&i| xs[i]).collect();
         let sy: Vec<f64> = order.iter().map(|&i| ys[i]).collect();
 
@@ -84,7 +99,10 @@ impl TwoRegimeModel {
                 best = Some((sse, model));
             }
         }
-        best.map(|(_, m)| m).ok_or(MathError::NotEnoughData { have: xs.len(), need: 4 })
+        best.map(|(_, m)| m).ok_or(MathError::NotEnoughData {
+            have: xs.len(),
+            need: 4,
+        })
     }
 
     /// Predicts using the segment the predictor falls into.
@@ -117,7 +135,13 @@ mod tests {
         let xs: Vec<f64> = (1..=12).map(|i| i as f64 * 100.0).collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&x| if x <= 500.0 { 0.025 * x + 18.0 } else { 0.18 * x - 50.0 })
+            .map(|&x| {
+                if x <= 500.0 {
+                    0.025 * x + 18.0
+                } else {
+                    0.18 * x - 50.0
+                }
+            })
             .collect();
         (xs, ys)
     }
@@ -136,7 +160,11 @@ mod tests {
     fn fit_search_finds_the_true_breakpoint() {
         let (xs, ys) = two_regime_data();
         let m = TwoRegimeModel::fit_search(&xs, &ys).unwrap();
-        assert!(m.breakpoint > 500.0 && m.breakpoint < 600.0, "breakpoint {}", m.breakpoint);
+        assert!(
+            m.breakpoint > 500.0 && m.breakpoint < 600.0,
+            "breakpoint {}",
+            m.breakpoint
+        );
         assert!((m.predict(300.0) - (0.025 * 300.0 + 18.0)).abs() < 1e-6);
         assert!((m.predict(1000.0) - (0.18 * 1000.0 - 50.0)).abs() < 1e-6);
     }

@@ -22,13 +22,20 @@ impl PolynomialModel {
     /// (≤ 3), so raw powers are used; callers should keep `degree` small.
     pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Self> {
         if degree == 0 {
-            return Err(MathError::DimensionMismatch { context: "PolynomialModel degree 0" });
+            return Err(MathError::DimensionMismatch {
+                context: "PolynomialModel degree 0",
+            });
         }
         if xs.len() != ys.len() {
-            return Err(MathError::DimensionMismatch { context: "PolynomialModel::fit" });
+            return Err(MathError::DimensionMismatch {
+                context: "PolynomialModel::fit",
+            });
         }
         if xs.len() < degree + 1 {
-            return Err(MathError::NotEnoughData { have: xs.len(), need: degree + 1 });
+            return Err(MathError::NotEnoughData {
+                have: xs.len(),
+                need: degree + 1,
+            });
         }
         let rows: Vec<Vec<f64>> = xs
             .iter()
@@ -91,7 +98,9 @@ mod tests {
 
     #[test]
     fn horner_evaluation_is_correct() {
-        let m = PolynomialModel { coeffs: vec![1.0, 0.0, 2.0] }; // 1 + 2x²
+        let m = PolynomialModel {
+            coeffs: vec![1.0, 0.0, 2.0],
+        }; // 1 + 2x²
         assert_eq!(m.predict(3.0), 19.0);
     }
 

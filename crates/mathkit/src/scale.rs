@@ -41,7 +41,11 @@ impl MinMaxScaler {
     /// Scales one row to the unit hyper-cube (values outside the fitted
     /// range map outside `[0, 1]`, deliberately).
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
-        assert_eq!(row.len(), self.mins.len(), "MinMaxScaler::transform: arity mismatch");
+        assert_eq!(
+            row.len(),
+            self.mins.len(),
+            "MinMaxScaler::transform: arity mismatch"
+        );
         row.iter()
             .enumerate()
             .map(|(j, &v)| {
@@ -62,7 +66,11 @@ impl MinMaxScaler {
 
     /// Inverts the scaling for one row.
     pub fn inverse(&self, row: &[f64]) -> Vec<f64> {
-        assert_eq!(row.len(), self.mins.len(), "MinMaxScaler::inverse: arity mismatch");
+        assert_eq!(
+            row.len(),
+            self.mins.len(),
+            "MinMaxScaler::inverse: arity mismatch"
+        );
         row.iter()
             .enumerate()
             .map(|(j, &v)| self.mins[j] + v * (self.maxs[j] - self.mins[j]))

@@ -20,9 +20,16 @@ impl Dataset {
     /// # Panics
     /// Panics when lengths differ or rows are ragged.
     pub fn new(inputs: Vec<Vec<f64>>, targets: Vec<f64>) -> Self {
-        assert_eq!(inputs.len(), targets.len(), "Dataset: inputs/targets length mismatch");
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "Dataset: inputs/targets length mismatch"
+        );
         if let Some(d) = inputs.first().map(Vec::len) {
-            assert!(inputs.iter().all(|r| r.len() == d), "Dataset: ragged input rows");
+            assert!(
+                inputs.iter().all(|r| r.len() == d),
+                "Dataset: ragged input rows"
+            );
         }
         Dataset { inputs, targets }
     }
@@ -60,7 +67,11 @@ impl Dataset {
     /// Panics when arities differ (and both are non-empty).
     pub fn extend(&mut self, other: &Dataset) {
         if !self.is_empty() && !other.is_empty() {
-            assert_eq!(self.arity(), other.arity(), "Dataset::extend: arity mismatch");
+            assert_eq!(
+                self.arity(),
+                other.arity(),
+                "Dataset::extend: arity mismatch"
+            );
         }
         self.inputs.extend(other.inputs.iter().cloned());
         self.targets.extend(other.targets.iter().cloned());

@@ -63,23 +63,41 @@ impl DenseLayer {
     /// Creates a layer with Xavier/Glorot-uniform initialised weights and
     /// zero biases, drawing from the caller's RNG.
     pub fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut StdRng) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
         let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
-        let weights = (0..in_dim * out_dim).map(|_| rng.gen_range(-limit..limit)).collect();
-        DenseLayer { weights, biases: vec![0.0; out_dim], in_dim, out_dim, activation }
+        let weights = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        DenseLayer {
+            weights,
+            biases: vec![0.0; out_dim],
+            in_dim,
+            out_dim,
+            activation,
+        }
     }
 
     /// Forward pass: returns the activated output.
     pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.out_dim);
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    /// Forward pass into a caller-owned buffer, so batched inference can
+    /// reuse one allocation across rows. The buffer is cleared first;
+    /// the arithmetic is identical to [`DenseLayer::forward`].
+    pub fn forward_into(&self, input: &[f64], out: &mut Vec<f64>) {
         debug_assert_eq!(input.len(), self.in_dim);
-        (0..self.out_dim)
-            .map(|o| {
-                let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
-                let z: f64 =
-                    row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + self.biases[o];
-                self.activation.apply(z)
-            })
-            .collect()
+        out.clear();
+        out.extend((0..self.out_dim).map(|o| {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let z: f64 = row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + self.biases[o];
+            self.activation.apply(z)
+        }));
     }
 
     /// Backward pass for one example.

@@ -56,7 +56,15 @@ impl Adam {
     /// Creates an Adam optimiser with the standard β₁=0.9, β₂=0.999.
     pub fn new(lr: f64) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: vec![], v: vec![] }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![],
+            v: vec![],
+        }
     }
 
     fn ensure_state(&mut self, net: &Network) {

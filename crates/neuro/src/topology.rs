@@ -36,7 +36,10 @@ impl Topology {
         while l1 <= 2 * n_in {
             let hi = (l1 / 2).max(3);
             for l2 in 3..=hi {
-                out.push(Topology { layer1: l1, layer2: l2 });
+                out.push(Topology {
+                    layer1: l1,
+                    layer2: l2,
+                });
             }
             l1 += step;
         }
@@ -89,7 +92,10 @@ pub fn search_topology(
         };
         train(&mut net, &tr, &te, &mut adam, &cfg);
         let e = rmse(&net.predict_batch(&te.inputs), &te.targets);
-        scores.push(TopologyScore { topology: topo, rmse: e });
+        scores.push(TopologyScore {
+            topology: topo,
+            rmse: e,
+        });
         if best.map_or(true, |(b, _)| e < b) {
             best = Some((e, topo));
         }
@@ -99,7 +105,13 @@ pub fn search_topology(
     let mut net = Network::new(n_in, &[winner.layer1, winner.layer2], seed ^ 0xA5A5);
     let mut adam = Adam::new(1e-3);
     train(&mut net, &tr, &te, &mut adam, final_config);
-    (net, TopologySearchReport { best: winner, scores })
+    (
+        net,
+        TopologySearchReport {
+            best: winner,
+            scores,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -111,9 +123,17 @@ mod tests {
         // Join: 7 inputs -> layer1 in [7, 14], layer2 in [3, layer1/2].
         let cands = Topology::candidates(7, 1);
         assert!(cands.iter().all(|t| (7..=14).contains(&t.layer1)));
-        assert!(cands.iter().all(|t| t.layer2 >= 3 && t.layer2 <= (t.layer1 / 2).max(3)));
-        assert!(cands.contains(&Topology { layer1: 7, layer2: 3 }));
-        assert!(cands.contains(&Topology { layer1: 14, layer2: 7 }));
+        assert!(cands
+            .iter()
+            .all(|t| t.layer2 >= 3 && t.layer2 <= (t.layer1 / 2).max(3)));
+        assert!(cands.contains(&Topology {
+            layer1: 7,
+            layer2: 3
+        }));
+        assert!(cands.contains(&Topology {
+            layer1: 14,
+            layer2: 7
+        }));
     }
 
     #[test]
@@ -121,8 +141,14 @@ mod tests {
         // Aggregation: 4 inputs -> layer1 in [4, 8]; layer1/2 may be < 3,
         // in which case only layer2 = 3 is offered.
         let cands = Topology::candidates(4, 1);
-        assert!(cands.contains(&Topology { layer1: 4, layer2: 3 }));
-        assert!(cands.contains(&Topology { layer1: 8, layer2: 4 }));
+        assert!(cands.contains(&Topology {
+            layer1: 4,
+            layer2: 3
+        }));
+        assert!(cands.contains(&Topology {
+            layer1: 8,
+            layer2: 4
+        }));
         assert!(cands.iter().all(|t| t.layer2 >= 3));
     }
 
@@ -135,10 +161,16 @@ mod tests {
     fn search_returns_best_scoring_candidate() {
         // Small learnable dataset.
         let inputs: Vec<Vec<f64>> = (0..120)
-            .map(|i| vec![(i % 12) as f64 / 11.0, (i % 7) as f64 / 6.0, (i % 5) as f64 / 4.0, 0.5])
+            .map(|i| {
+                vec![
+                    (i % 12) as f64 / 11.0,
+                    (i % 7) as f64 / 6.0,
+                    (i % 5) as f64 / 4.0,
+                    0.5,
+                ]
+            })
             .collect();
-        let targets: Vec<f64> =
-            inputs.iter().map(|r| r[0] + 0.5 * r[1] * r[2]).collect();
+        let targets: Vec<f64> = inputs.iter().map(|r| r[0] + 0.5 * r[1] * r[2]).collect();
         let data = Dataset::new(inputs, targets);
         let cfg = TrainConfig {
             iterations: 400,
@@ -153,8 +185,15 @@ mod tests {
             .iter()
             .map(|s| s.rmse)
             .fold(f64::INFINITY, f64::min);
-        let winner = report.scores.iter().find(|s| s.topology == report.best).unwrap();
+        let winner = report
+            .scores
+            .iter()
+            .find(|s| s.topology == report.best)
+            .unwrap();
         assert_eq!(winner.rmse, best_score);
-        assert_eq!(net.hidden_widths(), vec![report.best.layer1, report.best.layer2]);
+        assert_eq!(
+            net.hidden_widths(),
+            vec![report.best.layer1, report.best.layer2]
+        );
     }
 }

@@ -124,7 +124,10 @@ pub fn train(
             done += 1;
             if config.trace_every > 0 && done % config.trace_every == 0 {
                 let rmse = eval(net);
-                points.push(TracePoint { iteration: done, rmse_pct: rmse });
+                points.push(TracePoint {
+                    iteration: done,
+                    rmse_pct: rmse,
+                });
                 if config.early_stop_patience > 0 {
                     if rmse < best_rmse - 1e-12 {
                         best_rmse = rmse;
@@ -143,7 +146,12 @@ pub fn train(
             }
         }
     }
-    TrainTrace { final_rmse_pct: eval(net), points, iterations: done, early_stopped }
+    TrainTrace {
+        final_rmse_pct: eval(net),
+        points,
+        iterations: done,
+        early_stopped,
+    }
 }
 
 #[cfg(test)]
@@ -229,11 +237,26 @@ mod tests {
     fn converged_at_finds_stable_prefix() {
         let trace = TrainTrace {
             points: vec![
-                TracePoint { iteration: 100, rmse_pct: 50.0 },
-                TracePoint { iteration: 200, rmse_pct: 10.5 },
-                TracePoint { iteration: 300, rmse_pct: 30.0 }, // bounce
-                TracePoint { iteration: 400, rmse_pct: 10.2 },
-                TracePoint { iteration: 500, rmse_pct: 10.1 },
+                TracePoint {
+                    iteration: 100,
+                    rmse_pct: 50.0,
+                },
+                TracePoint {
+                    iteration: 200,
+                    rmse_pct: 10.5,
+                },
+                TracePoint {
+                    iteration: 300,
+                    rmse_pct: 30.0,
+                }, // bounce
+                TracePoint {
+                    iteration: 400,
+                    rmse_pct: 10.2,
+                },
+                TracePoint {
+                    iteration: 500,
+                    rmse_pct: 10.1,
+                },
             ],
             final_rmse_pct: 10.0,
             iterations: 500,

@@ -74,9 +74,11 @@ pub fn analyze(catalog: &Catalog, plan: &LogicalPlan) -> Result<QueryAnalysis, C
         other => (&[], other),
     };
     let (agg_node, below_agg) = match below_project {
-        LogicalOp::Aggregate { input, group_by, aggregates } => {
-            (Some((group_by, aggregates)), input.as_ref())
-        }
+        LogicalOp::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => (Some((group_by, aggregates)), input.as_ref()),
         other => (None, other),
     };
     let (has_filter, core_op) = match below_agg {
@@ -84,8 +86,11 @@ pub fn analyze(catalog: &Catalog, plan: &LogicalPlan) -> Result<QueryAnalysis, C
         other => (false, other),
     };
 
-    let core_out =
-        if has_filter { model.estimate(below_agg)? } else { model.estimate(core_op)? };
+    let core_out = if has_filter {
+        model.estimate(below_agg)?
+    } else {
+        model.estimate(core_op)?
+    };
 
     let mut analysis = QueryAnalysis {
         root: root_est,
@@ -168,8 +173,16 @@ pub fn join_inputs(
         }
     }
 
-    let l_side = SideInfo { rows: l_est.rows, row_bytes: l_est.row_bytes, proj_bytes: l_proj };
-    let r_side = SideInfo { rows: r_est.rows, row_bytes: r_est.row_bytes, proj_bytes: r_proj };
+    let l_side = SideInfo {
+        rows: l_est.rows,
+        row_bytes: l_est.row_bytes,
+        proj_bytes: l_proj,
+    };
+    let r_side = SideInfo {
+        rows: r_est.rows,
+        row_bytes: r_est.row_bytes,
+        proj_bytes: r_proj,
+    };
     let (big, small, big_bind, small_bind) = if l_side.total_bytes() >= r_side.total_bytes() {
         (l_side, r_side, &l_bind, &r_bind)
     } else {
@@ -269,10 +282,9 @@ mod tests {
 
     fn test_catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.register_system(RemoteSystemProfile::paper_hive_cluster("hive")).unwrap();
-        for (name, rows, size) in
-            [("t_big", 1_000_000u64, 250u64), ("t_small", 100_000, 100)]
-        {
+        c.register_system(RemoteSystemProfile::paper_hive_cluster("hive"))
+            .unwrap();
+        for (name, rows, size) in [("t_big", 1_000_000u64, 250u64), ("t_small", 100_000, 100)] {
             let mut stats = TableStats::new(rows, size);
             let mut schema = vec![];
             for dup in [1u64, 5] {
@@ -304,10 +316,8 @@ mod tests {
     #[test]
     fn join_analysis_exposes_fig2_dimensions() {
         let cat = test_catalog();
-        let plan = sql_to_plan(
-            "SELECT r.a1, s.a5 FROM t_big r JOIN t_small s ON r.a1 = s.a1",
-        )
-        .unwrap();
+        let plan =
+            sql_to_plan("SELECT r.a1, s.a5 FROM t_big r JOIN t_small s ON r.a1 = s.a1").unwrap();
         let a = analyze(&cat, &plan).unwrap();
         assert_eq!(a.core, CoreKind::Join);
         let (info, ctx) = a.join.unwrap();
@@ -326,8 +336,7 @@ mod tests {
     #[test]
     fn aggregation_analysis_exposes_four_dimensions() {
         let cat = test_catalog();
-        let plan =
-            sql_to_plan("SELECT a5, SUM(a1) AS s FROM t_big GROUP BY a5").unwrap();
+        let plan = sql_to_plan("SELECT a5, SUM(a1) AS s FROM t_big GROUP BY a5").unwrap();
         let a = analyze(&cat, &plan).unwrap();
         let agg = a.agg.unwrap();
         assert_eq!(agg.in_rows, 1_000_000.0);
@@ -340,15 +349,21 @@ mod tests {
     #[test]
     fn order_by_and_limit_are_analysed() {
         let cat = test_catalog();
-        let plan = sql_to_plan(
-            "SELECT a1 FROM t_small WHERE a1 < 50000 ORDER BY a1 DESC LIMIT 10",
-        )
-        .unwrap();
+        let plan = sql_to_plan("SELECT a1 FROM t_small WHERE a1 < 50000 ORDER BY a1 DESC LIMIT 10")
+            .unwrap();
         let a = analyze(&cat, &plan).unwrap();
         let sort_in = a.sort_in.expect("sort analysed");
-        assert!((sort_in.rows - 50_000.0).abs() < 500.0, "sort over {}", sort_in.rows);
+        assert!(
+            (sort_in.rows - 50_000.0).abs() < 500.0,
+            "sort over {}",
+            sort_in.rows
+        );
         assert_eq!(a.limit, Some(10));
-        assert!((a.root.rows - 10.0).abs() < 1e-9, "limit caps root: {}", a.root.rows);
+        assert!(
+            (a.root.rows - 10.0).abs() < 1e-9,
+            "limit caps root: {}",
+            a.root.rows
+        );
         // Plain queries have neither.
         let plain = sql_to_plan("SELECT a1 FROM t_small").unwrap();
         let pa = analyze(&cat, &plain).unwrap();
@@ -369,6 +384,10 @@ mod tests {
         // Inputs are unfiltered …
         assert_eq!(info.big.rows, 1_000_000.0);
         // … but the output reflects the threshold predicate (~50 % of 100k).
-        assert!((info.out_rows - 50_000.0).abs() < 500.0, "out {}", info.out_rows);
+        assert!(
+            (info.out_rows - 50_000.0).abs() < 500.0,
+            "out {}",
+            info.out_rows
+        );
     }
 }

@@ -111,7 +111,10 @@ impl<'a> CardinalityModel<'a> {
             LogicalOp::Filter { input, predicate } => {
                 let base = self.estimate_with(input, bindings)?;
                 let sel = self.selectivity(predicate, bindings);
-                Ok(NodeEstimate { rows: base.rows * sel, row_bytes: base.row_bytes })
+                Ok(NodeEstimate {
+                    rows: base.rows * sel,
+                    row_bytes: base.row_bytes,
+                })
             }
             LogicalOp::Join { left, right, on } => {
                 let l = self.estimate_with(left, bindings)?;
@@ -119,12 +122,12 @@ impl<'a> CardinalityModel<'a> {
                 let (equi, residual) = split_join_condition(on);
                 let mut rows = l.rows * r.rows;
                 for (lk, rk) in &equi {
-                    let ndv_l = self.column_stats(lk, bindings).map_or(l.rows, |s| {
-                        s.distinct_values as f64
-                    });
-                    let ndv_r = self.column_stats(rk, bindings).map_or(r.rows, |s| {
-                        s.distinct_values as f64
-                    });
+                    let ndv_l = self
+                        .column_stats(lk, bindings)
+                        .map_or(l.rows, |s| s.distinct_values as f64);
+                    let ndv_r = self
+                        .column_stats(rk, bindings)
+                        .map_or(r.rows, |s| s.distinct_values as f64);
                     rows /= ndv_l.max(ndv_r).max(1.0);
                 }
                 if equi.is_empty() {
@@ -133,9 +136,16 @@ impl<'a> CardinalityModel<'a> {
                 for pred in &residual {
                     rows *= self.selectivity(pred, bindings);
                 }
-                Ok(NodeEstimate { rows: rows.max(0.0), row_bytes: l.row_bytes + r.row_bytes })
+                Ok(NodeEstimate {
+                    rows: rows.max(0.0),
+                    row_bytes: l.row_bytes + r.row_bytes,
+                })
             }
-            LogicalOp::Aggregate { input, group_by, aggregates } => {
+            LogicalOp::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
                 let base = self.estimate_with(input, bindings)?;
                 let mut groups = 1.0f64;
                 for g in group_by {
@@ -143,7 +153,10 @@ impl<'a> CardinalityModel<'a> {
                 }
                 let groups = groups.min(base.rows).max(1.0);
                 let width = agg_output_width(group_by, aggregates, bindings);
-                Ok(NodeEstimate { rows: groups, row_bytes: width })
+                Ok(NodeEstimate {
+                    rows: groups,
+                    row_bytes: width,
+                })
             }
             LogicalOp::Project { input, items } => {
                 let base = self.estimate_with(input, bindings)?;
@@ -152,23 +165,25 @@ impl<'a> CardinalityModel<'a> {
                     return Ok(base);
                 }
                 let width: f64 = items.iter().map(|i| expr_width(&i.expr, bindings)).sum();
-                Ok(NodeEstimate { rows: base.rows, row_bytes: width.max(4.0) })
+                Ok(NodeEstimate {
+                    rows: base.rows,
+                    row_bytes: width.max(4.0),
+                })
             }
             LogicalOp::Sort { input, .. } => self.estimate_with(input, bindings),
             LogicalOp::Limit { input, n } => {
                 let base = self.estimate_with(input, bindings)?;
-                Ok(NodeEstimate { rows: base.rows.min(*n as f64), row_bytes: base.row_bytes })
+                Ok(NodeEstimate {
+                    rows: base.rows.min(*n as f64),
+                    row_bytes: base.row_bytes,
+                })
             }
         }
     }
 
     /// Selectivity of a boolean predicate under uniform/independence
     /// assumptions.
-    pub fn selectivity(
-        &self,
-        pred: &Expr,
-        bindings: &HashMap<String, &'a TableDef>,
-    ) -> f64 {
+    pub fn selectivity(&self, pred: &Expr, bindings: &HashMap<String, &'a TableDef>) -> f64 {
         match pred {
             Expr::Binary { op, left, right } if op.is_logical() => {
                 let a = self.selectivity(left, bindings);
@@ -235,11 +250,7 @@ impl<'a> CardinalityModel<'a> {
     }
 
     /// Interval of possible values of a scalar expression, when derivable.
-    fn expr_range(
-        &self,
-        e: &Expr,
-        bindings: &HashMap<String, &'a TableDef>,
-    ) -> Option<(f64, f64)> {
+    fn expr_range(&self, e: &Expr, bindings: &HashMap<String, &'a TableDef>) -> Option<(f64, f64)> {
         match e {
             Expr::Number(n) => Some((*n, *n)),
             Expr::Column { .. } => {
@@ -253,8 +264,7 @@ impl<'a> CardinalityModel<'a> {
                     BinOp::Add => Some((llo + rlo, lhi + rhi)),
                     BinOp::Sub => Some((llo - rhi, lhi - rlo)),
                     BinOp::Mul => {
-                        let cands =
-                            [llo * rlo, llo * rhi, lhi * rlo, lhi * rhi];
+                        let cands = [llo * rlo, llo * rhi, lhi * rlo, lhi * rhi];
                         Some((
                             cands.iter().copied().fold(f64::INFINITY, f64::min),
                             cands.iter().copied().fold(f64::NEG_INFINITY, f64::max),
@@ -303,12 +313,7 @@ impl<'a> CardinalityModel<'a> {
 
     /// Distinct values of a grouping expression (falls back to √rows for
     /// opaque expressions, a common optimizer default).
-    fn expr_ndv(
-        &self,
-        e: &Expr,
-        bindings: &HashMap<String, &'a TableDef>,
-        input_rows: f64,
-    ) -> f64 {
+    fn expr_ndv(&self, e: &Expr, bindings: &HashMap<String, &'a TableDef>, input_rows: f64) -> f64 {
         match self.expr_column_stats(e, bindings) {
             Some(s) => s.distinct_values as f64,
             None => input_rows.sqrt().max(1.0),
@@ -335,10 +340,21 @@ pub fn split_join_condition(on: &Expr) -> (Vec<(ColRef, ColRef)>, Vec<Expr>) {
     let mut equi = Vec::new();
     let mut residual = Vec::new();
     collect_conjuncts(on, &mut |conj| {
-        if let Expr::Binary { op: BinOp::Eq, left, right } = conj {
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            right,
+        } = conj
+        {
             if let (
-                Expr::Column { qualifier: Some(lq), name: ln },
-                Expr::Column { qualifier: Some(rq), name: rn },
+                Expr::Column {
+                    qualifier: Some(lq),
+                    name: ln,
+                },
+                Expr::Column {
+                    qualifier: Some(rq),
+                    name: rn,
+                },
             ) = (left.as_ref(), right.as_ref())
             {
                 if lq != rq {
@@ -353,7 +369,12 @@ pub fn split_join_condition(on: &Expr) -> (Vec<(ColRef, ColRef)>, Vec<Expr>) {
 }
 
 fn collect_conjuncts(e: &Expr, f: &mut impl FnMut(&Expr)) {
-    if let Expr::Binary { op: BinOp::And, left, right } = e {
+    if let Expr::Binary {
+        op: BinOp::And,
+        left,
+        right,
+    } = e
+    {
         collect_conjuncts(left, f);
         collect_conjuncts(right, f);
     } else {
@@ -400,16 +421,16 @@ mod tests {
     /// Builds a catalog holding two Fig. 10-style tables on one Hive system.
     fn fig10_catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.register_system(RemoteSystemProfile::paper_hive_cluster("hive-a")).unwrap();
-        for (name, rows, size) in
-            [("t_big", 1_000_000u64, 250u64), ("t_small", 100_000u64, 100u64)]
-        {
+        c.register_system(RemoteSystemProfile::paper_hive_cluster("hive-a"))
+            .unwrap();
+        for (name, rows, size) in [
+            ("t_big", 1_000_000u64, 250u64),
+            ("t_small", 100_000u64, 100u64),
+        ] {
             let mut stats = TableStats::new(rows, size);
             for dup in [1u64, 2, 5, 10, 20, 50, 100] {
-                stats = stats.with_column(
-                    &format!("a{dup}"),
-                    ColumnStats::duplicated_range(rows, dup),
-                );
+                stats =
+                    stats.with_column(&format!("a{dup}"), ColumnStats::duplicated_range(rows, dup));
             }
             stats = stats.with_column("z", ColumnStats::constant(0));
             let mut schema: Vec<ColumnDef> = [1u64, 2, 5, 10, 20, 50, 100]
@@ -482,9 +503,7 @@ mod tests {
 
     #[test]
     fn aggregation_output_capped_by_input_rows() {
-        let e = estimate(
-            "SELECT a1, SUM(a2) AS s FROM t_small WHERE a1 < 10 GROUP BY a1",
-        );
+        let e = estimate("SELECT a1, SUM(a2) AS s FROM t_small WHERE a1 < 10 GROUP BY a1");
         assert!(e.rows <= 10.0 + 1.0, "rows {}", e.rows);
     }
 
@@ -505,19 +524,26 @@ mod tests {
     #[test]
     fn and_multiplies_or_unions() {
         let both = estimate("SELECT * FROM t_big WHERE a1 < 500000 AND a2 < 250000");
-        assert!((both.rows - 250_000.0).abs() < 2_000.0, "rows {}", both.rows);
+        assert!(
+            (both.rows - 250_000.0).abs() < 2_000.0,
+            "rows {}",
+            both.rows
+        );
         // OR combines under independence: 0.5 + 0.5 - 0.25 = 0.75 (the
         // model does not know both disjuncts reference the same column).
         let either = estimate("SELECT * FROM t_big WHERE a1 < 500000 OR a1 >= 500000");
-        assert!((either.rows - 750_000.0).abs() < 2_000.0, "rows {}", either.rows);
+        assert!(
+            (either.rows - 750_000.0).abs() < 2_000.0,
+            "rows {}",
+            either.rows
+        );
     }
 
     #[test]
     fn split_join_condition_extracts_keys_and_residual() {
-        let plan = sql_to_plan(
-            "SELECT * FROM t_big r JOIN t_small s ON r.a1 = s.a1 AND r.a2 < 100",
-        )
-        .unwrap();
+        let plan =
+            sql_to_plan("SELECT * FROM t_big r JOIN t_small s ON r.a1 = s.a1 AND r.a2 < 100")
+                .unwrap();
         // Find the join node.
         fn find_join(op: &LogicalOp) -> Option<&Expr> {
             match op {

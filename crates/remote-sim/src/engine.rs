@@ -120,10 +120,17 @@ impl ClusterEngine {
             cluster.nodes,
             cluster.cores_per_node,
             cluster.memory_per_node_bytes,
-            vec![Capability::Filter, Capability::Project, Capability::Join, Capability::Aggregate],
+            vec![
+                Capability::Filter,
+                Capability::Project,
+                Capability::Join,
+                Capability::Aggregate,
+            ],
         );
         let mut catalog = Catalog::new();
-        catalog.register_system(profile.clone()).expect("fresh catalog");
+        catalog
+            .register_system(profile.clone())
+            .expect("fresh catalog");
         let noise = NoiseSource::new(seed, persona.noise_sigma);
         ClusterEngine {
             id: sys_id,
@@ -139,12 +146,26 @@ impl ClusterEngine {
 
     /// The paper's evaluation target: a Hive persona on the §7 cluster.
     pub fn paper_hive(id: &str, seed: u64) -> Self {
-        ClusterEngine::new(id, crate::personas::hive_persona(), ClusterConfig::paper_hive(), seed)
+        ClusterEngine::new(
+            id,
+            crate::personas::hive_persona(),
+            ClusterConfig::paper_hive(),
+            seed,
+        )
     }
 
     /// Disables execution noise (tests and calibration baselines).
     pub fn without_noise(mut self) -> Self {
         self.noise = NoiseSource::disabled(0);
+        self
+    }
+
+    /// Reseeds the execution-noise stream explicitly, keeping the
+    /// persona's sigma. Two engines driven through identical query
+    /// sequences after identical reseeds report identical elapsed times —
+    /// the determinism contract the evaluation experiments rely on.
+    pub fn with_noise_seed(mut self, seed: u64) -> Self {
+        self.noise = NoiseSource::new(seed, self.persona.noise_sigma);
         self
     }
 
@@ -163,7 +184,10 @@ impl ClusterEngine {
     }
 
     fn exec_model(&self) -> ExecModel<'_> {
-        ExecModel { micro: &self.persona.micro, cluster: &self.cluster }
+        ExecModel {
+            micro: &self.persona.micro,
+            cluster: &self.cluster,
+        }
     }
 
     /// Runs jobs through the clock: sums elapsed, applies noise, accrues
@@ -233,7 +257,12 @@ impl ClusterEngine {
             &self.exec_model(),
             plan,
         )?;
-        Ok(self.finish(&compiled.jobs, compiled.out, compiled.join_algorithm, compiled.agg_algorithm))
+        Ok(self.finish(
+            &compiled.jobs,
+            compiled.out,
+            compiled.join_algorithm,
+            compiled.agg_algorithm,
+        ))
     }
 }
 
@@ -261,7 +290,10 @@ impl RemoteSystem for ClusterEngine {
 
     fn submit_probe(&mut self, probe: &ProbeSpec) -> Result<Execution, EngineError> {
         let job = self.exec_model().probe_job(probe);
-        let out = NodeEstimate { rows: 0.0, row_bytes: 1.0 };
+        let out = NodeEstimate {
+            rows: 0.0,
+            row_bytes: 1.0,
+        };
         Ok(self.finish(&[job], out, None, None))
     }
 
@@ -386,7 +418,12 @@ fn compile(
         jobs.push(em.sort_job(sort_in.rows, sort_in.row_bytes, distributed));
     }
 
-    Ok(Compiled { jobs, out: analysis.root, join_algorithm, agg_algorithm })
+    Ok(Compiled {
+        jobs,
+        out: analysis.root,
+        join_algorithm,
+        agg_algorithm,
+    })
 }
 
 /// Extracts the left input of the topmost join as a standalone plan (for
@@ -405,12 +442,13 @@ fn nested_left_join_plan(plan: &LogicalPlan) -> Option<LogicalPlan> {
     }
     if let Some(LogicalOp::Join { left, .. }) = find_join(&plan.root) {
         if left.join_count() > 0 {
-            return Some(LogicalPlan { root: left.as_ref().clone() });
+            return Some(LogicalPlan {
+                root: left.as_ref().clone(),
+            });
         }
     }
     None
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -429,7 +467,10 @@ mod tests {
         }
         stats = stats.with_column("z", ColumnStats::constant(0));
         schema.push(ColumnDef::int("z"));
-        schema.push(ColumnDef::chars("dummy", size.saturating_sub(32).max(1) as u32));
+        schema.push(ColumnDef::chars(
+            "dummy",
+            size.saturating_sub(32).max(1) as u32,
+        ));
         let t = TableDef::new(name, schema, stats, SystemId::new("ignored"));
         e.register_table(t).unwrap();
     }
@@ -442,10 +483,52 @@ mod tests {
         e
     }
 
+    /// The same query mix every determinism test drives.
+    fn run_mix(e: &mut ClusterEngine) -> Vec<SimDuration> {
+        [
+            "SELECT a1 FROM t_small WHERE a1 < 50000",
+            "SELECT r.a1, s.a1 FROM t_big r JOIN t_small s ON r.a1 = s.a1",
+            "SELECT a5, SUM(a1) AS s FROM t_big GROUP BY a5",
+            "SELECT r.a1, s.a1 FROM t_big r JOIN t_tiny s ON r.a1 = s.a1",
+            "SELECT a10, SUM(a2) AS s FROM t_small GROUP BY a10",
+        ]
+        .iter()
+        .map(|sql| e.submit_sql(sql).unwrap().elapsed)
+        .collect()
+    }
+
+    fn noisy_engine(seed: u64) -> ClusterEngine {
+        let mut e = ClusterEngine::paper_hive("hive-a", seed);
+        add_table(&mut e, "t_big", 1_000_000, 250);
+        add_table(&mut e, "t_small", 100_000, 100);
+        add_table(&mut e, "t_tiny", 10_000, 40);
+        e
+    }
+
+    #[test]
+    fn same_seed_runs_report_identical_elapsed_times() {
+        let mut a = noisy_engine(42);
+        let mut b = noisy_engine(42);
+        assert_eq!(run_mix(&mut a), run_mix(&mut b));
+        assert_eq!(a.total_busy(), b.total_busy());
+        // Different seeds jitter differently (noise is actually applied).
+        let mut c = noisy_engine(43);
+        assert_ne!(run_mix(&mut a), run_mix(&mut c));
+    }
+
+    #[test]
+    fn explicit_noise_reseed_overrides_the_construction_seed() {
+        let mut a = noisy_engine(1).with_noise_seed(777);
+        let mut b = noisy_engine(2).with_noise_seed(777);
+        assert_eq!(run_mix(&mut a), run_mix(&mut b));
+    }
+
     #[test]
     fn scan_query_runs_and_reports_output() {
         let mut e = hive_engine();
-        let x = e.submit_sql("SELECT a1 FROM t_small WHERE a1 < 50000").unwrap();
+        let x = e
+            .submit_sql("SELECT a1 FROM t_small WHERE a1 < 50000")
+            .unwrap();
         assert!(x.elapsed > SimDuration::ZERO);
         assert!((x.output_rows as f64 - 50_000.0).abs() < 1_000.0);
         assert_eq!(e.queries_executed(), 1);
@@ -518,7 +601,9 @@ mod tests {
     fn probes_run_and_accrue_busy_time() {
         let mut e = hive_engine();
         use crate::probe::{ProbeKind, ProbeSpec};
-        let a = e.submit_probe(&ProbeSpec::new(ProbeKind::ReadDfs, 1_000_000, 1_000)).unwrap();
+        let a = e
+            .submit_probe(&ProbeSpec::new(ProbeKind::ReadDfs, 1_000_000, 1_000))
+            .unwrap();
         let b = e
             .submit_probe(&ProbeSpec::new(ProbeKind::ReadWriteDfs, 1_000_000, 1_000))
             .unwrap();
@@ -561,7 +646,10 @@ mod tests {
         let x = e
             .submit_sql("SELECT r.a1, s.a1 FROM r_b r JOIN s_b s ON r.a1 = s.a1")
             .unwrap();
-        assert_eq!(x.join_algorithm, Some(JoinAlgorithm::HiveSortMergeBucketJoin));
+        assert_eq!(
+            x.join_algorithm,
+            Some(JoinAlgorithm::HiveSortMergeBucketJoin)
+        );
     }
 
     #[test]
@@ -578,7 +666,12 @@ mod tests {
         let sql = "SELECT r.a1, s.a1 FROM t_big r JOIN t_small s ON r.a1 = s.a1";
         let h = hive.submit_sql(sql).unwrap();
         let s = spark.submit_sql(sql).unwrap();
-        assert!(s.elapsed < h.elapsed, "spark {} vs hive {}", s.elapsed, h.elapsed);
+        assert!(
+            s.elapsed < h.elapsed,
+            "spark {} vs hive {}",
+            s.elapsed,
+            h.elapsed
+        );
     }
 
     #[test]
@@ -594,7 +687,10 @@ mod tests {
             .unwrap();
         assert!(joined_agg.join_algorithm.is_some());
         assert!(joined_agg.agg_algorithm.is_some());
-        assert!(joined_agg.elapsed > join_only.elapsed, "extra agg stage costs time");
+        assert!(
+            joined_agg.elapsed > join_only.elapsed,
+            "extra agg stage costs time"
+        );
         // Groups over a5 of the 100k-row join output (dup 5 on t_big's
         // 1M-row domain, containment-limited): bounded by the join size.
         assert!(joined_agg.output_rows <= join_only.output_rows);
@@ -603,7 +699,9 @@ mod tests {
     #[test]
     fn order_by_adds_a_sort_pass_and_limit_caps_output() {
         let mut e = hive_engine();
-        let plain = e.submit_sql("SELECT a1 FROM t_big WHERE a1 < 500000").unwrap();
+        let plain = e
+            .submit_sql("SELECT a1 FROM t_big WHERE a1 < 500000")
+            .unwrap();
         let sorted = e
             .submit_sql("SELECT a1 FROM t_big WHERE a1 < 500000 ORDER BY a1")
             .unwrap();

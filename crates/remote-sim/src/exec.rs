@@ -46,7 +46,12 @@ pub struct Stage {
 impl Stage {
     /// A stage with no serial prelude.
     pub fn parallel(tasks: u64, io_us: f64, cpu_us: f64) -> Self {
-        Stage { tasks: tasks.max(1), io_us, cpu_us, serial_prelude_us: 0.0 }
+        Stage {
+            tasks: tasks.max(1),
+            io_us,
+            cpu_us,
+            serial_prelude_us: 0.0,
+        }
     }
 
     /// Adds driver-side serial work.
@@ -90,8 +95,7 @@ impl Job {
         let mut total = 0.0;
         for s in &self.stages {
             let waves = cluster.task_waves(s.tasks) as f64;
-            let effective =
-                s.io_us.max(s.cpu_us) + ov.overlap_residual * s.io_us.min(s.cpu_us);
+            let effective = s.io_us.max(s.cpu_us) + ov.overlap_residual * s.io_us.min(s.cpu_us);
             total += ov.stage_startup_us
                 + s.serial_prelude_us
                 + waves * ov.task_startup_us
@@ -221,7 +225,9 @@ impl ExecModel<'_> {
             m.read_local.total(in_rows, in_bytes) + m.write_local.total(out_rows, out_bytes)
         };
         let cpu = m.scan.total(in_rows, in_bytes);
-        Job { stages: vec![Stage::parallel(tasks, io, cpu)] }
+        Job {
+            stages: vec![Stage::parallel(tasks, io, cpu)],
+        }
     }
 
     /// A final ORDER BY pass: read the intermediate result locally, sort
@@ -236,7 +242,9 @@ impl ExecModel<'_> {
         };
         let io = m.read_local.total(rows, row_bytes) + write;
         let cpu = self.sort_total(rows, row_bytes, tasks);
-        Job { stages: vec![Stage::parallel(tasks, io, cpu)] }
+        Job {
+            stages: vec![Stage::parallel(tasks, io, cpu)],
+        }
     }
 
     /// Builds the job for one join algorithm.
@@ -355,7 +363,9 @@ impl ExecModel<'_> {
             + m.write_dfs.total(j.out_rows, j.out_bytes);
         let cpu = m.hash_insert(j.small.row_bytes, fits) * j.small.rows * t
             + m.hash_probe.total(j.big.rows, j.big.row_bytes);
-        Job { stages: vec![Stage::parallel(tasks, io, cpu).with_prelude(prelude)] }
+        Job {
+            stages: vec![Stage::parallel(tasks, io, cpu).with_prelude(prelude)],
+        }
     }
 
     /// Bucket map join: like broadcast, but each task loads only its own
@@ -369,21 +379,27 @@ impl ExecModel<'_> {
             + m.write_dfs.total(j.out_rows, j.out_bytes);
         let cpu = m.hash_insert(j.small.row_bytes, fits) * j.small.rows
             + m.hash_probe.total(j.big.rows, j.big.row_bytes);
-        Job { stages: vec![Stage::parallel(tasks, io, cpu)] }
+        Job {
+            stages: vec![Stage::parallel(tasks, io, cpu)],
+        }
     }
 
     /// Sort-merge bucket join: co-bucketed pre-sorted inputs are merged
     /// directly, no shuffle and no sort.
     fn sort_merge_bucket_join(&self, j: &JoinInfo) -> Job {
         let m = self.micro;
-        let tasks = self.blocks(j.big.total_bytes()).max(self.blocks(j.small.total_bytes()));
+        let tasks = self
+            .blocks(j.big.total_bytes())
+            .max(self.blocks(j.small.total_bytes()));
         let io = m.read_local.total(j.big.rows, j.big.row_bytes)
             + m.read_local.total(j.small.rows, j.small.row_bytes)
             + m.write_dfs.total(j.out_rows, j.out_bytes);
         let cpu = m.scan.total(j.big.rows, j.big.proj_bytes)
             + m.scan.total(j.small.rows, j.small.proj_bytes)
             + self.join_merge_total(j.out_rows, j.out_bytes);
-        Job { stages: vec![Stage::parallel(tasks, io, cpu)] }
+        Job {
+            stages: vec![Stage::parallel(tasks, io, cpu)],
+        }
     }
 
     /// Spark shuffle-hash join: shuffle both sides, hash-build the small
@@ -397,8 +413,7 @@ impl ExecModel<'_> {
             + m.scan.total(j.small.rows, j.small.row_bytes);
 
         let reduce_tasks = self.blocks(j.big.total_proj_bytes() + j.small.total_proj_bytes());
-        let fits =
-            self.fits_hash_budget(j.small.total_proj_bytes() / reduce_tasks as f64);
+        let fits = self.fits_hash_budget(j.small.total_proj_bytes() / reduce_tasks as f64);
         let reduce_io = m.shuffle.total(j.big.rows, j.big.proj_bytes)
             + m.shuffle.total(j.small.rows, j.small.proj_bytes)
             + m.write_dfs.total(j.out_rows, j.out_bytes);
@@ -424,20 +439,23 @@ impl ExecModel<'_> {
         let io = m.read_local.total(j.big.rows, j.big.row_bytes)
             + m.write_dfs.total(j.out_rows, j.out_bytes);
         let cpu = m.scan.per_record(j.small.proj_bytes) * pairs;
-        Job { stages: vec![Stage::parallel(tasks, io, cpu).with_prelude(prelude)] }
+        Job {
+            stages: vec![Stage::parallel(tasks, io, cpu).with_prelude(prelude)],
+        }
     }
 
     /// Spark Cartesian product: shuffles both sides everywhere, then pairs.
     fn cartesian(&self, j: &JoinInfo) -> Job {
         let m = self.micro;
-        let tasks =
-            (self.blocks(j.big.total_bytes()) * self.blocks(j.small.total_bytes())).max(1);
+        let tasks = (self.blocks(j.big.total_bytes()) * self.blocks(j.small.total_bytes())).max(1);
         let io = m.shuffle.total(j.big.rows, j.big.proj_bytes)
             + m.shuffle.total(j.small.rows, j.small.proj_bytes)
             + m.write_dfs.total(j.out_rows, j.out_bytes);
         let pairs = j.big.rows * j.small.rows;
         let cpu = m.scan.per_record(j.small.proj_bytes) * pairs;
-        Job { stages: vec![Stage::parallel(tasks, io, cpu)] }
+        Job {
+            stages: vec![Stage::parallel(tasks, io, cpu)],
+        }
     }
 
     /// Single-node RDBMS hash join.
@@ -451,7 +469,9 @@ impl ExecModel<'_> {
         let cpu = m.hash_insert(j.small.row_bytes, fits) * j.small.rows
             + m.hash_probe.total(j.big.rows, j.big.row_bytes)
             + self.join_merge_total(j.out_rows, j.out_bytes);
-        Job { stages: vec![Stage::parallel(tasks, io, cpu)] }
+        Job {
+            stages: vec![Stage::parallel(tasks, io, cpu)],
+        }
     }
 
     /// Single-node sort-merge join.
@@ -464,7 +484,9 @@ impl ExecModel<'_> {
         let cpu = self.sort_total(j.big.rows, j.big.proj_bytes, tasks)
             + self.sort_total(j.small.rows, j.small.proj_bytes, tasks)
             + self.join_merge_total(j.out_rows, j.out_bytes);
-        Job { stages: vec![Stage::parallel(tasks, io, cpu)] }
+        Job {
+            stages: vec![Stage::parallel(tasks, io, cpu)],
+        }
     }
 
     /// Single-node nested loop (quadratic).
@@ -475,7 +497,9 @@ impl ExecModel<'_> {
             + m.read_local.total(j.small.rows, j.small.row_bytes)
             + m.write_local.total(j.out_rows, j.out_bytes);
         let cpu = m.scan.per_record(j.small.proj_bytes) * j.big.rows * j.small.rows;
-        Job { stages: vec![Stage::parallel(tasks, io, cpu)] }
+        Job {
+            stages: vec![Stage::parallel(tasks, io, cpu)],
+        }
     }
 
     /// Builds the job for an aggregation algorithm. `distributed` selects
@@ -496,7 +520,9 @@ impl ExecModel<'_> {
                     self.sort_total(a.in_rows, a.in_bytes, self.cluster.total_cores() as u64)
                 }
             } + m.agg_eval.total(a.in_rows, a.in_bytes) * a.n_aggs as f64;
-            return Job { stages: vec![Stage::parallel(tasks, io, cpu)] };
+            return Job {
+                stages: vec![Stage::parallel(tasks, io, cpu)],
+            };
         }
 
         let map_tasks = self.blocks(a.in_rows * a.in_bytes);
@@ -519,8 +545,8 @@ impl ExecModel<'_> {
         } + eval;
 
         let reduce_tasks = self.blocks(partial_rows * a.out_bytes);
-        let reduce_io = m.shuffle.total(partial_rows, a.out_bytes)
-            + m.write_dfs.total(a.groups, a.out_bytes);
+        let reduce_io =
+            m.shuffle.total(partial_rows, a.out_bytes) + m.write_dfs.total(a.groups, a.out_bytes);
         let reduce_cpu = m.rec_merge.total(partial_rows - a.groups, a.out_bytes)
             + m.scan.total(partial_rows, a.out_bytes);
         Job {
@@ -539,7 +565,9 @@ impl ExecModel<'_> {
         let bytes = spec.record_bytes as f64;
         let tasks = self.blocks(rows * bytes);
         let read = m.read_dfs.total(rows, bytes);
-        let job_one = |io: f64, cpu: f64| Job { stages: vec![Stage::parallel(tasks, io, cpu)] };
+        let job_one = |io: f64, cpu: f64| Job {
+            stages: vec![Stage::parallel(tasks, io, cpu)],
+        };
         match spec.kind {
             K::ReadDfs => job_one(read, 0.0),
             K::ReadWriteDfs => job_one(read + m.write_dfs.total(rows, bytes), 0.0),
@@ -548,7 +576,9 @@ impl ExecModel<'_> {
             K::ReadDfsBroadcast => {
                 // The broadcast happens once, driver-side (Fig. 5 footnote 4).
                 let prelude = m.broadcast(bytes, self.cluster.nodes) * rows;
-                Job { stages: vec![Stage::parallel(tasks, read, 0.0).with_prelude(prelude)] }
+                Job {
+                    stages: vec![Stage::parallel(tasks, read, 0.0).with_prelude(prelude)],
+                }
             }
             K::ReadDfsHashBuild => {
                 let fits = if spec.force_spill {
@@ -578,13 +608,25 @@ mod tests {
     }
 
     fn overheads() -> Overheads {
-        Overheads { stage_startup_us: 2.0e6, task_startup_us: 5.0e4, overlap_residual: 0.55 }
+        Overheads {
+            stage_startup_us: 2.0e6,
+            task_startup_us: 5.0e4,
+            overlap_residual: 0.55,
+        }
     }
 
     fn join_info(big_rows: f64, small_rows: f64) -> JoinInfo {
         JoinInfo {
-            big: SideInfo { rows: big_rows, row_bytes: 250.0, proj_bytes: 12.0 },
-            small: SideInfo { rows: small_rows, row_bytes: 100.0, proj_bytes: 12.0 },
+            big: SideInfo {
+                rows: big_rows,
+                row_bytes: 250.0,
+                proj_bytes: 12.0,
+            },
+            small: SideInfo {
+                rows: small_rows,
+                row_bytes: 100.0,
+                proj_bytes: 12.0,
+            },
             out_rows: small_rows,
             out_bytes: 24.0,
             heavy_key_rows: 1.0,
@@ -596,7 +638,9 @@ mod tests {
         let (_, cluster) = model_parts();
         let ov = overheads();
         // 7 tasks on 6 cores -> 2 waves; io 600, cpu 60 -> effective 633.
-        let job = Job { stages: vec![Stage::parallel(7, 600.0, 60.0)] };
+        let job = Job {
+            stages: vec![Stage::parallel(7, 600.0, 60.0)],
+        };
         let e = job.elapsed(&cluster, &ov).as_micros();
         let expect = 2.0e6 + 2.0 * 5.0e4 + (600.0 + 0.55 * 60.0) / 6.0;
         assert!((e - expect).abs() < 1e-6, "elapsed {e} expect {expect}");
@@ -606,7 +650,9 @@ mod tests {
     fn pure_io_stage_has_no_overlap_discount() {
         let (_, cluster) = model_parts();
         let ov = overheads();
-        let job = Job { stages: vec![Stage::parallel(1, 600.0, 0.0)] };
+        let job = Job {
+            stages: vec![Stage::parallel(1, 600.0, 0.0)],
+        };
         let e = job.elapsed(&cluster, &ov).as_micros();
         assert!((e - (2.0e6 + 5.0e4 + 100.0)).abs() < 1e-6);
     }
@@ -614,7 +660,10 @@ mod tests {
     #[test]
     fn probe_read_dfs_work_matches_micro_cost() {
         let (micro, cluster) = model_parts();
-        let em = ExecModel { micro: &micro, cluster: &cluster };
+        let em = ExecModel {
+            micro: &micro,
+            cluster: &cluster,
+        };
         let job = em.probe_job(&ProbeSpec::new(ProbeKind::ReadDfs, 1_000_000, 1_000));
         let expect = micro.read_dfs.total(1e6, 1000.0);
         assert!((job.total_work_us() - expect).abs() < 1e-6);
@@ -623,10 +672,16 @@ mod tests {
     #[test]
     fn probe_write_includes_read_component() {
         let (micro, cluster) = model_parts();
-        let em = ExecModel { micro: &micro, cluster: &cluster };
-        let rd = em.probe_job(&ProbeSpec::new(ProbeKind::ReadDfs, 1000, 500)).total_work_us();
-        let rw =
-            em.probe_job(&ProbeSpec::new(ProbeKind::ReadWriteDfs, 1000, 500)).total_work_us();
+        let em = ExecModel {
+            micro: &micro,
+            cluster: &cluster,
+        };
+        let rd = em
+            .probe_job(&ProbeSpec::new(ProbeKind::ReadDfs, 1000, 500))
+            .total_work_us();
+        let rw = em
+            .probe_job(&ProbeSpec::new(ProbeKind::ReadWriteDfs, 1000, 500))
+            .total_work_us();
         let diff_per_rec = (rw - rd) / 1000.0;
         assert!((diff_per_rec - micro.write_dfs.per_record(500.0)).abs() < 1e-9);
     }
@@ -634,18 +689,23 @@ mod tests {
     #[test]
     fn forced_spill_probe_costs_more() {
         let (micro, cluster) = model_parts();
-        let em = ExecModel { micro: &micro, cluster: &cluster };
-        let mem =
-            em.probe_job(&ProbeSpec::new(ProbeKind::ReadDfsHashBuild, 10_000, 1_000));
-        let spill = em
-            .probe_job(&ProbeSpec::new(ProbeKind::ReadDfsHashBuild, 10_000, 1_000).spilling());
+        let em = ExecModel {
+            micro: &micro,
+            cluster: &cluster,
+        };
+        let mem = em.probe_job(&ProbeSpec::new(ProbeKind::ReadDfsHashBuild, 10_000, 1_000));
+        let spill =
+            em.probe_job(&ProbeSpec::new(ProbeKind::ReadDfsHashBuild, 10_000, 1_000).spilling());
         assert!(spill.total_work_us() > mem.total_work_us());
     }
 
     #[test]
     fn broadcast_join_repeats_build_per_task() {
         let (micro, cluster) = model_parts();
-        let em = ExecModel { micro: &micro, cluster: &cluster };
+        let em = ExecModel {
+            micro: &micro,
+            cluster: &cluster,
+        };
         // Big side: 10M rows × 250B = 2.5GB -> many blocks/tasks.
         let big = join_info(10_000_000.0, 10_000.0);
         let small_big_side = join_info(1_000_000.0, 10_000.0);
@@ -664,7 +724,10 @@ mod tests {
     #[test]
     fn shuffle_join_has_two_stages() {
         let (micro, cluster) = model_parts();
-        let em = ExecModel { micro: &micro, cluster: &cluster };
+        let em = ExecModel {
+            micro: &micro,
+            cluster: &cluster,
+        };
         let j = em.join_job(JoinAlgorithm::HiveShuffleJoin, &join_info(1e6, 1e5));
         assert_eq!(j.stages.len(), 2);
     }
@@ -672,19 +735,29 @@ mod tests {
     #[test]
     fn skew_join_is_costlier_than_shuffle_join_under_skew() {
         let (micro, cluster) = model_parts();
-        let em = ExecModel { micro: &micro, cluster: &cluster };
+        let em = ExecModel {
+            micro: &micro,
+            cluster: &cluster,
+        };
         let mut info = join_info(1e6, 1e5);
         info.heavy_key_rows = 200_000.0;
         let ov = overheads();
-        let skew = em.join_job(JoinAlgorithm::HiveSkewJoin, &info).elapsed(&cluster, &ov);
-        let plain = em.join_job(JoinAlgorithm::HiveShuffleJoin, &info).elapsed(&cluster, &ov);
+        let skew = em
+            .join_job(JoinAlgorithm::HiveSkewJoin, &info)
+            .elapsed(&cluster, &ov);
+        let plain = em
+            .join_job(JoinAlgorithm::HiveShuffleJoin, &info)
+            .elapsed(&cluster, &ov);
         assert!(skew > plain);
     }
 
     #[test]
     fn nested_loop_is_quadratic() {
         let (micro, cluster) = model_parts();
-        let em = ExecModel { micro: &micro, cluster: &cluster };
+        let em = ExecModel {
+            micro: &micro,
+            cluster: &cluster,
+        };
         let small = em.join_job(JoinAlgorithm::RdbmsNestedLoopJoin, &join_info(1e3, 1e3));
         let big = em.join_job(JoinAlgorithm::RdbmsNestedLoopJoin, &join_info(1e4, 1e4));
         // 10x inputs -> ~100x work.
@@ -695,7 +768,10 @@ mod tests {
     #[test]
     fn sort_job_adds_cpu_over_a_plain_rewrite() {
         let (micro, cluster) = model_parts();
-        let em = ExecModel { micro: &micro, cluster: &cluster };
+        let em = ExecModel {
+            micro: &micro,
+            cluster: &cluster,
+        };
         let job = em.sort_job(1e6, 100.0, true);
         assert_eq!(job.stages.len(), 1);
         let stage = job.stages[0];
@@ -703,14 +779,21 @@ mod tests {
         // The CPU share reflects the n·log n sort of ~1M-row runs: more
         // than the plain scan cost of the same data.
         let scan_cpu = micro.scan.total(1e6, 100.0);
-        assert!(stage.cpu_us > scan_cpu, "sort {} vs scan {scan_cpu}", stage.cpu_us);
+        assert!(
+            stage.cpu_us > scan_cpu,
+            "sort {} vs scan {scan_cpu}",
+            stage.cpu_us
+        );
         // Larger runs per task sort disproportionately: one mega-task
         // (single block) vs many blocks.
         let single_block = ClusterConfig {
             dfs_block_bytes: 1 << 40,
             ..cluster
         };
-        let em_one = ExecModel { micro: &micro, cluster: &single_block };
+        let em_one = ExecModel {
+            micro: &micro,
+            cluster: &single_block,
+        };
         let one_task = em_one.sort_job(8e6, 100.0, true).stages[0].cpu_us;
         let many_tasks = em.sort_job(8e6, 100.0, true).stages[0].cpu_us;
         assert!(one_task > many_tasks, "{one_task} vs {many_tasks}");
@@ -719,20 +802,52 @@ mod tests {
     #[test]
     fn agg_job_scales_with_aggregate_count() {
         let (micro, cluster) = model_parts();
-        let em = ExecModel { micro: &micro, cluster: &cluster };
-        let base = AggInfo { in_rows: 1e6, in_bytes: 250.0, groups: 1e4, out_bytes: 12.0, n_aggs: 1 };
+        let em = ExecModel {
+            micro: &micro,
+            cluster: &cluster,
+        };
+        let base = AggInfo {
+            in_rows: 1e6,
+            in_bytes: 250.0,
+            groups: 1e4,
+            out_bytes: 12.0,
+            n_aggs: 1,
+        };
         let five = AggInfo { n_aggs: 5, ..base };
-        let w1 = em.agg_job(AggAlgorithm::HashAggregate, &base, true).total_work_us();
-        let w5 = em.agg_job(AggAlgorithm::HashAggregate, &five, true).total_work_us();
+        let w1 = em
+            .agg_job(AggAlgorithm::HashAggregate, &base, true)
+            .total_work_us();
+        let w5 = em
+            .agg_job(AggAlgorithm::HashAggregate, &five, true)
+            .total_work_us();
         assert!(w5 > w1);
     }
 
     #[test]
     fn distributed_agg_has_two_stages_rdbms_one() {
         let (micro, cluster) = model_parts();
-        let em = ExecModel { micro: &micro, cluster: &cluster };
-        let a = AggInfo { in_rows: 1e5, in_bytes: 100.0, groups: 100.0, out_bytes: 12.0, n_aggs: 1 };
-        assert_eq!(em.agg_job(AggAlgorithm::HashAggregate, &a, true).stages.len(), 2);
-        assert_eq!(em.agg_job(AggAlgorithm::HashAggregate, &a, false).stages.len(), 1);
+        let em = ExecModel {
+            micro: &micro,
+            cluster: &cluster,
+        };
+        let a = AggInfo {
+            in_rows: 1e5,
+            in_bytes: 100.0,
+            groups: 100.0,
+            out_bytes: 12.0,
+            n_aggs: 1,
+        };
+        assert_eq!(
+            em.agg_job(AggAlgorithm::HashAggregate, &a, true)
+                .stages
+                .len(),
+            2
+        );
+        assert_eq!(
+            em.agg_job(AggAlgorithm::HashAggregate, &a, false)
+                .stages
+                .len(),
+            1
+        );
     }
 }

@@ -20,12 +20,27 @@ impl NoiseSource {
     /// Creates a source with the given relative sigma.
     pub fn new(seed: u64, sigma: f64) -> Self {
         assert!((0.0..1.0).contains(&sigma), "sigma must be in [0, 1)");
-        NoiseSource { rng: StdRng::seed_from_u64(seed), sigma }
+        NoiseSource {
+            rng: StdRng::seed_from_u64(seed),
+            sigma,
+        }
     }
 
     /// A noiseless source (useful for tests that need exact values).
     pub fn disabled(seed: u64) -> Self {
         NoiseSource::new(seed, 0.0)
+    }
+
+    /// Restarts the stream from an explicit seed, keeping sigma. Two
+    /// sources reseeded identically produce identical factor sequences
+    /// regardless of how many draws either has already made.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// The relative standard deviation this source applies.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
     }
 
     /// Returns a multiplicative factor `max(0.5, 1 + sigma·N(0,1))`.
@@ -67,12 +82,28 @@ mod tests {
     }
 
     #[test]
+    fn reseeding_restarts_the_stream() {
+        let mut a = NoiseSource::new(1, 0.05);
+        let mut b = NoiseSource::new(2, 0.05);
+        // Desynchronise b, then reseed both to the same point.
+        for _ in 0..13 {
+            b.factor();
+        }
+        a.reseed(99);
+        b.reseed(99);
+        for _ in 0..20 {
+            assert_eq!(a.factor(), b.factor());
+        }
+        assert_eq!(a.sigma(), 0.05);
+    }
+
+    #[test]
     fn noise_has_expected_scale() {
         let mut n = NoiseSource::new(42, 0.05);
         let samples: Vec<f64> = (0..10_000).map(|_| n.factor()).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
         assert!((var.sqrt() - 0.05).abs() < 0.01, "sd {}", var.sqrt());
     }

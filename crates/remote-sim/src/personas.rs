@@ -123,8 +123,7 @@ mod tests {
     fn spark_shuffle_discount_is_compounded() {
         let h = hive_persona();
         let s = spark_persona();
-        let ratio =
-            s.micro.shuffle.per_record(500.0) / h.micro.shuffle.per_record(500.0);
+        let ratio = s.micro.shuffle.per_record(500.0) / h.micro.shuffle.per_record(500.0);
         assert!((ratio - 0.3).abs() < 1e-9, "ratio {ratio}");
     }
 }

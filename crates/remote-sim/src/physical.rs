@@ -120,7 +120,10 @@ mod tests {
     #[test]
     fn display_names_match_paper() {
         assert_eq!(JoinAlgorithm::HiveShuffleJoin.to_string(), "Shuffle Join");
-        assert_eq!(JoinAlgorithm::SparkSortMergeJoin.to_string(), "SortMerge Join");
+        assert_eq!(
+            JoinAlgorithm::SparkSortMergeJoin.to_string(),
+            "SortMerge Join"
+        );
         assert_eq!(
             JoinAlgorithm::SparkBroadcastNestedLoopJoin.to_string(),
             "Broadcast NestedLoop Join"

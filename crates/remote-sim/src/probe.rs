@@ -98,7 +98,12 @@ pub struct ProbeSpec {
 impl ProbeSpec {
     /// Creates a probe.
     pub fn new(kind: ProbeKind, rows: u64, record_bytes: u64) -> Self {
-        ProbeSpec { kind, rows, record_bytes, force_spill: false }
+        ProbeSpec {
+            kind,
+            rows,
+            record_bytes,
+            force_spill: false,
+        }
     }
 
     /// Marks a hash-build probe as spilling.
@@ -122,7 +127,11 @@ mod tests {
         let p = ProbeSpec::new(ProbeKind::ReadDfs, 1_000_000, 1_000);
         assert_eq!(p.total_bytes(), 1_000_000_000);
         assert!(!p.force_spill);
-        assert!(ProbeSpec::new(ProbeKind::ReadDfsHashBuild, 1, 1).spilling().force_spill);
+        assert!(
+            ProbeSpec::new(ProbeKind::ReadDfsHashBuild, 1, 1)
+                .spilling()
+                .force_spill
+        );
     }
 
     #[test]

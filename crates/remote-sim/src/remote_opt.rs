@@ -154,13 +154,25 @@ mod tests {
     use crate::exec::SideInfo;
 
     fn ctx() -> JoinContext {
-        JoinContext { has_equi_keys: true, big_bucketed: false, small_bucketed: false }
+        JoinContext {
+            has_equi_keys: true,
+            big_bucketed: false,
+            small_bucketed: false,
+        }
     }
 
     fn info(big_rows: f64, small_rows: f64, small_bytes: f64) -> JoinInfo {
         JoinInfo {
-            big: SideInfo { rows: big_rows, row_bytes: 250.0, proj_bytes: 12.0 },
-            small: SideInfo { rows: small_rows, row_bytes: small_bytes, proj_bytes: 12.0 },
+            big: SideInfo {
+                rows: big_rows,
+                row_bytes: 250.0,
+                proj_bytes: 12.0,
+            },
+            small: SideInfo {
+                rows: small_rows,
+                row_bytes: small_bytes,
+                proj_bytes: 12.0,
+            },
             out_rows: small_rows,
             out_bytes: 24.0,
             heavy_key_rows: 1.0,
@@ -198,7 +210,11 @@ mod tests {
     #[test]
     fn hive_uses_smb_when_both_bucketed() {
         let cluster = ClusterConfig::paper_hive();
-        let c = JoinContext { has_equi_keys: true, big_bucketed: true, small_bucketed: true };
+        let c = JoinContext {
+            has_equi_keys: true,
+            big_bucketed: true,
+            small_bucketed: true,
+        };
         let a = choose_join(
             SystemKind::Hive,
             &OptimizerRules::hive(),
@@ -214,14 +230,23 @@ mod tests {
         let cluster = ClusterConfig::paper_hive();
         let mut j = info(1e6, 1e6, 100.0);
         j.heavy_key_rows = 0.5 * 1e6;
-        let a = choose_join(SystemKind::Hive, &OptimizerRules::hive(), &cluster, &j, &ctx());
+        let a = choose_join(
+            SystemKind::Hive,
+            &OptimizerRules::hive(),
+            &cluster,
+            &j,
+            &ctx(),
+        );
         assert_eq!(a, JoinAlgorithm::HiveSkewJoin);
     }
 
     #[test]
     fn spark_cross_joins_pick_by_size() {
         let cluster = ClusterConfig::paper_hive();
-        let no_keys = JoinContext { has_equi_keys: false, ..ctx() };
+        let no_keys = JoinContext {
+            has_equi_keys: false,
+            ..ctx()
+        };
         let small = choose_join(
             SystemKind::Spark,
             &OptimizerRules::spark(),
@@ -277,9 +302,19 @@ mod tests {
     #[test]
     fn agg_switches_to_sort_for_huge_group_counts() {
         let cluster = ClusterConfig::paper_hive();
-        let small = AggInfo { in_rows: 1e6, in_bytes: 100.0, groups: 1e3, out_bytes: 12.0, n_aggs: 1 };
+        let small = AggInfo {
+            in_rows: 1e6,
+            in_bytes: 100.0,
+            groups: 1e3,
+            out_bytes: 12.0,
+            n_aggs: 1,
+        };
         assert_eq!(choose_agg(&cluster, &small), AggAlgorithm::HashAggregate);
-        let huge = AggInfo { groups: 1e9, out_bytes: 100.0, ..small };
+        let huge = AggInfo {
+            groups: 1e9,
+            out_bytes: 100.0,
+            ..small
+        };
         assert_eq!(choose_agg(&cluster, &huge), AggAlgorithm::SortAggregate);
     }
 }

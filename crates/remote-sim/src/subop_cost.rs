@@ -37,7 +37,10 @@ impl LinearCost {
     /// Scales both coefficients (used to derive engine personas from the
     /// Hive baseline).
     pub fn scaled(&self, k: f64) -> LinearCost {
-        LinearCost { per_byte: self.per_byte * k, base: self.base * k }
+        LinearCost {
+            per_byte: self.per_byte * k,
+            base: self.base * k,
+        }
     }
 }
 
@@ -81,19 +84,58 @@ impl MicroCosts {
     /// the paper reports in Figs. 7 and 13.
     pub fn hive_baseline() -> Self {
         MicroCosts {
-            read_dfs: LinearCost { per_byte: 0.0041, base: 0.6323 },
-            write_dfs: LinearCost { per_byte: 0.0314, base: 0.7403 },
-            read_local: LinearCost { per_byte: 0.0016, base: 0.2500 },
-            write_local: LinearCost { per_byte: 0.0100, base: 0.4000 },
-            shuffle: LinearCost { per_byte: 0.0126, base: 5.2551 },
-            broadcast_per_node: LinearCost { per_byte: 0.0105, base: 4.2000 },
-            sort: LinearCost { per_byte: 0.0040, base: 1.2000 },
-            scan: LinearCost { per_byte: 0.0008, base: 0.1500 },
-            hash_insert_mem: LinearCost { per_byte: 0.0248, base: 18.241 },
-            hash_insert_spill: LinearCost { per_byte: 0.1821, base: -51.614 },
-            hash_probe: LinearCost { per_byte: 0.0100, base: 2.0000 },
-            rec_merge: LinearCost { per_byte: 0.0344, base: 36.701 },
-            agg_eval: LinearCost { per_byte: 0.0002, base: 0.8000 },
+            read_dfs: LinearCost {
+                per_byte: 0.0041,
+                base: 0.6323,
+            },
+            write_dfs: LinearCost {
+                per_byte: 0.0314,
+                base: 0.7403,
+            },
+            read_local: LinearCost {
+                per_byte: 0.0016,
+                base: 0.2500,
+            },
+            write_local: LinearCost {
+                per_byte: 0.0100,
+                base: 0.4000,
+            },
+            shuffle: LinearCost {
+                per_byte: 0.0126,
+                base: 5.2551,
+            },
+            broadcast_per_node: LinearCost {
+                per_byte: 0.0105,
+                base: 4.2000,
+            },
+            sort: LinearCost {
+                per_byte: 0.0040,
+                base: 1.2000,
+            },
+            scan: LinearCost {
+                per_byte: 0.0008,
+                base: 0.1500,
+            },
+            hash_insert_mem: LinearCost {
+                per_byte: 0.0248,
+                base: 18.241,
+            },
+            hash_insert_spill: LinearCost {
+                per_byte: 0.1821,
+                base: -51.614,
+            },
+            hash_probe: LinearCost {
+                per_byte: 0.0100,
+                base: 2.0000,
+            },
+            rec_merge: LinearCost {
+                per_byte: 0.0344,
+                base: 36.701,
+            },
+            agg_eval: LinearCost {
+                per_byte: 0.0002,
+                base: 0.8000,
+            },
         }
     }
 
@@ -165,12 +207,17 @@ mod tests {
     #[test]
     fn broadcast_scales_with_nodes() {
         let m = MicroCosts::hive_baseline();
-        assert!((m.broadcast(100.0, 3) - 3.0 * m.broadcast_per_node.per_record(100.0)).abs() < 1e-12);
+        assert!(
+            (m.broadcast(100.0, 3) - 3.0 * m.broadcast_per_node.per_record(100.0)).abs() < 1e-12
+        );
     }
 
     #[test]
     fn negative_costs_clamped() {
-        let c = LinearCost { per_byte: 0.1, base: -100.0 };
+        let c = LinearCost {
+            per_byte: 0.1,
+            base: -100.0,
+        };
         assert_eq!(c.per_record(10.0), 0.0);
     }
 
@@ -178,7 +225,11 @@ mod tests {
     fn scaled_scales_everything() {
         let m = MicroCosts::hive_baseline().scaled(0.5);
         let base = MicroCosts::hive_baseline();
-        assert!((m.read_dfs.per_record(500.0) - 0.5 * base.read_dfs.per_record(500.0)).abs() < 1e-12);
-        assert!((m.rec_merge.per_record(40.0) - 0.5 * base.rec_merge.per_record(40.0)).abs() < 1e-12);
+        assert!(
+            (m.read_dfs.per_record(500.0) - 0.5 * base.read_dfs.per_record(500.0)).abs() < 1e-12
+        );
+        assert!(
+            (m.rec_merge.per_record(40.0) - 0.5 * base.rec_merge.per_record(40.0)).abs() < 1e-12
+        );
     }
 }

@@ -144,8 +144,7 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let total: SimDuration =
-            (1..=4).map(|i| SimDuration::from_micros(i as f64)).sum();
+        let total: SimDuration = (1..=4).map(|i| SimDuration::from_micros(i as f64)).sum();
         assert_eq!(total.as_micros(), 10.0);
     }
 

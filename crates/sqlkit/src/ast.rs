@@ -133,17 +133,27 @@ pub enum Expr {
 impl Expr {
     /// Convenience: an unqualified column reference.
     pub fn col(name: &str) -> Expr {
-        Expr::Column { qualifier: None, name: name.to_string() }
+        Expr::Column {
+            qualifier: None,
+            name: name.to_string(),
+        }
     }
 
     /// Convenience: a qualified column reference.
     pub fn qcol(qualifier: &str, name: &str) -> Expr {
-        Expr::Column { qualifier: Some(qualifier.to_string()), name: name.to_string() }
+        Expr::Column {
+            qualifier: Some(qualifier.to_string()),
+            name: name.to_string(),
+        }
     }
 
     /// Convenience: a binary expression.
     pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// True when the expression contains an aggregate call.
@@ -176,8 +186,14 @@ impl Expr {
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Expr::Column { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
-            Expr::Column { qualifier: None, name } => write!(f, "{name}"),
+            Expr::Column {
+                qualifier: Some(q),
+                name,
+            } => write!(f, "{q}.{name}"),
+            Expr::Column {
+                qualifier: None,
+                name,
+            } => write!(f, "{name}"),
             Expr::Number(n) => {
                 if n.fract() == 0.0 && n.abs() < 1e15 {
                     write!(f, "{}", *n as i64)
@@ -188,7 +204,11 @@ impl fmt::Display for Expr {
             Expr::StringLit(s) => write!(f, "'{}'", s.replace('\'', "''")),
             Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
             Expr::Not(e) => write!(f, "(NOT {e})"),
-            Expr::Agg { func, expr, distinct } => {
+            Expr::Agg {
+                func,
+                expr,
+                distinct,
+            } => {
                 let d = if *distinct { "DISTINCT " } else { "" };
                 match expr {
                     Some(e) => write!(f, "{func}({d}{e})"),
@@ -262,7 +282,12 @@ pub struct OrderKey {
 
 impl fmt::Display for OrderKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}", self.expr, if self.ascending { "" } else { " DESC" })
+        write!(
+            f,
+            "{}{}",
+            self.expr,
+            if self.ascending { "" } else { " DESC" }
+        )
     }
 }
 
@@ -338,7 +363,11 @@ mod tests {
 
     #[test]
     fn expr_display_parenthesises_binaries() {
-        let e = Expr::binary(BinOp::Lt, Expr::binary(BinOp::Add, Expr::qcol("r", "a1"), Expr::qcol("s", "z")), Expr::Number(500.0));
+        let e = Expr::binary(
+            BinOp::Lt,
+            Expr::binary(BinOp::Add, Expr::qcol("r", "a1"), Expr::qcol("s", "z")),
+            Expr::Number(500.0),
+        );
         assert_eq!(e.to_string(), "((r.a1 + s.z) < 500)");
     }
 
@@ -355,7 +384,11 @@ mod tests {
 
     #[test]
     fn count_star_display() {
-        let e = Expr::Agg { func: AggFunc::Count, expr: None, distinct: false };
+        let e = Expr::Agg {
+            func: AggFunc::Count,
+            expr: None,
+            distinct: false,
+        };
         assert_eq!(e.to_string(), "COUNT(*)");
     }
 
@@ -364,7 +397,11 @@ mod tests {
         let e = Expr::binary(
             BinOp::Add,
             Expr::col("x"),
-            Expr::Agg { func: AggFunc::Sum, expr: Some(Box::new(Expr::col("y"))), distinct: false },
+            Expr::Agg {
+                func: AggFunc::Sum,
+                expr: Some(Box::new(Expr::col("y"))),
+                distinct: false,
+            },
         );
         assert!(e.contains_aggregate());
         assert!(!Expr::col("x").contains_aggregate());
@@ -375,14 +412,23 @@ mod tests {
         let e = Expr::binary(BinOp::Eq, Expr::qcol("r", "a1"), Expr::col("z"));
         let mut cols = vec![];
         e.columns(&mut cols);
-        assert_eq!(cols, vec![(Some("r".into()), "a1".into()), (None, "z".into())]);
+        assert_eq!(
+            cols,
+            vec![(Some("r".into()), "a1".into()), (None, "z".into())]
+        );
     }
 
     #[test]
     fn table_binding_prefers_alias() {
-        let t = TableRef { name: "t_big".into(), alias: Some("r".into()) };
+        let t = TableRef {
+            name: "t_big".into(),
+            alias: Some("r".into()),
+        };
         assert_eq!(t.binding(), "r");
-        let t2 = TableRef { name: "t_big".into(), alias: None };
+        let t2 = TableRef {
+            name: "t_big".into(),
+            alias: None,
+        };
         assert_eq!(t2.binding(), "t_big");
     }
 
@@ -390,7 +436,10 @@ mod tests {
     fn query_display_full_shape() {
         let q = Query {
             select: vec![
-                SelectItem { expr: Expr::qcol("r", "a1"), alias: None },
+                SelectItem {
+                    expr: Expr::qcol("r", "a1"),
+                    alias: None,
+                },
                 SelectItem {
                     expr: Expr::Agg {
                         func: AggFunc::Sum,
@@ -401,12 +450,22 @@ mod tests {
                 },
             ],
             select_star: false,
-            from: TableRef { name: "t1".into(), alias: Some("r".into()) },
+            from: TableRef {
+                name: "t1".into(),
+                alias: Some("r".into()),
+            },
             joins: vec![Join {
-                table: TableRef { name: "t2".into(), alias: Some("s".into()) },
+                table: TableRef {
+                    name: "t2".into(),
+                    alias: Some("s".into()),
+                },
                 on: Expr::binary(BinOp::Eq, Expr::qcol("r", "a1"), Expr::qcol("s", "a1")),
             }],
-            where_clause: Some(Expr::binary(BinOp::Lt, Expr::qcol("r", "a1"), Expr::Number(100.0))),
+            where_clause: Some(Expr::binary(
+                BinOp::Lt,
+                Expr::qcol("r", "a1"),
+                Expr::Number(100.0),
+            )),
             group_by: vec![Expr::qcol("r", "a1")],
             order_by: vec![],
             limit: None,

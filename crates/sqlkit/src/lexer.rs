@@ -30,68 +30,116 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
         match c {
             c if c.is_ascii_whitespace() => i += 1,
             ',' => {
-                out.push(Spanned { token: Token::Comma, offset: i });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Spanned { token: Token::Dot, offset: i });
+                out.push(Spanned {
+                    token: Token::Dot,
+                    offset: i,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Spanned { token: Token::Star, offset: i });
+                out.push(Spanned {
+                    token: Token::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Spanned { token: Token::LParen, offset: i });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { token: Token::RParen, offset: i });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Spanned { token: Token::Plus, offset: i });
+                out.push(Spanned {
+                    token: Token::Plus,
+                    offset: i,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Spanned { token: Token::Minus, offset: i });
+                out.push(Spanned {
+                    token: Token::Minus,
+                    offset: i,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Spanned { token: Token::Slash, offset: i });
+                out.push(Spanned {
+                    token: Token::Slash,
+                    offset: i,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Spanned { token: Token::Eq, offset: i });
+                out.push(Spanned {
+                    token: Token::Eq,
+                    offset: i,
+                });
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { token: Token::LtEq, offset: i });
+                    out.push(Spanned {
+                        token: Token::LtEq,
+                        offset: i,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Spanned { token: Token::NotEq, offset: i });
+                    out.push(Spanned {
+                        token: Token::NotEq,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Lt, offset: i });
+                    out.push(Spanned {
+                        token: Token::Lt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { token: Token::GtEq, offset: i });
+                    out.push(Spanned {
+                        token: Token::GtEq,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Gt, offset: i });
+                    out.push(Spanned {
+                        token: Token::Gt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { token: Token::NotEq, offset: i });
+                    out.push(Spanned {
+                        token: Token::NotEq,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { offset: i, message: "expected '=' after '!'".into() });
+                    return Err(LexError {
+                        offset: i,
+                        message: "expected '=' after '!'".into(),
+                    });
                 }
             }
             '\'' => {
@@ -122,14 +170,22 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         }
                     }
                 }
-                out.push(Spanned { token: Token::StringLit(s), offset: start });
+                out.push(Spanned {
+                    token: Token::StringLit(s),
+                    offset: start,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start = i;
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                     i += 1;
                 }
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit()) {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())
+                {
                     i += 1;
                     while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                         i += 1;
@@ -153,7 +209,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     offset: start,
                     message: format!("invalid number literal `{text}`"),
                 })?;
-                out.push(Spanned { token: Token::Number(value), offset: start });
+                out.push(Spanned {
+                    token: Token::Number(value),
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -167,7 +226,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 }
                 let word = &src[start..i];
                 let token = Token::keyword(word).unwrap_or_else(|| Token::Ident(word.to_string()));
-                out.push(Spanned { token, offset: start });
+                out.push(Spanned {
+                    token,
+                    offset: start,
+                });
             }
             other => {
                 return Err(LexError {
@@ -177,7 +239,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
         }
     }
-    out.push(Spanned { token: Token::Eof, offset: src.len() });
+    out.push(Spanned {
+        token: Token::Eof,
+        offset: src.len(),
+    });
     Ok(out)
 }
 

@@ -165,7 +165,11 @@ impl LogicalOp {
             LogicalOp::Join { left, right, on } => {
                 format!("Join[{on}]({}, {})", left.describe(), right.describe())
             }
-            LogicalOp::Aggregate { input, group_by, aggregates } => format!(
+            LogicalOp::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => format!(
                 "Agg[keys={}, aggs={}]({})",
                 group_by.len(),
                 aggregates.len(),
@@ -201,10 +205,17 @@ pub fn build_logical_plan(q: &Query) -> Result<LogicalPlan, PlanError> {
             table: j.table.name.clone(),
             binding: j.table.binding().to_string(),
         };
-        node = LogicalOp::Join { left: Box::new(node), right: Box::new(right), on: j.on.clone() };
+        node = LogicalOp::Join {
+            left: Box::new(node),
+            right: Box::new(right),
+            on: j.on.clone(),
+        };
     }
     if let Some(pred) = &q.where_clause {
-        node = LogicalOp::Filter { input: Box::new(node), predicate: pred.clone() };
+        node = LogicalOp::Filter {
+            input: Box::new(node),
+            predicate: pred.clone(),
+        };
     }
 
     let has_agg = q.select.iter().any(|s| s.expr.contains_aggregate());
@@ -229,16 +240,32 @@ pub fn build_logical_plan(q: &Query) -> Result<LogicalPlan, PlanError> {
             aggregates,
         };
         // Re-project to the declared select order.
-        node = LogicalOp::Project { input: Box::new(node), items: q.select.clone() };
+        node = LogicalOp::Project {
+            input: Box::new(node),
+            items: q.select.clone(),
+        };
     } else {
-        let items = if q.select_star { vec![] } else { q.select.clone() };
-        node = LogicalOp::Project { input: Box::new(node), items };
+        let items = if q.select_star {
+            vec![]
+        } else {
+            q.select.clone()
+        };
+        node = LogicalOp::Project {
+            input: Box::new(node),
+            items,
+        };
     }
     if !q.order_by.is_empty() {
-        node = LogicalOp::Sort { input: Box::new(node), keys: q.order_by.clone() };
+        node = LogicalOp::Sort {
+            input: Box::new(node),
+            keys: q.order_by.clone(),
+        };
     }
     if let Some(n) = q.limit {
-        node = LogicalOp::Limit { input: Box::new(node), n };
+        node = LogicalOp::Limit {
+            input: Box::new(node),
+            n,
+        };
     }
     Ok(LogicalPlan { root: node })
 }
@@ -291,7 +318,11 @@ mod tests {
         assert!(p.root.has_aggregate());
         match &p.root {
             LogicalOp::Project { input, .. } => match input.as_ref() {
-                LogicalOp::Aggregate { group_by, aggregates, .. } => {
+                LogicalOp::Aggregate {
+                    group_by,
+                    aggregates,
+                    ..
+                } => {
                     assert_eq!(group_by.len(), 1);
                     assert_eq!(aggregates.len(), 1);
                 }

@@ -56,8 +56,15 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { found, expected, offset } => {
-                write!(f, "parse error at byte {offset}: expected {expected}, found {found}")
+            ParseError::Unexpected {
+                found,
+                expected,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "parse error at byte {offset}: expected {expected}, found {found}"
+                )
             }
             ParseError::TrailingInput { offset } => {
                 write!(f, "parse error: trailing input at byte {offset}")
@@ -80,7 +87,9 @@ pub fn parse_query(src: &str) -> Result<Query, ParseError> {
     let mut p = Parser { tokens, pos: 0 };
     let q = p.query()?;
     if p.peek().token != Token::Eof {
-        return Err(ParseError::TrailingInput { offset: p.peek().offset });
+        return Err(ParseError::TrailingInput {
+            offset: p.peek().offset,
+        });
     }
     Ok(q)
 }
@@ -91,7 +100,9 @@ pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
     let mut p = Parser { tokens, pos: 0 };
     let e = p.expr()?;
     if p.peek().token != Token::Eof {
-        return Err(ParseError::TrailingInput { offset: p.peek().offset });
+        return Err(ParseError::TrailingInput {
+            offset: p.peek().offset,
+        });
     }
     Ok(e)
 }
@@ -179,7 +190,11 @@ impl Parser {
             joins.push(Join { table, on });
         }
 
-        let where_clause = if self.eat(&Token::Where) { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat(&Token::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
 
         let mut group_by = Vec::new();
         if self.eat(&Token::Group) {
@@ -211,7 +226,16 @@ impl Parser {
             None
         };
 
-        Ok(Query { select, select_star, from, joins, where_clause, group_by, order_by, limit })
+        Ok(Query {
+            select,
+            select_star,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
     }
 
     fn order_key(&mut self) -> Result<OrderKey, ParseError> {
@@ -351,12 +375,20 @@ impl Parser {
             self.expect(Token::LParen, "( after aggregate function")?;
             if self.eat(&Token::Star) {
                 self.expect(Token::RParen, ") after *")?;
-                return Ok(Expr::Agg { func, expr: None, distinct: false });
+                return Ok(Expr::Agg {
+                    func,
+                    expr: None,
+                    distinct: false,
+                });
             }
             let distinct = self.eat(&Token::Distinct);
             let inner = self.expr()?;
             self.expect(Token::RParen, ") after aggregate argument")?;
-            return Ok(Expr::Agg { func, expr: Some(Box::new(inner)), distinct });
+            return Ok(Expr::Agg {
+                func,
+                expr: Some(Box::new(inner)),
+                distinct,
+            });
         }
 
         match self.peek().token.clone() {
@@ -378,9 +410,15 @@ impl Parser {
                 self.advance();
                 if self.eat(&Token::Dot) {
                     let name = self.ident("column after .")?;
-                    Ok(Expr::Column { qualifier: Some(first), name })
+                    Ok(Expr::Column {
+                        qualifier: Some(first),
+                        name,
+                    })
                 } else {
-                    Ok(Expr::Column { qualifier: None, name: first })
+                    Ok(Expr::Column {
+                        qualifier: None,
+                        name: first,
+                    })
                 }
             }
             _ => Err(self.unexpected("expression")),
@@ -404,10 +442,8 @@ mod tests {
     #[test]
     fn parses_aggregation_query_from_fig10() {
         // The Fig. 10 aggregation shape: SUM()s grouped by a duplication column.
-        let q = parse_query(
-            "SELECT a5, SUM(a1) AS s1, SUM(a2) AS s2 FROM T100000_250 GROUP BY a5",
-        )
-        .unwrap();
+        let q = parse_query("SELECT a5, SUM(a1) AS s1, SUM(a2) AS s2 FROM T100000_250 GROUP BY a5")
+            .unwrap();
         assert_eq!(q.select.len(), 3);
         assert_eq!(q.group_by.len(), 1);
         assert_eq!(q.select[1].alias.as_deref(), Some("s1"));
@@ -474,10 +510,7 @@ mod tests {
 
     #[test]
     fn multi_join_chain() {
-        let q = parse_query(
-            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y",
-        )
-        .unwrap();
+        let q = parse_query("SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y").unwrap();
         assert_eq!(q.joins.len(), 2);
         assert_eq!(q.joins[1].table.name, "c");
     }

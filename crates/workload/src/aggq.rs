@@ -59,12 +59,19 @@ pub fn agg_training_queries_with(
     factors: &[u64],
     max_aggs: u32,
 ) -> Vec<AggQuery> {
-    assert!((1..=5).contains(&max_aggs), "1-5 SUM() aggregates supported");
+    assert!(
+        (1..=5).contains(&max_aggs),
+        "1-5 SUM() aggregates supported"
+    );
     let mut out = Vec::with_capacity(tables.len() * factors.len() * max_aggs as usize);
     for &table in tables {
         for &f in factors {
             for n_aggs in 1..=max_aggs {
-                out.push(AggQuery { table, shrink_factor: f, n_aggs });
+                out.push(AggQuery {
+                    table,
+                    shrink_factor: f,
+                    n_aggs,
+                });
             }
         }
     }
@@ -106,7 +113,11 @@ mod tests {
 
     #[test]
     fn expected_groups_follow_shrink_factor() {
-        let q = AggQuery { table: TableSpec::new(1_000_000, 40), shrink_factor: 20, n_aggs: 1 };
+        let q = AggQuery {
+            table: TableSpec::new(1_000_000, 40),
+            shrink_factor: 20,
+            n_aggs: 1,
+        };
         assert_eq!(q.expected_groups(), 50_000);
     }
 

@@ -87,18 +87,18 @@ pub fn join_training_queries(tables: &[TableSpec]) -> Vec<JoinQuery> {
 }
 
 /// Grid with custom selectivities.
-pub fn join_training_queries_with(
-    tables: &[TableSpec],
-    selectivities: &[u32],
-) -> Vec<JoinQuery> {
+pub fn join_training_queries_with(tables: &[TableSpec], selectivities: &[u32]) -> Vec<JoinQuery> {
     let mut sizes: Vec<u64> = tables.iter().map(|t| t.record_bytes).collect();
     sizes.sort_unstable();
     sizes.dedup();
 
     let mut out = Vec::new();
     for &size in &sizes {
-        let mut same_size: Vec<TableSpec> =
-            tables.iter().copied().filter(|t| t.record_bytes == size).collect();
+        let mut same_size: Vec<TableSpec> = tables
+            .iter()
+            .copied()
+            .filter(|t| t.record_bytes == size)
+            .collect();
         same_size.sort_by_key(|t| t.rows);
         same_size.dedup();
         for i in 0..same_size.len() {
@@ -141,7 +141,9 @@ mod tests {
     #[test]
     fn pairs_share_record_size() {
         let qs = join_training_queries(&fig10_table_specs());
-        assert!(qs.iter().all(|q| q.big.record_bytes == q.small.record_bytes));
+        assert!(qs
+            .iter()
+            .all(|q| q.big.record_bytes == q.small.record_bytes));
     }
 
     #[test]
@@ -153,7 +155,10 @@ mod tests {
             projection: 0,
         };
         assert!(!full.sql().contains("WHERE"));
-        let quarter = JoinQuery { selectivity_pct: 25, ..full.clone() };
+        let quarter = JoinQuery {
+            selectivity_pct: 25,
+            ..full.clone()
+        };
         assert!(quarter.sql().contains("WHERE s.a1 + r.z < 2500"));
     }
 

@@ -25,7 +25,10 @@ const OOR_SELECTIVITIES: [u32; 3] = [100, 50, 25];
 
 /// The tables the OOR suite needs in addition to the training tables.
 pub fn oor_table_specs() -> Vec<TableSpec> {
-    OOR_SIZES.iter().map(|&s| TableSpec::new(OOR_ROWS, s)).collect()
+    OOR_SIZES
+        .iter()
+        .map(|&s| TableSpec::new(OOR_ROWS, s))
+        .collect()
 }
 
 /// The 45-query out-of-range join suite: for each of the five record
@@ -96,7 +99,11 @@ mod tests {
     #[test]
     fn every_query_has_an_out_of_range_side() {
         for q in oor_join_queries() {
-            assert!(q.big.rows >= OOR_ROWS - 1, "big side must be OOR: {:?}", q.big);
+            assert!(
+                q.big.rows >= OOR_ROWS - 1,
+                "big side must be OOR: {:?}",
+                q.big
+            );
         }
     }
 

@@ -33,7 +33,10 @@ pub fn probe_suite_for(kind: ProbeKind) -> Vec<ProbeSpec> {
 
 /// The complete suite across all probe kinds.
 pub fn probe_suite() -> Vec<ProbeSpec> {
-    ProbeKind::ALL.iter().flat_map(|&k| probe_suite_for(k)).collect()
+    ProbeKind::ALL
+        .iter()
+        .flat_map(|&k| probe_suite_for(k))
+        .collect()
 }
 
 #[cfg(test)]

@@ -29,7 +29,10 @@ impl SkewedTableSpec {
             (0.0..1.0).contains(&heavy_fraction),
             "heavy fraction must be in (0, 1)"
         );
-        SkewedTableSpec { base: TableSpec::new(rows, record_bytes), heavy_fraction }
+        SkewedTableSpec {
+            base: TableSpec::new(rows, record_bytes),
+            heavy_fraction,
+        }
     }
 
     /// The generated table name: `K{rows}_{size}_{pct}` (K for skewed so

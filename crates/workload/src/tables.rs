@@ -94,7 +94,10 @@ pub fn register_tables(
 /// The specs with at most `max_rows` rows — the paper's Fig. 14 trains on
 /// tables of "up-to 8×10⁶ records".
 pub fn specs_up_to(max_rows: u64) -> Vec<TableSpec> {
-    fig10_table_specs().into_iter().filter(|s| s.rows <= max_rows).collect()
+    fig10_table_specs()
+        .into_iter()
+        .filter(|s| s.rows <= max_rows)
+        .collect()
 }
 
 #[cfg(test)]
@@ -106,8 +109,7 @@ mod tests {
         let specs = fig10_table_specs();
         assert_eq!(specs.len(), 120);
         // All distinct names.
-        let names: std::collections::HashSet<String> =
-            specs.iter().map(TableSpec::name).collect();
+        let names: std::collections::HashSet<String> = specs.iter().map(TableSpec::name).collect();
         assert_eq!(names.len(), 120);
     }
 
@@ -131,7 +133,10 @@ mod tests {
     fn built_table_has_fig10_schema() {
         let t = build_table(&TableSpec::new(1_000, 250));
         let cols: Vec<&str> = t.schema.iter().map(|c| c.name.as_str()).collect();
-        assert_eq!(cols, vec!["a1", "a2", "a5", "a10", "a20", "a50", "a100", "z", "dummy"]);
+        assert_eq!(
+            cols,
+            vec!["a1", "a2", "a5", "a10", "a20", "a50", "a100", "z", "dummy"]
+        );
         assert_eq!(t.rows(), 1_000);
         assert_eq!(t.row_bytes(), 250);
         // dummy pads to the record size.

@@ -31,7 +31,10 @@ fn main() {
         .iter()
         .map(|q| q.sql())
         .collect();
-    println!("executing {} training queries on the black-box remote…", queries.len());
+    println!(
+        "executing {} training queries on the black-box remote…",
+        queries.len()
+    );
     let training = run_training(&mut hive, OperatorKind::Aggregation, &queries);
     println!(
         "training campaign took {:.2} simulated hours",
@@ -40,7 +43,10 @@ fn main() {
 
     // Phase 2: fit the NN with the paper's cross-validated topology.
     let fit = FitConfig {
-        topology: TopologyChoice::CrossValidated { step: 1, search_iterations: 1_000 },
+        topology: TopologyChoice::CrossValidated {
+            step: 1,
+            search_iterations: 1_000,
+        },
         iterations: 12_000,
         batch_size: 32,
         trace_every: 0,
@@ -71,5 +77,8 @@ fn main() {
     // Every real execution feeds the offline-tuning log (Fig. 3's bottom
     // half); periodic retraining keeps the model current.
     flow.observe_actual(&features.values, actual);
-    println!("logged for offline tuning: {} pending record(s)", flow.log.len());
+    println!(
+        "logged for offline tuning: {} pending record(s)",
+        flow.log.len()
+    );
 }

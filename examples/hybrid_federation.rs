@@ -25,7 +25,11 @@ fn main() {
     sphere.add_remote(ClusterEngine::new(
         "spark-b",
         spark_persona(),
-        ClusterConfig { nodes: 4, cores_per_node: 4, ..ClusterConfig::paper_hive() },
+        ClusterConfig {
+            nodes: 4,
+            cores_per_node: 4,
+            ..ClusterConfig::paper_hive()
+        },
         2,
     ));
     sphere.add_remote(ClusterEngine::new(
@@ -39,9 +43,15 @@ fn main() {
     let hive_id = SystemId::new("hive-a");
     let spark_id = SystemId::new("spark-b");
     let pg_id = SystemId::new("pg-c");
-    sphere.add_table(&hive_id, build_table(&TableSpec::new(8_000_000, 500))).unwrap();
-    sphere.add_table(&spark_id, build_table(&TableSpec::new(2_000_000, 250))).unwrap();
-    sphere.add_table(&pg_id, build_table(&TableSpec::new(200_000, 100))).unwrap();
+    sphere
+        .add_table(&hive_id, build_table(&TableSpec::new(8_000_000, 500)))
+        .unwrap();
+    sphere
+        .add_table(&spark_id, build_table(&TableSpec::new(2_000_000, 250)))
+        .unwrap();
+    sphere
+        .add_table(&pg_id, build_table(&TableSpec::new(200_000, 100)))
+        .unwrap();
 
     // Costing profiles: sub-op everywhere (all three engines are open-box
     // here); the hybrid manager would equally accept logical-op or timed
@@ -49,7 +59,10 @@ fn main() {
     let suite = probe_suite();
     for id in [&hive_id, &spark_id, &pg_id, &SystemId::master()] {
         let t = sphere.train_subop(id, &suite).expect("profile trains");
-        println!("trained sub-op profile for {id} ({:.1} simulated min of probes)", t.as_mins());
+        println!(
+            "trained sub-op profile for {id} ({:.1} simulated min of probes)",
+            t.as_mins()
+        );
     }
 
     // A join spanning two remote systems: Hive owns R, Spark owns S.

@@ -29,8 +29,8 @@ fn main() {
 
     // --- Measure the primitives (Fig. 5's numbered probe queries) ---
     let measurement = SubOpMeasurement::run(&mut hive, &probe_suite());
-    let budget = hive.profile().memory_per_node_bytes as f64 * 0.10
-        / hive.profile().cores_per_node as f64;
+    let budget =
+        hive.profile().memory_per_node_bytes as f64 * 0.10 / hive.profile().cores_per_node as f64;
     let models = SubOpModels::fit(&measurement, budget).expect("models fit");
 
     println!("recovered per-record models (work µs vs record size):");
@@ -96,7 +96,10 @@ fn main() {
             estimate.secs,
             estimate.source,
             actual.elapsed.as_secs(),
-            actual.join_algorithm.map(|a| a.to_string()).unwrap_or_default()
+            actual
+                .join_algorithm
+                .map(|a| a.to_string())
+                .unwrap_or_default()
         );
     }
 }

@@ -20,8 +20,10 @@ fn main() {
     let mut hive = ClusterEngine::paper_hive("hive-oor", 5);
 
     // Train on joins of 1–8 M row tables (the Fig. 14 setup) …
-    let train_specs: Vec<TableSpec> =
-        [1u64, 2, 4, 6, 8].iter().map(|&k| TableSpec::new(k * 1_000_000, 500)).collect();
+    let train_specs: Vec<TableSpec> = [1u64, 2, 4, 6, 8]
+        .iter()
+        .map(|&k| TableSpec::new(k * 1_000_000, 500))
+        .collect();
     register_tables(&mut hive, &train_specs).expect("tables");
     let queries: Vec<String> = join_training_queries_with(&train_specs, &[100, 50, 25])
         .iter()
@@ -33,7 +35,10 @@ fn main() {
         &join_dim_names(),
         &training.dataset(),
         &FitConfig {
-            topology: TopologyChoice::Fixed { layer1: 12, layer2: 6 },
+            topology: TopologyChoice::Fixed {
+                layer1: 12,
+                layer2: 6,
+            },
             iterations: 15_000,
             batch_size: 32,
             trace_every: 0,
@@ -51,14 +56,17 @@ fn main() {
 
     // … then query a 20 M row join: way off the trained range (Fig. 3's
     // top diamond fails, the remedy kicks in).
-    hive.register_table(build_table(&TableSpec::new(20_000_000, 500))).expect("oor table");
+    hive.register_table(build_table(&TableSpec::new(20_000_000, 500)))
+        .expect("oor table");
     let sql = "SELECT r.a1, s.a1 FROM T20000000_500 r JOIN T4000000_500 s ON r.a1 = s.a1";
     let features = features_from_sql(hive.catalog(), sql).expect("features");
     let estimate = flow.estimate(&features.values);
     match &estimate.source {
         EstimateSource::OnlineRemedy { alpha, pivots } => {
-            let names: Vec<&str> =
-                pivots.iter().map(|&p| flow.model.meta.dims[p].name.as_str()).collect();
+            let names: Vec<&str> = pivots
+                .iter()
+                .map(|&p| flow.model.meta.dims[p].name.as_str())
+                .collect();
             println!(
                 "\nremedy triggered: pivot dimension(s) {names:?}, α = {alpha}, \
                  estimate {:.1} s",
@@ -67,7 +75,10 @@ fn main() {
         }
         other => println!("\nunexpected source {other:?}"),
     }
-    println!("raw NN would have said {:.1} s", flow.model.predict_nn(&features.values));
+    println!(
+        "raw NN would have said {:.1} s",
+        flow.model.predict_nn(&features.values)
+    );
 
     let actual = hive.submit_sql(sql).expect("runs").elapsed.as_secs();
     println!("actual execution {actual:.1} s");
@@ -87,7 +98,10 @@ fn main() {
         }
     }
     let alpha = flow.adjust_alpha();
-    println!("\nafter {} observed executions, α re-fit to {alpha:.2}", flow.tuner.observations());
+    println!(
+        "\nafter {} observed executions, α re-fit to {alpha:.2}",
+        flow.tuner.observations()
+    );
 
     // … and the offline tuning phase retrains the network on the log.
     let report = flow.offline_tune(&FitConfig::fast());

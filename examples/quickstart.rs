@@ -21,7 +21,10 @@ fn main() {
     let mut hive = ClusterEngine::paper_hive("hive-prod", 42);
     register_tables(
         &mut hive,
-        &[TableSpec::new(4_000_000, 250), TableSpec::new(1_000_000, 250)],
+        &[
+            TableSpec::new(4_000_000, 250),
+            TableSpec::new(1_000_000, 250),
+        ],
     )
     .expect("tables register");
 
@@ -33,8 +36,8 @@ fn main() {
         measurement.queries_run,
         measurement.training_time.as_mins()
     );
-    let budget = hive.profile().memory_per_node_bytes as f64 * 0.10
-        / hive.profile().cores_per_node as f64;
+    let budget =
+        hive.profile().memory_per_node_bytes as f64 * 0.10 / hive.profile().cores_per_node as f64;
     let models = SubOpModels::fit(&measurement, budget).expect("models fit");
     let costing = SubOpCosting::for_system(SystemKind::Hive, models, 32.0 * 1024.0 * 1024.0);
 
@@ -46,15 +49,23 @@ fn main() {
     let (info, ctx) = analysis.join.expect("join query");
     let inputs = RuleInputs::from_join(&info, &ctx);
     let estimate = costing.estimate_join(&info, &inputs);
-    println!("applicable algorithms: {:?}", costing.surviving_algorithms(&inputs));
-    println!("estimated remote execution: {:.1} s ({:?})", estimate.secs, estimate.source);
+    println!(
+        "applicable algorithms: {:?}",
+        costing.surviving_algorithms(&inputs)
+    );
+    println!(
+        "estimated remote execution: {:.1} s ({:?})",
+        estimate.secs, estimate.source
+    );
 
     // Ground truth: actually run it on the remote system.
     let exec = hive.submit_sql(sql).expect("query runs");
     println!(
         "actual remote execution:    {:.1} s via {} ({} output rows)",
         exec.elapsed.as_secs(),
-        exec.join_algorithm.map(|a| a.to_string()).unwrap_or_default(),
+        exec.join_algorithm
+            .map(|a| a.to_string())
+            .unwrap_or_default(),
         exec.output_rows
     );
     println!(

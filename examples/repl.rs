@@ -31,7 +31,11 @@ fn build_sphere() -> IntelliSphere {
     sphere.add_remote(ClusterEngine::new(
         "spark-b",
         spark_persona(),
-        ClusterConfig { nodes: 4, cores_per_node: 4, ..ClusterConfig::paper_hive() },
+        ClusterConfig {
+            nodes: 4,
+            cores_per_node: 4,
+            ..ClusterConfig::paper_hive()
+        },
         2,
     ));
     sphere.add_remote(ClusterEngine::new(
@@ -55,7 +59,9 @@ fn build_sphere() -> IntelliSphere {
     }
     let suite = probe_suite();
     for sys in ["hive-a", "spark-b", "pg-c", "teradata"] {
-        sphere.train_subop(&SystemId::new(sys), &suite).expect("profile trains");
+        sphere
+            .train_subop(&SystemId::new(sys), &suite)
+            .expect("profile trains");
     }
     sphere
 }

@@ -1,0 +1,166 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API shape the workspace's benches use —
+//! `criterion_group!` / `criterion_main!` / `Criterion::bench_function`
+//! / `Bencher::iter` — over a simple adaptive wall-clock measurement:
+//! warm up briefly, size the batch so one batch is long enough to time
+//! accurately, then report mean time per iteration over a fixed budget.
+//!
+//! Under `cargo test` (which runs bench targets with `--test`), each
+//! benchmark body executes exactly once so the suite stays fast.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, as criterion provides.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Per-iteration timing loop handed to bench closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Measured mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// `--test`: run once, don't measure.
+    Smoke,
+    /// Full measurement.
+    Measure,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record its mean wall-clock cost.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.mode == Mode::Smoke {
+            black_box(f());
+            self.mean_ns = 0.0;
+            self.iters = 1;
+            return;
+        }
+        // Warm-up: run for ~100ms to stabilize caches/branch predictors,
+        // and learn roughly how long one iteration takes.
+        let warmup = Duration::from_millis(100);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warmup.as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Measure: batches sized to ~10ms each, total budget ~1s.
+        let batch = ((10_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+        let budget = Duration::from_millis(1000);
+        let mut total_ns: u128 = 0;
+        let mut total_iters: u64 = 0;
+        let begin = Instant::now();
+        while begin.elapsed() < budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_ns += t0.elapsed().as_nanos();
+            total_iters += batch;
+        }
+        self.mean_ns = total_ns as f64 / total_iters.max(1) as f64;
+        self.iters = total_iters;
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo runs bench targets under `cargo test` with `--test`.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            mode: if smoke { Mode::Smoke } else { Mode::Measure },
+        }
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+impl Criterion {
+    /// Measure one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mode: self.mode,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        match self.mode {
+            Mode::Smoke => println!("bench {name}: ok (smoke)"),
+            Mode::Measure => println!(
+                "{name:<45} time: [{}]   ({} iterations)",
+                format_time(b.mean_ns),
+                b.iters
+            ),
+        }
+        self
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut b = Bencher {
+            mode: Mode::Smoke,
+            mean_ns: 1.0,
+            iters: 0,
+        };
+        let mut count = 0;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert_eq!(b.iters, 1);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(12.3), "12.30 ns");
+        assert_eq!(format_time(4_500.0), "4.500 µs");
+        assert_eq!(format_time(7_800_000.0), "7.800 ms");
+    }
+}

@@ -1,0 +1,467 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the surface this workspace uses: the `proptest!` macro with
+//! `arg in strategy` parameters, numeric range strategies, simple
+//! regex-like string strategies (`"[a-z][a-z0-9_]{0,8}"`),
+//! `collection::vec`, `sample::select`, `any::<T>()`, `Just`, and the
+//! `prop_assert* / prop_assume!` macros.
+//!
+//! Differences from real proptest, chosen deliberately for an offline,
+//! flake-free test suite: no shrinking (the failing input is printed
+//! as-is), and the RNG seed is derived from the property's name, so a
+//! given test binary exercises the same inputs on every run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cases each property runs. Real proptest defaults to 256; 64 keeps
+/// `cargo test` fast while still exercising a spread of inputs.
+pub const NUM_CASES: u32 = 64;
+
+/// Maximum attempts (including `prop_assume!` rejections) before a
+/// property gives up complaining that too many inputs were rejected.
+pub const MAX_ATTEMPTS: u32 = NUM_CASES * 20;
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject,
+    /// An assertion failed: the property is falsified.
+    Fail(String),
+}
+
+/// Deterministic per-property RNG: seeded from the property name.
+pub fn rng_for(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// `&str` strategies are a small regex-like pattern language:
+/// concatenations of atoms, where an atom is a literal character or a
+/// character class `[a-z0-9_]`, optionally followed by `{m,n}`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom into the set of characters it can produce.
+        let choices: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("proptest shim: unclosed `[` in {pattern:?}"));
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    set.extend((lo..=hi).filter_map(char::from_u32));
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            i += 1;
+            vec![c]
+        };
+        // Optional `{m,n}` repetition.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("proptest shim: unclosed `{{` in {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().unwrap(),
+                    n.trim().parse::<usize>().unwrap(),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let reps = if min == max {
+            min
+        } else {
+            rng.gen_range(min..=max)
+        };
+        for _ in 0..reps {
+            out.push(choices[rng.gen_range(0..choices.len())]);
+        }
+    }
+    out
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        rng.gen_range(-1.0e12..1.0e12)
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy};
+
+    /// A strategy producing `Vec`s whose elements come from `element`
+    /// and whose length comes from `size` (a `usize` or a range).
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut super::StdRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = if self.min == self.max {
+                self.min
+            } else {
+                rng.gen_range(self.min..self.max)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Acceptable `size` arguments for [`collection::vec`]: a fixed length
+/// or a half-open range, mirroring proptest's `Into<SizeRange>` inputs.
+pub trait SizeRange {
+    /// `(min, max)` with proptest's half-open range convention kept:
+    /// `min == max` means exactly that length.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+/// Sampling from explicit candidate lists.
+pub mod sample {
+    use super::Strategy;
+
+    /// Strategy over a fixed candidate vector.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// `prop::sample::select(vec![...])`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty options");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut super::StdRng) -> T {
+            use rand::Rng;
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+/// What `use proptest::prelude::*` brings in.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+    };
+}
+
+/// Assert a condition inside a property, with optional format args.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Discard the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests. Each function body runs [`NUM_CASES`] times
+/// with freshly sampled arguments.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::rng_for(stringify!($name));
+                let mut __accepted = 0u32;
+                let mut __attempts = 0u32;
+                while __accepted < $crate::NUM_CASES {
+                    __attempts += 1;
+                    if __attempts > $crate::MAX_ATTEMPTS {
+                        panic!(
+                            "proptest {}: too many inputs rejected by prop_assume! \
+                             ({} accepted of {} attempts)",
+                            stringify!($name), __accepted, __attempts
+                        );
+                    }
+                    $(let $arg = $crate::Strategy::sample(&$strat, &mut __rng);)+
+                    let __case_desc = format!(
+                        concat!($(concat!(stringify!($arg), " = {:?}, ")),+),
+                        $(&$arg),+
+                    );
+                    let __result: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match __result {
+                        ::core::result::Result::Ok(()) => __accepted += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} falsified: {}\n  inputs: {}",
+                                stringify!($name), msg, __case_desc
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(
+            x in -5.0f64..5.0,
+            n in 1usize..10,
+            v in prop::collection::vec(0u32..100, 2..6),
+            s in "[a-z]{1,4}",
+            w in prop::sample::select(vec!["a", "b"]),
+            seed in any::<u64>(),
+        ) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 100));
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(w == "a" || w == "b");
+            let _ = seed;
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0u32..10) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = crate::rng_for("x");
+        let mut r2 = crate::rng_for("x");
+        let s = "[a-z]{8}";
+        assert_eq!(Strategy::sample(&s, &mut r1), Strategy::sample(&s, &mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics() {
+        proptest! {
+            fn always_fails(a in 0u32..10) {
+                prop_assert!(a > 100, "a is small: {}", a);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,471 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the sandbox has no
+//! syn/quote), which is workable because the supported input grammar is
+//! deliberately small: non-generic structs and enums, any field shape,
+//! with `#[serde(default)]` as the only recognized field attribute.
+//! Enums use serde's externally-tagged representation: unit variants
+//! serialize as `"Name"`, payload variants as `{"Name": ...}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Body {
+    Unit,
+    /// Tuple struct / variant with this many fields.
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip a `#[...]` attribute at `i`, returning whether it contained
+/// `serde(default)`.
+fn skip_attr(tokens: &[TokenTree], i: &mut usize) -> bool {
+    // Caller guarantees tokens[*i] is `#`.
+    *i += 1;
+    let mut has_default = false;
+    if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(a) = t {
+                            match a.to_string().as_str() {
+                                "default" => has_default = true,
+                                other => panic!(
+                                    "serde shim derive: unsupported #[serde({other})] attribute"
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *i += 1;
+    }
+    has_default
+}
+
+/// Skip attributes and visibility qualifiers, returning whether any
+/// attribute was `#[serde(default)]`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                default |= skip_attr(tokens, i);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+/// Parse `name: Type` fields from the token stream of a brace group.
+/// Types are skipped by consuming until a comma at angle-bracket depth 0
+/// (parens/brackets/braces arrive as atomic groups in the token tree).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected ':' after field, got {other:?}"),
+        }
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct/variant from its paren group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                // A trailing comma does not start a new field.
+                ',' if depth == 0 && idx + 1 < tokens.len() => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                Body::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                Body::Named(fields)
+            }
+            _ => Body::Unit,
+        };
+        // Skip an optional explicit discriminant (`= expr`) and the comma.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (type {name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => panic!("serde shim derive: unsupported struct body {other:?}"),
+            };
+            Input::Struct { name, body }
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde shim derive: unsupported enum body {other:?}"),
+            };
+            Input::Enum { name, variants }
+        }
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn ser_named_fields(receiver: &str, fields: &[Field]) -> String {
+    let mut out = String::from("{ let mut __m = ::serde::Map::new();\n");
+    for f in fields {
+        out.push_str(&format!(
+            "__m.insert(::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_value({r}{n}));\n",
+            n = f.name,
+            r = receiver,
+        ));
+    }
+    out.push_str("::serde::Value::Object(__m) }");
+    out
+}
+
+fn de_named_fields(type_path: &str, fields: &[Field], obj: &str) -> String {
+    let mut out = format!("{type_path} {{\n");
+    for f in fields {
+        let missing = if f.default {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::core::result::Result::Err(::serde::Error::custom(\
+                 \"missing field `{}` for {}\"))",
+                f.name, type_path
+            )
+        };
+        out.push_str(&format!(
+            "{n}: match {obj}.get(\"{n}\") {{\n\
+             ::core::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             ::core::option::Option::None => {{ {missing} }},\n\
+             }},\n",
+            n = f.name,
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn generate_serialize(input: &Input) -> String {
+    let (name, body_code) = match input {
+        Input::Struct { name, body } => {
+            let code = match body {
+                Body::Unit => "::serde::Value::Null".to_string(),
+                Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Body::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Body::Named(fields) => ser_named_fields("&self.", fields),
+            };
+            (name, code)
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), {payload});\n\
+                             ::serde::Value::Object(__m)\n}},\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let payload = ser_named_fields("", fields);
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut __outer = ::serde::Map::new();\n\
+                             __outer.insert(::std::string::String::from(\"{vn}\"), {payload});\n\
+                             ::serde::Value::Object(__outer)\n}},\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}\n}}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body_code}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let (name, body_code) = match input {
+        Input::Struct { name, body } => {
+            let code = match body {
+                Body::Unit => format!("::core::result::Result::Ok({name})"),
+                Body::Tuple(1) => format!(
+                    "::core::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_value(__v)?))"
+                ),
+                Body::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let __items = __v.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                         if __items.len() != {n} {{ return ::core::result::Result::Err(\
+                         ::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n\
+                         ::core::result::Result::Ok({name}({items})) }}",
+                        items = items.join(", ")
+                    )
+                }
+                Body::Named(fields) => format!(
+                    "{{ let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                     ::core::result::Result::Ok({de}) }}",
+                    de = de_named_fields(name, fields, "__obj")
+                ),
+            };
+            (name, code)
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Body::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    Body::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __items = __payload.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                             if __items.len() != {n} {{ return ::core::result::Result::Err(\
+                             ::serde::Error::custom(\"wrong tuple length for {name}::{vn}\")); }}\n\
+                             ::core::result::Result::Ok({name}::{vn}({items}))\n}},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let path = format!("{name}::{vn}");
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __obj = __payload.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {path}\"))?;\n\
+                             ::core::result::Result::Ok({de})\n}},\n",
+                            de = de_named_fields(&path, fields, "__obj")
+                        ));
+                    }
+                }
+            }
+            let code = format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __payload) = __m.iter().next().unwrap();\n\
+                 match __tag.as_str() {{\n\
+                 {payload_arms}\
+                 __other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n}},\n\
+                 _ => ::core::result::Result::Err(::serde::Error::custom(\
+                 \"expected string or single-key object for enum {name}\")),\n\
+                 }}"
+            );
+            (name, code)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) \
+         -> ::core::result::Result<Self, ::serde::Error> {{\n{body_code}\n}}\n}}\n"
+    )
+}
+
+/// Derive the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_serialize(&parsed)
+        .parse()
+        .expect("serde shim derive: generated invalid Rust")
+}
+
+/// Derive the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_deserialize(&parsed)
+        .parse()
+        .expect("serde shim derive: generated invalid Rust")
+}

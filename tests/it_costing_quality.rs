@@ -17,7 +17,10 @@ use workload::{join_training_queries_with, TableSpec};
 
 fn fast_fit() -> FitConfig {
     FitConfig {
-        topology: TopologyChoice::Fixed { layer1: 12, layer2: 6 },
+        topology: TopologyChoice::Fixed {
+            layer1: 12,
+            layer2: 6,
+        },
         iterations: 3_000,
         batch_size: 32,
         trace_every: 0,
@@ -27,7 +30,10 @@ fn fast_fit() -> FitConfig {
 }
 
 fn join_specs() -> Vec<TableSpec> {
-    [1u64, 2, 4, 6, 8].iter().map(|&k| TableSpec::new(k * 1_000_000, 250)).collect()
+    [1u64, 2, 4, 6, 8]
+        .iter()
+        .map(|&k| TableSpec::new(k * 1_000_000, 250))
+        .collect()
 }
 
 #[test]
@@ -36,8 +42,10 @@ fn both_approaches_track_in_range_joins() {
     let mut engine = hive_engine(&specs, 21);
 
     // Logical-op training through the public pipeline.
-    let queries: Vec<String> =
-        join_training_queries_with(&specs, &[100, 50, 25]).iter().map(|q| q.sql()).collect();
+    let queries: Vec<String> = join_training_queries_with(&specs, &[100, 50, 25])
+        .iter()
+        .map(|q| q.sql())
+        .collect();
     let training = run_training(&mut engine, OperatorKind::Join, &queries);
     let (model, report) = LogicalOpModel::fit(
         OperatorKind::Join,
@@ -92,7 +100,10 @@ fn estimates_scale_monotonically_with_input_size() {
         let analysis = analyze(engine.catalog(), &plan).unwrap();
         let (info, ctx) = analysis.join.unwrap();
         let est = sub.estimate_join(&info, &rule_inputs(&info, &ctx)).secs;
-        assert!(est > last, "estimate must grow with the probe side: {est} vs {last}");
+        assert!(
+            est > last,
+            "estimate must grow with the probe side: {est} vs {last}"
+        );
         last = est;
     }
 }
@@ -108,13 +119,19 @@ fn aggregation_estimates_track_aggregate_count_and_groups() {
         let analysis = analyze(engine.catalog(), &plan).unwrap();
         sub.estimate_agg(analysis.agg.as_ref().unwrap()).secs
     };
-    let one = est("SELECT a5, SUM(a1) AS s FROM T4000000_250 GROUP BY a5", &engine);
+    let one = est(
+        "SELECT a5, SUM(a1) AS s FROM T4000000_250 GROUP BY a5",
+        &engine,
+    );
     let five = est(
         "SELECT a5, SUM(a1) AS s1, SUM(a2) AS s2, SUM(a10) AS s3, SUM(a20) AS s4, \
          SUM(a50) AS s5 FROM T4000000_250 GROUP BY a5",
         &engine,
     );
-    assert!(five > one, "more aggregates must cost more: {five} vs {one}");
+    assert!(
+        five > one,
+        "more aggregates must cost more: {five} vs {one}"
+    );
 
     // And the estimate tracks the actual within a reasonable band.
     let actual = engine
@@ -130,8 +147,10 @@ fn aggregation_estimates_track_aggregate_count_and_groups() {
 fn remedy_recovers_from_extrapolation_on_this_pipeline() {
     let specs = join_specs();
     let mut engine = hive_engine(&specs, 24);
-    let queries: Vec<String> =
-        join_training_queries_with(&specs, &[100, 50]).iter().map(|q| q.sql()).collect();
+    let queries: Vec<String> = join_training_queries_with(&specs, &[100, 50])
+        .iter()
+        .map(|q| q.sql())
+        .collect();
     let training = run_training(&mut engine, OperatorKind::Join, &queries);
     let (model, _) = LogicalOpModel::fit(
         OperatorKind::Join,

@@ -12,7 +12,10 @@ use workload::{build_table, join_training_queries_with, probe_suite, TableSpec};
 
 fn fast_fit() -> FitConfig {
     FitConfig {
-        topology: TopologyChoice::Fixed { layer1: 10, layer2: 5 },
+        topology: TopologyChoice::Fixed {
+            layer1: 10,
+            layer2: 5,
+        },
         iterations: 1_500,
         batch_size: 32,
         trace_every: 0,
@@ -31,10 +34,16 @@ fn sphere_with_remotes() -> IntelliSphere {
         ClusterEngine::new("spark-b", spark_persona(), ClusterConfig::paper_hive(), 2)
             .without_noise(),
     );
-    s.add_table(&SystemId::new("hive-a"), build_table(&TableSpec::new(4_000_000, 250)))
-        .unwrap();
-    s.add_table(&SystemId::new("spark-b"), build_table(&TableSpec::new(1_000_000, 250)))
-        .unwrap();
+    s.add_table(
+        &SystemId::new("hive-a"),
+        build_table(&TableSpec::new(4_000_000, 250)),
+    )
+    .unwrap();
+    s.add_table(
+        &SystemId::new("spark-b"),
+        build_table(&TableSpec::new(1_000_000, 250)),
+    )
+    .unwrap();
     s
 }
 
@@ -45,8 +54,7 @@ fn subop_profiles_drive_cross_system_planning_and_execution() {
     for id in ["hive-a", "spark-b", "teradata"] {
         s.train_subop(&SystemId::new(id), &suite).unwrap();
     }
-    let sql =
-        "SELECT r.a1, s.a1 FROM T4000000_250 r JOIN T1000000_250 s ON r.a1 = s.a1";
+    let sql = "SELECT r.a1, s.a1 FROM T4000000_250 r JOIN T1000000_250 s ON r.a1 = s.a1";
     let plan = s.plan(sql).unwrap();
     assert_eq!(plan.candidates.len(), 3, "hive, spark, and the master");
 
@@ -83,7 +91,9 @@ fn logical_profile_on_one_system_subop_on_another() {
         .map(|q| q.sql())
         .collect();
     assert!(queries.len() >= 10);
-    let t = s.train_logical(&hive_id, &queries, &[], &fast_fit()).unwrap();
+    let t = s
+        .train_logical(&hive_id, &queries, &[], &fast_fit())
+        .unwrap();
     assert!(t.as_secs() > 0.0);
 
     // Both systems now cost the same join through different approaches.
@@ -143,7 +153,8 @@ fn observations_flow_back_into_logical_profiles() {
             .iter()
             .map(|q| q.sql())
             .collect();
-    s.train_logical(&hive_id, &[], &agg_queries, &fast_fit()).unwrap();
+    s.train_logical(&hive_id, &[], &agg_queries, &fast_fit())
+        .unwrap();
 
     // Execute an aggregation; if it lands on hive the observation must be
     // logged in the logical profile.
@@ -168,13 +179,20 @@ fn three_table_join_plans_and_executes() {
         s.train_subop(&SystemId::new(id), &suite).unwrap();
     }
     // A third table on the master.
-    s.add_table(&SystemId::master(), build_table(&TableSpec::new(200_000, 100)))
-        .unwrap();
+    s.add_table(
+        &SystemId::master(),
+        build_table(&TableSpec::new(200_000, 100)),
+    )
+    .unwrap();
     let sql = "SELECT r.a1, t.a1 FROM T4000000_250 r \
                JOIN T1000000_250 s ON r.a1 = s.a1 \
                JOIN T200000_100 t ON s.a1 = t.a1";
     let plan = s.plan(sql).unwrap();
-    assert!(plan.candidates.len() >= 3, "{} candidates", plan.candidates.len());
+    assert!(
+        plan.candidates.len() >= 3,
+        "{} candidates",
+        plan.candidates.len()
+    );
     let exec = s.execute(sql).unwrap();
     // Containment chain: the smallest table bounds the output.
     assert!((exec.output_rows as f64 - 200_000.0).abs() < 1_000.0);

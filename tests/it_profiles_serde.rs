@@ -4,7 +4,9 @@
 
 use catalog::{SystemId, SystemKind};
 use costing::estimator::OperatorKind;
+use costing::estimator::{CostEstimate, EstimateSource};
 use costing::features::agg_dim_names;
+use costing::hybrid::load_profile;
 use costing::hybrid::{CostingApproach, CostingProfile, LogicalOpSuite};
 use costing::logical_op::{
     flow::LogicalOpCosting,
@@ -13,11 +15,16 @@ use costing::logical_op::{
 };
 use integration_tests::{hive_engine, trained_subop};
 use remote_sim::analyze::analyze;
+use remote_sim::physical::JoinAlgorithm;
 use remote_sim::RemoteSystem;
+use std::path::Path;
 use workload::{agg_training_queries_with, TableSpec};
 
 fn sample_specs() -> Vec<TableSpec> {
-    vec![TableSpec::new(1_000_000, 250), TableSpec::new(4_000_000, 250)]
+    vec![
+        TableSpec::new(1_000_000, 250),
+        TableSpec::new(4_000_000, 250),
+    ]
 }
 
 #[test]
@@ -48,15 +55,20 @@ fn subop_profile_roundtrips_and_estimates_identically() {
 fn logical_profile_roundtrips_with_log_and_tuner_state() {
     let specs = sample_specs();
     let mut engine = hive_engine(&specs, 32);
-    let queries: Vec<String> =
-        agg_training_queries_with(&specs, &[2, 10, 50], 2).iter().map(|q| q.sql()).collect();
+    let queries: Vec<String> = agg_training_queries_with(&specs, &[2, 10, 50], 2)
+        .iter()
+        .map(|q| q.sql())
+        .collect();
     let training = run_training(&mut engine, OperatorKind::Aggregation, &queries);
     let (model, _) = LogicalOpModel::fit(
         OperatorKind::Aggregation,
         &agg_dim_names(),
         &training.dataset(),
         &FitConfig {
-            topology: TopologyChoice::Fixed { layer1: 8, layer2: 4 },
+            topology: TopologyChoice::Fixed {
+                layer1: 8,
+                layer2: 4,
+            },
             iterations: 1_000,
             batch_size: 32,
             trace_every: 0,
@@ -74,7 +86,10 @@ fn logical_profile_roundtrips_with_log_and_tuner_state() {
     let mut profile = CostingProfile::new(
         SystemId::new("hive-it"),
         SystemKind::Hive,
-        CostingApproach::LogicalOp(LogicalOpSuite { join: None, aggregation: Some(flow) }),
+        CostingApproach::LogicalOp(LogicalOpSuite {
+            join: None,
+            aggregation: Some(flow),
+        }),
     );
     let plan =
         sqlkit::sql_to_plan("SELECT a5, SUM(a1) AS s FROM T4000000_250 GROUP BY a5").unwrap();
@@ -120,4 +135,114 @@ fn timed_profile_roundtrips_with_switch_counter() {
     let json = serde_json::to_string(&profile).unwrap();
     let restored: CostingProfile = serde_json::from_str(&json).unwrap();
     assert_eq!(restored.estimates_made, 2, "switch counter persists");
+}
+
+/// Every provenance variant a [`CostEstimate`] can carry must survive the
+/// trip to JSON unchanged — reports and replay tooling key off of them.
+#[test]
+fn every_estimate_source_variant_roundtrips() {
+    let sources = vec![
+        EstimateSource::NeuralNetwork,
+        EstimateSource::OnlineRemedy {
+            alpha: 0.37,
+            pivots: vec![0, 2],
+        },
+        EstimateSource::SubOpFormula {
+            algorithm: JoinAlgorithm::HiveShuffleJoin,
+        },
+        EstimateSource::SubOpPolicy {
+            policy: "min-cost".to_string(),
+            candidates: 3,
+        },
+        EstimateSource::SubOpAggregation,
+        EstimateSource::SubOpScan,
+        EstimateSource::SubOpSort,
+    ];
+    for source in sources {
+        let estimate = CostEstimate::new(12.5, source.clone());
+        let json = serde_json::to_string(&estimate).unwrap();
+        let back: CostEstimate = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            back, estimate,
+            "variant lost in round trip: {source:?}\njson: {json}"
+        );
+    }
+}
+
+/// The checked-in golden profile: regenerate with
+/// `UPDATE_GOLDEN=1 cargo test -p integration-tests golden_`.
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/fixtures/logical_agg.profile.json"
+);
+
+/// A small, fully deterministic profile (fixed dataset, fixed seed) whose
+/// serialized form is pinned by the golden fixture.
+fn golden_profile() -> CostingProfile {
+    let mut inputs = vec![];
+    let mut targets = vec![];
+    for i in 0..40 {
+        let rows = (i + 1) as f64 * 1e5;
+        inputs.push(vec![rows, 100.0, rows / 5.0, 12.0]);
+        targets.push(1.0 + rows * 1e-6);
+    }
+    let (model, _) = LogicalOpModel::fit(
+        OperatorKind::Aggregation,
+        &agg_dim_names(),
+        &neuro::Dataset::new(inputs, targets),
+        &FitConfig::fast(),
+    );
+    CostingProfile::new(
+        SystemId::new("hive-golden"),
+        SystemKind::Hive,
+        CostingApproach::LogicalOp(LogicalOpSuite {
+            join: None,
+            aggregation: Some(LogicalOpCosting::new(model)),
+        }),
+    )
+}
+
+/// The serialized wire format is part of the persistence contract: a
+/// freshly trained golden profile must serialize byte-for-byte to the
+/// checked-in fixture. A mismatch means either training lost determinism
+/// or the JSON schema changed — both need a deliberate decision (and a
+/// fixture regeneration) rather than a silent drift.
+#[test]
+fn golden_fixture_matches_freshly_trained_profile() {
+    let generated = golden_profile();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        costing::hybrid::save_profile(&generated, Path::new(GOLDEN_PATH)).unwrap();
+    }
+    let on_disk = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("fixture missing: run with UPDATE_GOLDEN=1 to create it");
+    let in_memory = serde_json::to_string_pretty(&generated).unwrap();
+    assert_eq!(
+        in_memory, on_disk,
+        "golden profile drifted; if the schema change is intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Loading the fixture from disk must produce the same estimates as the
+/// in-memory profile it was saved from.
+#[test]
+fn golden_fixture_estimates_identically_to_fresh_fit() {
+    let from_disk = load_profile(Path::new(GOLDEN_PATH)).unwrap();
+    let fresh = golden_profile();
+    let probes = [
+        vec![5e5, 100.0, 1e5, 12.0],
+        vec![2e6, 100.0, 4e5, 12.0],
+        vec![3.9e6, 100.0, 7.8e5, 12.0],
+    ];
+    for x in &probes {
+        let (a, b) = match (&from_disk.approach, &fresh.approach) {
+            (CostingApproach::LogicalOp(s1), CostingApproach::LogicalOp(s2)) => (
+                s1.aggregation.as_ref().unwrap().estimate_readonly(x),
+                s2.aggregation.as_ref().unwrap().estimate_readonly(x),
+            ),
+            _ => panic!("golden profile is a LogicalOp profile"),
+        };
+        assert_eq!(a.secs, b.secs, "estimate diverged for {x:?}");
+        assert_eq!(a.source, b.source);
+    }
 }

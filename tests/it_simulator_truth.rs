@@ -5,8 +5,7 @@
 use integration_tests::hive_engine;
 use remote_sim::{ClusterConfig, ClusterEngine, RemoteSystem};
 use workload::{
-    agg_training_queries_with, join_training_queries_with, register_tables, AggQuery,
-    TableSpec,
+    agg_training_queries_with, join_training_queries_with, register_tables, AggQuery, TableSpec,
 };
 
 #[test]
@@ -47,8 +46,10 @@ fn join_outputs_match_fig10_selectivities_exactly() {
 
 #[test]
 fn elapsed_time_is_monotone_in_table_size() {
-    let specs: Vec<TableSpec> =
-        [1u64, 2, 4, 8].iter().map(|&k| TableSpec::new(k * 1_000_000, 250)).collect();
+    let specs: Vec<TableSpec> = [1u64, 2, 4, 8]
+        .iter()
+        .map(|&k| TableSpec::new(k * 1_000_000, 250))
+        .collect();
     let mut engine = hive_engine(&specs, 43);
     let mut last = 0.0;
     for spec in &specs {
@@ -79,8 +80,8 @@ fn personas_order_as_expected_on_identical_work() {
     let sql = "SELECT a5, SUM(a1) AS s FROM T2000000_250 GROUP BY a5";
     let spec = [TableSpec::new(2_000_000, 250)];
     let mk = |persona| {
-        let mut e = ClusterEngine::new("x", persona, ClusterConfig::paper_hive(), 5)
-            .without_noise();
+        let mut e =
+            ClusterEngine::new("x", persona, ClusterConfig::paper_hive(), 5).without_noise();
         register_tables(&mut e, &spec).unwrap();
         e.submit_sql(sql).unwrap().elapsed.as_secs()
     };
