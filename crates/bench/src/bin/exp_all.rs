@@ -12,4 +12,5 @@ fn main() {
     let _ = bench::experiments::heterogeneous::run(&cfg);
     let _ = bench::experiments::skew::run(&cfg);
     let _ = bench::experiments::ablations::run(&cfg);
+    let _ = bench::experiments::drift::run(&cfg);
 }

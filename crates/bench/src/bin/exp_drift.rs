@@ -1,0 +1,7 @@
+//! Regenerates the drift-monitoring model-health table.
+//! Pass `--quick` for a reduced run.
+
+fn main() {
+    let cfg = bench::ExpConfig::from_env();
+    let _ = bench::experiments::drift::run(&cfg);
+}

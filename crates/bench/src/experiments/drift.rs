@@ -1,0 +1,223 @@
+//! Model-health drift monitoring: the telemetry pipeline end to end.
+//!
+//! The paper's offline tuning loop assumes someone notices *when* a model
+//! needs retraining ("periodically, this log is fed to the neural network
+//! model"). This experiment exercises the workspace's answer — the
+//! [`telemetry::DriftMonitor`] fed from the estimation service's
+//! execution logs — on a controlled scenario:
+//!
+//! * two remote systems share the same trained aggregation model;
+//! * `hive-stable` keeps behaving as trained (actuals jitter a few
+//!   percent around the truth the model learned);
+//! * `hive-degraded` suffers a regime change mid-stream (a shrunk
+//!   cluster): actuals ramp up to 3× what the model predicts.
+//!
+//! The monitor must flag the degraded system's model within one window
+//! while leaving the stable one alone. The per-`(system, operator)`
+//! rolling-RMSE% table lands in `results/drift_health.{txt,csv}`, and
+//! the same numbers are published as registry gauges via
+//! [`costing::publish_drift`].
+
+use crate::report::{heading, kv, write_csv, write_text_table, ExpConfig, Series};
+use catalog::SystemId;
+use costing::logical_op::flow::LogicalOpCosting;
+use costing::logical_op::model::{FitConfig, LogicalOpModel};
+use costing::service::EstimatorService;
+use costing::{publish_drift, ModelKey, OperatorKind};
+use neuro::Dataset;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use telemetry::{DriftConfig, DriftMonitor, ModelHealth};
+
+/// One row of the model-health table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftRow {
+    /// The model's key, `system/operator`.
+    pub model: String,
+    /// The rolled-up health numbers.
+    pub health: ModelHealth,
+}
+
+/// Result of the drift experiment.
+#[derive(Debug, Clone)]
+pub struct DriftExpResult {
+    /// One row per monitored model.
+    pub rows: Vec<DriftRow>,
+    /// The keys the monitor flagged for retraining.
+    pub flagged: Vec<ModelKey>,
+}
+
+/// The ground truth both systems were trained against.
+fn truth(rows: f64, size: f64) -> f64 {
+    1.0 + 2e-6 * rows + 0.01 * size
+}
+
+fn trained_flow() -> LogicalOpCosting {
+    let mut inputs = vec![];
+    let mut targets = vec![];
+    for r in 1..=15 {
+        for s in 1..=4 {
+            let rows = r as f64 * 1e5;
+            let size = s as f64 * 100.0;
+            inputs.push(vec![rows, size]);
+            targets.push(truth(rows, size));
+        }
+    }
+    let (model, _) = LogicalOpModel::fit(
+        OperatorKind::Aggregation,
+        &["rows", "size"],
+        &Dataset::new(inputs, targets),
+        &FitConfig::fast(),
+    );
+    LogicalOpCosting::new(model)
+}
+
+/// Runs the drift scenario and returns the health table.
+pub fn run(cfg: &ExpConfig) -> DriftExpResult {
+    heading("Drift monitoring — model health per (system, operator)");
+
+    let service = EstimatorService::default();
+    let stable = SystemId::new("hive-stable");
+    let degraded = SystemId::new("hive-degraded");
+    service.register(stable.clone(), trained_flow());
+    service.register(degraded.clone(), trained_flow());
+
+    let drift_cfg = DriftConfig::default();
+    let n = if cfg.quick {
+        drift_cfg.window / 2
+    } else {
+        drift_cfg.window
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD21F7);
+    for i in 0..n {
+        let rows = rng.gen_range(1e5..1.5e6);
+        let size = 100.0 * rng.gen_range(1..=4) as f64;
+        let base = truth(rows, size);
+        // Stable system: a few percent of execution jitter.
+        let jitter = 1.0 + rng.gen_range(-0.03..0.03);
+        service
+            .observe_actual(
+                &stable,
+                OperatorKind::Aggregation,
+                &[rows, size],
+                base * jitter,
+            )
+            .expect("stable model registered");
+        // Degraded system: a regime change ramping actuals up to 3x.
+        let ramp = 1.0 + 2.0 * (i as f64 + 1.0) / n as f64;
+        service
+            .observe_actual(
+                &degraded,
+                OperatorKind::Aggregation,
+                &[rows, size],
+                base * ramp * jitter,
+            )
+            .expect("degraded model registered");
+    }
+
+    let mut monitor = DriftMonitor::new(drift_cfg);
+    let fed = service.feed_drift_monitor(&mut monitor);
+    kv("observations fed to the monitor", fed);
+    let flagged = publish_drift(&monitor, service.telemetry());
+
+    let rows: Vec<DriftRow> = monitor
+        .report()
+        .into_iter()
+        .map(|(key, health)| DriftRow {
+            model: format!("{}/{}", key.0, key.1),
+            health,
+        })
+        .collect();
+    print_health_table(cfg, &rows);
+    kv(
+        "flagged for retraining",
+        if flagged.is_empty() {
+            "none".to_string()
+        } else {
+            flagged
+                .iter()
+                .map(|k| format!("{}/{}", k.0, k.1))
+                .collect::<Vec<_>>()
+                .join(", ")
+        },
+    );
+
+    DriftExpResult { rows, flagged }
+}
+
+fn print_health_table(cfg: &ExpConfig, rows: &[DriftRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.health.samples.to_string(),
+                format!("{:.2}", r.health.rmse_pct),
+                format!("{:.2}", r.health.mean_q_error),
+                format!("{:.2}", r.health.max_q_error),
+                if r.health.drifted { "DRIFTED" } else { "ok" }.to_string(),
+            ]
+        })
+        .collect();
+    write_text_table(
+        cfg,
+        "drift_health",
+        &[
+            "model",
+            "samples",
+            "rolling RMSE%",
+            "mean q-error",
+            "max q-error",
+            "status",
+        ],
+        &table,
+    );
+    write_csv(
+        cfg,
+        "drift_health",
+        &[
+            Series::new(
+                "rolling_rmse_pct",
+                rows.iter()
+                    .enumerate()
+                    .map(|(i, r)| (i as f64, r.health.rmse_pct))
+                    .collect(),
+            ),
+            Series::new(
+                "mean_q_error",
+                rows.iter()
+                    .enumerate()
+                    .map(|(i, r)| (i as f64, r.health.mean_q_error))
+                    .collect(),
+            ),
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degraded_system_is_flagged_and_stable_is_not() {
+        let r = run(&ExpConfig::quick_silent());
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(
+            r.flagged,
+            vec![(SystemId::new("hive-degraded"), OperatorKind::Aggregation)]
+        );
+        let stable = r
+            .rows
+            .iter()
+            .find(|row| row.model == "hive-stable/aggregation")
+            .unwrap();
+        assert!(!stable.health.drifted);
+        assert!(stable.health.rmse_pct < 25.0, "{}", stable.health.rmse_pct);
+        let degraded = r
+            .rows
+            .iter()
+            .find(|row| row.model == "hive-degraded/aggregation")
+            .unwrap();
+        assert!(degraded.health.drifted);
+        assert!(degraded.health.rmse_pct > stable.health.rmse_pct);
+    }
+}

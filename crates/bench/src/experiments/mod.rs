@@ -1,6 +1,7 @@
 //! The experiment implementations, one module per paper artefact.
 
 pub mod ablations;
+pub mod drift;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

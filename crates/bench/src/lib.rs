@@ -13,6 +13,7 @@
 //! | Fig. 14 (out-of-range)   | [`experiments::fig14`]  | `exp_fig14_oor` |
 //! | Table 1 (α adjustment)   | [`experiments::table1`] | `exp_table1_alpha` |
 //! | Ablations (DESIGN.md §5) | [`experiments::ablations`] | `exp_ablations` |
+//! | Drift health (DESIGN.md §9) | [`experiments::drift`] | `exp_drift` |
 //!
 //! Each experiment prints the same rows/series the paper reports and
 //! returns a structured result for the integration tests, which assert

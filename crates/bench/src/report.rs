@@ -100,6 +100,45 @@ pub fn print_series(s: &Series, x_label: &str, y_label: &str, max_rows: usize) {
     }
 }
 
+/// Prints an aligned text table (and writes it to `<out_dir>/<file>.txt`
+/// when file output is enabled). Every row must have one cell per header.
+pub fn write_text_table(cfg: &ExpConfig, file: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "table row arity");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::from(" ");
+        for (w, cell) in widths.iter().zip(cells) {
+            line.push_str(&format!(" {cell:>w$}"));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let mut text = render_row(&header_cells);
+    text.push('\n');
+    for row in rows {
+        text.push_str(&render_row(row));
+        text.push('\n');
+    }
+    print!("{text}");
+    let Some(dir) = &cfg.out_dir else {
+        return;
+    };
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{file}.txt"));
+    if let Err(e) = fs::write(&path, &text) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("  [txt] {}", path.display());
+    }
+}
+
 /// Writes series to `<out_dir>/<file>.csv` with one `series,x,y` row per
 /// point. Silently skips when `out_dir` is `None`.
 pub fn write_csv(cfg: &ExpConfig, file: &str, series: &[Series]) {

@@ -3,12 +3,15 @@
 
 use crate::{
     estimator::OperatorKind,
+    features::{agg_features, join_features},
     hybrid::profile::{CostingError, CostingProfile, QueryCost},
+    observability::ModelKey,
 };
 use catalog::{Catalog, SystemId};
 use remote_sim::analyze::{analyze, QueryAnalysis};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use telemetry::{DriftMonitor, Event, Tracer};
 
 /// Routes cost estimates to per-system costing profiles.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -68,6 +71,55 @@ impl HybridCostManager {
         let analysis =
             analyze(catalog, &plan).map_err(|_| CostingError::NoOperator(OperatorKind::Scan))?;
         self.estimate(system, &analysis)
+    }
+
+    /// [`HybridCostManager::estimate`] with the decision trail: emits one
+    /// [`Event::EstimateServed`] per costed operator, carrying the feature
+    /// vector the logical-op path would see and the estimate's provenance.
+    pub fn estimate_traced(
+        &mut self,
+        system: &SystemId,
+        analysis: &QueryAnalysis,
+        tracer: &Tracer,
+    ) -> Result<QueryCost, CostingError> {
+        let cost = self.estimate(system, analysis)?;
+        if tracer.is_enabled() {
+            for (op, est) in &cost.operators {
+                let features = match op {
+                    OperatorKind::Join => join_features(analysis).map(|f| f.to_vec()),
+                    OperatorKind::Aggregation => agg_features(analysis).map(|f| f.to_vec()),
+                    _ => None,
+                }
+                .unwrap_or_default();
+                tracer.emit(|| Event::EstimateServed {
+                    system: system.to_string(),
+                    operator: op.to_string(),
+                    features,
+                    secs: est.secs,
+                    source: format!("{:?}", est.source),
+                    cache_hit: false,
+                });
+            }
+        }
+        Ok(cost)
+    }
+
+    /// Replays every profile's pending execution-log entries into a drift
+    /// monitor keyed by `(system, operator)`: each logged observation is
+    /// paired with what the currently-trained model predicts for its
+    /// feature vector. Returns the number of samples fed.
+    pub fn feed_drift_monitor(&self, monitor: &mut DriftMonitor<ModelKey>) -> usize {
+        let mut fed = 0;
+        for (system, profile) in &self.profiles {
+            for (op, flow) in profile.logical_flows() {
+                for entry in flow.log.entries() {
+                    let predicted = flow.estimate_readonly(&entry.features).secs;
+                    monitor.record((system.clone(), op), predicted, entry.actual_secs);
+                    fed += 1;
+                }
+            }
+        }
+        fed
     }
 
     /// Feeds an observed actual execution back to the owning profile.
@@ -131,6 +183,98 @@ mod tests {
             .unwrap();
         assert!(cost.total_secs > 0.0);
         assert_eq!(mgr.systems().len(), 1);
+    }
+
+    #[test]
+    fn traced_estimate_serves_one_event_per_operator() {
+        use std::sync::Arc;
+        use telemetry::VecSubscriber;
+
+        let mut e = hive_with_tables();
+        let mut mgr = HybridCostManager::new();
+        mgr.register(subop_profile(&mut e, "hive-a"));
+        let plan = sqlkit::sql_to_plan(
+            "SELECT r.a5, SUM(s.a1) AS s FROM T1000000_250 r \
+             JOIN T100000_100 s ON r.a1 = s.a1 GROUP BY r.a5",
+        )
+        .unwrap();
+        let analysis = analyze(e.catalog(), &plan).unwrap();
+        let sub = Arc::new(VecSubscriber::new());
+        let tracer = Tracer::new(sub.clone());
+        let cost = mgr
+            .estimate_traced(&SystemId::new("hive-a"), &analysis, &tracer)
+            .unwrap();
+        let events = sub.snapshot();
+        assert_eq!(events.len(), cost.operators.len());
+        for ((op, est), ev) in cost.operators.iter().zip(&events) {
+            match ev {
+                Event::EstimateServed {
+                    system,
+                    operator,
+                    secs,
+                    cache_hit,
+                    ..
+                } => {
+                    assert_eq!(system, "hive-a");
+                    assert_eq!(operator, &op.to_string());
+                    assert_eq!(*secs, est.secs);
+                    assert!(!cache_hit);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn drift_feeding_pairs_log_entries_with_current_predictions() {
+        use crate::hybrid::profile::LogicalOpSuite;
+        use crate::logical_op::flow::LogicalOpCosting;
+        use crate::logical_op::model::{FitConfig, LogicalOpModel};
+        use neuro::Dataset;
+        use telemetry::DriftConfig;
+
+        // A small trained aggregation model.
+        let mut inputs = vec![];
+        let mut targets = vec![];
+        for r in 1..=12 {
+            for g in [2.0, 5.0, 10.0] {
+                let rows = r as f64 * 1e5;
+                inputs.push(vec![rows, 100.0, rows / g, 12.0]);
+                targets.push(4.0 + rows * 1e-5);
+            }
+        }
+        let (model, _) = LogicalOpModel::fit(
+            OperatorKind::Aggregation,
+            &["in_rows", "in_bytes", "groups", "out_bytes"],
+            &Dataset::new(inputs, targets),
+            &FitConfig::fast(),
+        );
+        let mut flow = LogicalOpCosting::new(model);
+        for r in 1..=6 {
+            let rows = r as f64 * 1e5;
+            flow.observe_actual(&[rows, 100.0, rows / 5.0, 12.0], 4.0 + rows * 1e-5);
+        }
+        let logged = flow.log.len();
+        assert!(logged > 0);
+        let mut mgr = HybridCostManager::new();
+        mgr.register(CostingProfile::new(
+            SystemId::new("hive-a"),
+            SystemKind::Hive,
+            CostingApproach::LogicalOp(LogicalOpSuite {
+                join: None,
+                aggregation: Some(flow),
+            }),
+        ));
+        let mut monitor = DriftMonitor::new(DriftConfig {
+            min_samples: 1,
+            ..DriftConfig::default()
+        });
+        let fed = mgr.feed_drift_monitor(&mut monitor);
+        assert_eq!(fed, logged);
+        let key = (SystemId::new("hive-a"), OperatorKind::Aggregation);
+        let health = monitor.status(&key).unwrap();
+        assert_eq!(health.samples, logged);
+        assert!(health.rmse_pct.is_finite());
     }
 
     #[test]

@@ -182,6 +182,31 @@ impl CostingProfile {
         }
     }
 
+    /// The currently-active logical-op flows, keyed by operator
+    /// (overrides shadow the base approach; timed approaches resolve at
+    /// the current estimate count, matching where observations land).
+    /// Drift monitoring walks these to reach every execution log.
+    pub fn logical_flows(&self) -> Vec<(OperatorKind, &LogicalOpCosting)> {
+        let mut out = Vec::new();
+        for op in [OperatorKind::Join, OperatorKind::Aggregation] {
+            let approach = active_ref(
+                self.overrides.get(&op).unwrap_or(&self.approach),
+                self.estimates_made,
+            );
+            if let CostingApproach::LogicalOp(suite) = approach {
+                let flow = match op {
+                    OperatorKind::Join => suite.join.as_ref(),
+                    OperatorKind::Aggregation => suite.aggregation.as_ref(),
+                    _ => None,
+                };
+                if let Some(f) = flow {
+                    out.push((op, f));
+                }
+            }
+        }
+        out
+    }
+
     /// Routes an observed actual execution back into the logical-op
     /// machinery (log + α tuning). Sub-op approaches ignore observations
     /// ("model continuous tuning … less critical because extrapolation is
@@ -195,6 +220,23 @@ impl CostingProfile {
         } else {
             observe_with(&mut self.approach, op, analysis, actual_secs, n);
         }
+    }
+}
+
+fn active_ref(approach: &CostingApproach, estimates_made: u64) -> &CostingApproach {
+    match approach {
+        CostingApproach::Timed {
+            before,
+            after,
+            switch_after_estimates,
+        } => {
+            if estimates_made <= *switch_after_estimates {
+                active_ref(before, estimates_made)
+            } else {
+                active_ref(after, estimates_made)
+            }
+        }
+        other => other,
     }
 }
 
@@ -531,6 +573,50 @@ mod tests {
         assert_eq!(sorted_cost.operators.len(), 2);
         assert_eq!(sorted_cost.operators[1].0, OperatorKind::Sort);
         assert!(sorted_cost.total_secs > plain_cost.total_secs);
+    }
+
+    #[test]
+    fn logical_flows_follow_overrides_and_timed_switching() {
+        let mut e = engine();
+        // Pure sub-op profile exposes no flows.
+        let sub = CostingProfile::new(
+            SystemId::new("hive"),
+            SystemKind::Hive,
+            subop_approach(&mut e),
+        );
+        assert!(sub.logical_flows().is_empty());
+
+        // Logical profile exposes exactly the trained operators.
+        let logical =
+            CostingProfile::new(SystemId::new("hive"), SystemKind::Hive, logical_approach());
+        let flows = logical.logical_flows();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].0, OperatorKind::Aggregation);
+
+        // Timed: only the active side is visible.
+        let mut timed = CostingProfile::new(
+            SystemId::new("hive"),
+            SystemKind::Hive,
+            CostingApproach::Timed {
+                before: Box::new(subop_approach(&mut e)),
+                after: Box::new(logical_approach()),
+                switch_after_estimates: 2,
+            },
+        );
+        assert!(timed.logical_flows().is_empty());
+        timed.estimates_made = 3;
+        assert_eq!(timed.logical_flows().len(), 1);
+
+        // Overrides shadow the base approach for their operator.
+        let overridden = CostingProfile::new(
+            SystemId::new("hive"),
+            SystemKind::Hive,
+            subop_approach(&mut e),
+        )
+        .with_override(OperatorKind::Aggregation, logical_approach());
+        let flows = overridden.logical_flows();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].0, OperatorKind::Aggregation);
     }
 
     #[test]

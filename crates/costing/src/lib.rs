@@ -21,6 +21,11 @@
 //!   selects the approach (per system, per operator, or switched over
 //!   time, Fig. 9).
 //!
+//! Every estimation path is observable: traced method variants accept a
+//! [`TraceCtx`] and emit typed decision-trail events ([`observability`]),
+//! the [`service`] keeps registry-backed metrics, and the execution logs
+//! feed a drift monitor keyed by [`ModelKey`].
+//!
 //! The crate interacts with remote systems *only* through the
 //! [`remote_sim::RemoteSystem`] trait — submit a query or probe, observe
 //! an elapsed time — which is exactly the paper's black-box contract. All
@@ -31,6 +36,7 @@ pub mod estimator;
 pub mod features;
 pub mod hybrid;
 pub mod logical_op;
+pub mod observability;
 pub mod service;
 pub mod sub_op;
 
@@ -40,5 +46,6 @@ pub use hybrid::{CostingApproach, CostingProfile, HybridCostManager};
 pub use logical_op::{
     flow::LogicalOpCosting, model::FitConfig, model::LogicalOpModel, remedy::RemedyConfig,
 };
+pub use observability::{publish_drift, ModelKey, TraceCtx};
 pub use service::{CacheStats, EstimatorService, ServiceConfig, ServiceError};
 pub use sub_op::{choice::ChoicePolicy, SubOpCosting};

@@ -14,11 +14,13 @@ use crate::{
     estimator::{CostEstimate, EstimateSource},
     logical_op::{
         model::{FitConfig, LogicalOpModel},
-        remedy::{remedy_estimate, AlphaTuner, RemedyConfig},
+        remedy::{remedy_estimate, remedy_estimate_traced, AlphaTuner, RemedyConfig},
         tuning::{offline_tune, ExecutionLog, TuneReport},
     },
+    observability::TraceCtx,
 };
 use serde::{Deserialize, Serialize};
+use telemetry::Event;
 
 /// A complete logical-operator costing unit for one operator on one
 /// remote system: model + remedy machinery + execution log.
@@ -85,6 +87,43 @@ impl LogicalOpCosting {
         }
     }
 
+    /// [`LogicalOpCosting::estimate`] with the decision trail: remedy-path
+    /// estimates emit [`Event::PivotsDetected`] and [`Event::RemedyBlend`]
+    /// through `ctx`. Returns exactly what the untraced call returns.
+    pub fn estimate_traced(&mut self, x: &[f64], ctx: &TraceCtx<'_>) -> CostEstimate {
+        if self.model.meta.all_in_range(x, self.remedy.beta) {
+            CostEstimate::new(self.model.predict_nn(x), EstimateSource::NeuralNetwork)
+        } else {
+            let out = remedy_estimate_traced(&self.model, x, &self.remedy, self.tuner.alpha(), ctx);
+            self.pending_remedies
+                .push((x.to_vec(), out.nn_estimate, out.regression_estimate));
+            CostEstimate::new(
+                out.estimate,
+                EstimateSource::OnlineRemedy {
+                    alpha: out.alpha,
+                    pivots: out.pivots,
+                },
+            )
+        }
+    }
+
+    /// [`LogicalOpCosting::estimate_readonly`] with the decision trail
+    /// (see [`LogicalOpCosting::estimate_traced`]).
+    pub fn estimate_readonly_traced(&self, x: &[f64], ctx: &TraceCtx<'_>) -> CostEstimate {
+        if self.model.meta.all_in_range(x, self.remedy.beta) {
+            CostEstimate::new(self.model.predict_nn(x), EstimateSource::NeuralNetwork)
+        } else {
+            let out = remedy_estimate_traced(&self.model, x, &self.remedy, self.tuner.alpha(), ctx);
+            CostEstimate::new(
+                out.estimate,
+                EstimateSource::OnlineRemedy {
+                    alpha: out.alpha,
+                    pivots: out.pivots,
+                },
+            )
+        }
+    }
+
     /// The bottom half of Fig. 3: the operator actually ran remotely —
     /// log the actual cost, and if it had gone through the remedy path,
     /// feed the α tuner.
@@ -111,15 +150,62 @@ impl LogicalOpCosting {
         self.log.push(x.to_vec(), actual_secs);
     }
 
+    /// [`LogicalOpCosting::observe_detached`] with the decision trail:
+    /// emits [`Event::ActualObserved`] carrying the model's *current*
+    /// prediction next to the reported actual — the raw material of drift
+    /// monitoring. The prediction is only computed when tracing is
+    /// enabled.
+    pub fn observe_detached_traced(&mut self, x: &[f64], actual_secs: f64, ctx: &TraceCtx<'_>) {
+        if ctx.tracer.is_enabled() {
+            let predicted = self.estimate_readonly(x).secs;
+            ctx.tracer.emit(|| Event::ActualObserved {
+                system: ctx.system.to_string(),
+                operator: self.model.op.to_string(),
+                predicted,
+                actual: actual_secs,
+            });
+        }
+        self.observe_detached(x, actual_secs);
+    }
+
     /// Re-fits α from everything recorded so far (the paper adjusts after
     /// each batch — Table 1).
     pub fn adjust_alpha(&mut self) -> f64 {
         self.tuner.retune()
     }
 
+    /// [`LogicalOpCosting::adjust_alpha`] with the decision trail: emits
+    /// [`Event::AlphaAdjusted`] with the weight before and after retuning.
+    pub fn adjust_alpha_traced(&mut self, ctx: &TraceCtx<'_>) -> f64 {
+        let old_alpha = self.tuner.alpha();
+        let new_alpha = self.adjust_alpha();
+        ctx.tracer.emit(|| Event::AlphaAdjusted {
+            system: ctx.system.to_string(),
+            operator: self.model.op.to_string(),
+            old_alpha,
+            new_alpha,
+        });
+        new_alpha
+    }
+
     /// Runs the offline tuning phase over the accumulated log.
     pub fn offline_tune(&mut self, config: &FitConfig) -> TuneReport {
         offline_tune(&mut self.model, &mut self.log, self.remedy.beta, config)
+    }
+
+    /// [`LogicalOpCosting::offline_tune`] with the decision trail: emits
+    /// [`Event::TuningPass`] summarising what the pass consumed and
+    /// achieved.
+    pub fn offline_tune_traced(&mut self, config: &FitConfig, ctx: &TraceCtx<'_>) -> TuneReport {
+        let report = self.offline_tune(config);
+        ctx.tracer.emit(|| Event::TuningPass {
+            system: ctx.system.to_string(),
+            operator: self.model.op.to_string(),
+            entries_used: report.entries_used,
+            dims_expanded: report.dims_expanded.len(),
+            rmse_pct_after: report.rmse_pct_after,
+        });
+        report
     }
 }
 
@@ -233,6 +319,64 @@ mod tests {
         let before_len = c.pending_remedies.len();
         let _ = c.estimate_readonly(&[2e7, 200.0]);
         assert_eq!(c.pending_remedies.len(), before_len);
+    }
+
+    #[test]
+    fn traced_estimate_trail_agrees_with_the_returned_source() {
+        use catalog::SystemId;
+        use std::sync::Arc;
+        use telemetry::{Event, Tracer, VecSubscriber};
+
+        let mut c = costing();
+        let sub = Arc::new(VecSubscriber::new());
+        let tracer = Tracer::new(sub.clone());
+        let system = SystemId::new("hive-a");
+        let ctx = TraceCtx::new(&tracer, &system);
+        // In-range estimates leave no remedy trail.
+        let e = c.estimate_traced(&[5e5, 200.0], &ctx);
+        assert_eq!(e.source, EstimateSource::NeuralNetwork);
+        assert!(sub.is_empty());
+        // Out-of-range: the emitted pivots and α must agree with the
+        // source the estimate itself reports.
+        let e = c.estimate_traced(&[2e7, 200.0], &ctx);
+        let (src_alpha, src_pivots) = match &e.source {
+            EstimateSource::OnlineRemedy { alpha, pivots } => (*alpha, pivots.clone()),
+            other => panic!("expected remedy, got {other:?}"),
+        };
+        let events = sub.take();
+        assert_eq!(events.len(), 2);
+        match &events[0] {
+            Event::PivotsDetected { pivots, .. } => assert_eq!(pivots, &src_pivots),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &events[1] {
+            Event::RemedyBlend {
+                alpha,
+                nn_estimate,
+                regression_estimate,
+                blended,
+                ..
+            } => {
+                assert_eq!(*alpha, src_alpha);
+                let expect =
+                    (src_alpha * nn_estimate + (1.0 - src_alpha) * regression_estimate).max(0.0);
+                assert!((blended - expect).abs() < 1e-12);
+                assert_eq!(*blended, e.secs);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Observation, α adjustment, and tuning each add to the trail.
+        c.observe_detached_traced(&[2e7, 200.0], 60.0, &ctx);
+        let _ = c.adjust_alpha_traced(&ctx);
+        let _ = c.offline_tune_traced(&FitConfig::fast(), &ctx);
+        let kinds: Vec<&str> = sub.snapshot().iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            // observe_detached on an out-of-range point recomputes the
+            // remedy, which traces nothing here (untraced internal call);
+            // only the three explicit stations emit.
+            vec!["actual_observed", "alpha_adjusted", "tuning_pass"]
+        );
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //!    estimated and actual execution times" ([`AlphaTuner`], Table 1).
 
 use crate::logical_op::model::LogicalOpModel;
+use crate::observability::TraceCtx;
 use mathkit::{LinearModel, SimpleLinearModel};
 use serde::{Deserialize, Serialize};
+use telemetry::Event;
 
 /// Online-remedy configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -76,6 +78,35 @@ pub fn remedy_estimate(
         pivots,
         alpha,
     }
+}
+
+/// [`remedy_estimate`] plus the decision trail: emits
+/// [`Event::PivotsDetected`] and [`Event::RemedyBlend`] describing the
+/// pivot set, the α weight, and both blend components. With a disabled
+/// tracer this is exactly [`remedy_estimate`] — the event closures never
+/// run.
+pub fn remedy_estimate_traced(
+    model: &LogicalOpModel,
+    x: &[f64],
+    cfg: &RemedyConfig,
+    alpha: f64,
+    ctx: &TraceCtx<'_>,
+) -> RemedyOutcome {
+    let out = remedy_estimate(model, x, cfg, alpha);
+    ctx.tracer.emit(|| Event::PivotsDetected {
+        system: ctx.system.to_string(),
+        operator: model.op.to_string(),
+        pivots: out.pivots.clone(),
+    });
+    ctx.tracer.emit(|| Event::RemedyBlend {
+        system: ctx.system.to_string(),
+        operator: model.op.to_string(),
+        alpha: out.alpha,
+        nn_estimate: out.nn_estimate,
+        regression_estimate: out.regression_estimate,
+        blended: out.estimate,
+    });
+    out
 }
 
 /// Builds the on-the-fly regression over the pivot dimension(s) from the
@@ -337,6 +368,53 @@ mod tests {
             "estimate {} vs truth {truth}",
             out.regression_estimate
         );
+    }
+
+    #[test]
+    fn traced_remedy_events_match_the_outcome() {
+        use catalog::SystemId;
+        use std::sync::Arc;
+        use telemetry::{Event, Tracer, VecSubscriber};
+
+        let model = fitted_model();
+        let cfg = RemedyConfig::default();
+        let x = vec![1e7, 300.0];
+        let sub = Arc::new(VecSubscriber::new());
+        let tracer = Tracer::new(sub.clone());
+        let system = SystemId::new("hive-a");
+        let ctx = TraceCtx::new(&tracer, &system);
+        let out = remedy_estimate_traced(&model, &x, &cfg, 0.4, &ctx);
+        // Exactly equal to the untraced call.
+        assert_eq!(out, remedy_estimate(&model, &x, &cfg, 0.4));
+        let events = sub.snapshot();
+        assert_eq!(events.len(), 2);
+        match &events[0] {
+            Event::PivotsDetected {
+                system,
+                operator,
+                pivots,
+            } => {
+                assert_eq!(system, "hive-a");
+                assert_eq!(operator, "aggregation");
+                assert_eq!(pivots, &out.pivots);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        match &events[1] {
+            Event::RemedyBlend {
+                alpha,
+                nn_estimate,
+                regression_estimate,
+                blended,
+                ..
+            } => {
+                assert_eq!(*alpha, out.alpha);
+                assert_eq!(*nn_estimate, out.nn_estimate);
+                assert_eq!(*regression_estimate, out.regression_estimate);
+                assert_eq!(*blended, out.estimate);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

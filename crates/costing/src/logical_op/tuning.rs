@@ -50,6 +50,12 @@ impl ExecutionLog {
         self.entries.is_empty()
     }
 
+    /// The pending entries, oldest first (read-only view for drift
+    /// monitoring and reports).
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
     /// The entries as a dataset.
     pub fn dataset(&self) -> Dataset {
         Dataset::new(

@@ -1,0 +1,154 @@
+//! Telemetry plumbing for the costing crate.
+//!
+//! The costing structs that persist ([`LogicalOpCosting`],
+//! [`crate::hybrid::CostingProfile`], …) are serializable models and
+//! cannot carry runtime handles, so instrumentation is threaded in as
+//! *context*: traced method variants take a [`TraceCtx`] naming the
+//! system being costed and the [`Tracer`] to emit on, while components
+//! with runtime state of their own (the estimation service, the
+//! simulated engines) hold a [`telemetry::Telemetry`] directly.
+//!
+//! This module also defines the drift-monitoring glue: the model key
+//! used across the workspace and [`publish_drift`], which turns a
+//! [`DriftMonitor`] report into registry gauges and
+//! [`Event::DriftFlagged`] trail events.
+//!
+//! [`LogicalOpCosting`]: crate::logical_op::flow::LogicalOpCosting
+
+use crate::estimator::OperatorKind;
+use catalog::SystemId;
+use telemetry::{DriftMonitor, Event, ModelHealth, Telemetry, Tracer};
+
+/// Identifies one trained model for drift monitoring: which operator on
+/// which remote system.
+pub type ModelKey = (SystemId, OperatorKind);
+
+/// Tracing context threaded into the costing layers: who is being
+/// costed, and where decision-trail events go. Cheap to build per call;
+/// carries no state of its own.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceCtx<'a> {
+    /// The event sink (possibly disabled).
+    pub tracer: &'a Tracer,
+    /// The remote system the estimate targets.
+    pub system: &'a SystemId,
+}
+
+impl<'a> TraceCtx<'a> {
+    /// Bundles a tracer and a system id.
+    pub fn new(tracer: &'a Tracer, system: &'a SystemId) -> Self {
+        TraceCtx { tracer, system }
+    }
+}
+
+/// Renders a model key for metric labels and event payloads
+/// (`"hive-a/join"`).
+pub fn model_key_label(key: &ModelKey) -> String {
+    format!("{}/{}", key.0, key.1)
+}
+
+/// Publishes a drift monitor's current report into a telemetry handle:
+/// per-model gauges (`model_rolling_rmse_pct`, `model_mean_q_error`,
+/// `model_drifted`, labelled by system and operator) and one
+/// [`Event::DriftFlagged`] per drifted model. Returns the flagged keys
+/// so callers can schedule retraining.
+pub fn publish_drift(monitor: &DriftMonitor<ModelKey>, telemetry: &Telemetry) -> Vec<ModelKey> {
+    let reg = &telemetry.metrics;
+    reg.set_help(
+        "model_rolling_rmse_pct",
+        "Rolling RMSE% of a costing model over the drift window.",
+    );
+    reg.set_help(
+        "model_mean_q_error",
+        "Mean multiplicative (Q) error of a costing model over the drift window.",
+    );
+    reg.set_help(
+        "model_drifted",
+        "1 when the drift monitor currently flags the model, else 0.",
+    );
+    let mut flagged = Vec::new();
+    for (key, health) in monitor.report() {
+        publish_health(&key, &health, telemetry);
+        if health.drifted {
+            flagged.push(key);
+        }
+    }
+    flagged
+}
+
+fn publish_health(key: &ModelKey, health: &ModelHealth, telemetry: &Telemetry) {
+    let (system, op) = (key.0.to_string(), key.1.to_string());
+    let labels = [("system", system.as_str()), ("operator", op.as_str())];
+    let reg = &telemetry.metrics;
+    reg.gauge("model_rolling_rmse_pct", &labels)
+        .set(health.rmse_pct);
+    reg.gauge("model_mean_q_error", &labels)
+        .set(health.mean_q_error);
+    reg.gauge("model_drifted", &labels)
+        .set(if health.drifted { 1.0 } else { 0.0 });
+    if health.drifted {
+        telemetry.tracer.emit(|| Event::DriftFlagged {
+            model: model_key_label(key),
+            rmse_pct: health.rmse_pct,
+            mean_q_error: health.mean_q_error,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use telemetry::{DriftConfig, VecSubscriber};
+
+    fn monitor() -> DriftMonitor<ModelKey> {
+        let mut m = DriftMonitor::new(DriftConfig {
+            window: 8,
+            min_samples: 4,
+            rmse_pct_threshold: 25.0,
+            q_error_threshold: 2.0,
+        });
+        let healthy = (SystemId::new("hive-a"), OperatorKind::Join);
+        let drifted = (SystemId::new("presto-b"), OperatorKind::Aggregation);
+        for _ in 0..8 {
+            m.record(healthy.clone(), 10.0, 10.0);
+            m.record(drifted.clone(), 40.0, 10.0);
+        }
+        m
+    }
+
+    #[test]
+    fn publish_drift_sets_gauges_and_emits_flag_events() {
+        let sub = Arc::new(VecSubscriber::new());
+        let telemetry = Telemetry::with_subscriber(sub.clone());
+        let flagged = publish_drift(&monitor(), &telemetry);
+        assert_eq!(
+            flagged,
+            vec![(SystemId::new("presto-b"), OperatorKind::Aggregation)]
+        );
+        let snap = telemetry.metrics.snapshot();
+        let healthy_labels = [("system", "hive-a"), ("operator", "join")];
+        let drifted_labels = [("system", "presto-b"), ("operator", "aggregation")];
+        assert_eq!(snap.gauge("model_drifted", &healthy_labels), Some(0.0));
+        assert_eq!(snap.gauge("model_drifted", &drifted_labels), Some(1.0));
+        assert!(
+            snap.gauge("model_rolling_rmse_pct", &drifted_labels)
+                .unwrap()
+                > 25.0
+        );
+        let events = sub.snapshot();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            Event::DriftFlagged { model, .. } => {
+                assert_eq!(model, "presto-b/aggregation");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn model_key_label_is_system_slash_operator() {
+        let key = (SystemId::new("spark-c"), OperatorKind::Sort);
+        assert_eq!(model_key_label(&key), "spark-c/sort");
+    }
+}

@@ -13,7 +13,9 @@
 //!   estimates against different systems never contend, and estimates
 //!   against the same system share a read lock;
 //! * an **LRU estimate cache** per shard, keyed by quantized feature
-//!   vectors (see [`cache`]), with global hit/miss counters;
+//!   vectors (see [`cache`]), with hit/miss counters backed by the
+//!   service's [`telemetry::MetricsRegistry`] (the [`CacheStats`]
+//!   snapshot API reads the same handles);
 //! * a **batched path** ([`EstimatorService::estimate_batch`]) that runs
 //!   all in-range rows through one amortised
 //!   [`neuro::Network::predict_batch`] forward pass;
@@ -34,6 +36,7 @@ pub mod cache;
 use crate::{
     estimator::{CostEstimate, OperatorKind},
     logical_op::{flow::LogicalOpCosting, model::FitConfig, tuning::TuneReport},
+    observability::{ModelKey, TraceCtx},
 };
 use cache::{CacheKey, LruCache};
 use catalog::SystemId;
@@ -43,6 +46,11 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use telemetry::{Counter, DriftMonitor, Event, Histogram, Telemetry};
+
+/// Histogram bounds (seconds) for served estimates: spans the paper's
+/// sub-second scans up to the ~10-minute heavy joins.
+const ESTIMATE_SECS_BOUNDS: [f64; 7] = [0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0];
 
 /// Service tuning knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,8 +136,12 @@ struct Inner {
     /// Bumped on every registry mutation; cache entries from older
     /// generations read as misses.
     generation: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    telemetry: Telemetry,
+    /// Registry-backed cache counters (handles into `telemetry.metrics`).
+    hits: Counter,
+    misses: Counter,
+    /// Distribution of served estimates, seconds.
+    estimate_secs: Histogram,
     sig_digits: i32,
 }
 
@@ -158,8 +170,15 @@ impl Default for EstimatorService {
 }
 
 impl EstimatorService {
-    /// Builds an empty service.
+    /// Builds an empty service with its own (unsubscribed) telemetry.
     pub fn new(config: ServiceConfig) -> Self {
+        EstimatorService::with_telemetry(config, Telemetry::new())
+    }
+
+    /// Builds an empty service publishing into the given telemetry
+    /// handle: cache counters and the estimate histogram live in its
+    /// metrics registry, and decision-trail events go to its tracer.
+    pub fn with_telemetry(config: ServiceConfig, telemetry: Telemetry) -> Self {
         let n = config.shards.max(1);
         let shards = (0..n)
             .map(|_| Shard {
@@ -167,15 +186,38 @@ impl EstimatorService {
                 cache: Mutex::new(LruCache::new(config.cache_capacity_per_shard.max(1))),
             })
             .collect();
+        let reg = &telemetry.metrics;
+        reg.set_help(
+            "estimator_cache_hits_total",
+            "Estimates answered from the service's LRU cache.",
+        );
+        reg.set_help(
+            "estimator_cache_misses_total",
+            "Estimates that had to run a costing model.",
+        );
+        reg.set_help(
+            "estimator_estimate_secs",
+            "Distribution of served cost estimates, in estimated seconds.",
+        );
+        let hits = reg.counter("estimator_cache_hits_total", &[]);
+        let misses = reg.counter("estimator_cache_misses_total", &[]);
+        let estimate_secs = reg.histogram("estimator_estimate_secs", &[], &ESTIMATE_SECS_BOUNDS);
         EstimatorService {
             inner: Arc::new(Inner {
                 shards,
                 generation: AtomicU64::new(0),
-                hits: AtomicU64::new(0),
-                misses: AtomicU64::new(0),
+                telemetry,
+                hits,
+                misses,
+                estimate_secs,
                 sig_digits: config.sig_digits,
             }),
         }
+    }
+
+    /// The service's telemetry handle (registry + tracer).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
     }
 
     fn shard(&self, system: &SystemId, op: OperatorKind) -> &Shard {
@@ -225,8 +267,17 @@ impl EstimatorService {
         let shard = self.shard(system, op);
         let generation = self.inner.generation.load(Ordering::Relaxed);
         let key = CacheKey::new(system, op, features, self.inner.sig_digits);
+        let tracer = &self.inner.telemetry.tracer;
         if let Some(hit) = shard.cache.lock().get(&key, generation) {
-            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            self.inner.hits.inc();
+            tracer.emit(|| Event::EstimateServed {
+                system: system.to_string(),
+                operator: op.to_string(),
+                features: features.to_vec(),
+                secs: hit.secs,
+                source: format!("{:?}", hit.source),
+                cache_hit: true,
+            });
             return Ok(hit);
         }
         let est = {
@@ -239,9 +290,18 @@ impl EstimatorService {
                         op,
                     })?;
             check_arity(flow, features)?;
-            flow.estimate_readonly(features)
+            flow.estimate_readonly_traced(features, &TraceCtx::new(tracer, system))
         };
-        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        self.inner.misses.inc();
+        self.inner.estimate_secs.observe(est.secs);
+        tracer.emit(|| Event::EstimateServed {
+            system: system.to_string(),
+            operator: op.to_string(),
+            features: features.to_vec(),
+            secs: est.secs,
+            source: format!("{:?}", est.source),
+            cache_hit: false,
+        });
         shard.cache.lock().insert(key, est.clone(), generation);
         Ok(est)
     }
@@ -278,10 +338,11 @@ impl EstimatorService {
                 }
             }
         }
-        self.inner
-            .hits
-            .fetch_add((rows.len() - miss_idx.len()) as u64, Ordering::Relaxed);
+        self.inner.hits.add((rows.len() - miss_idx.len()) as u64);
         if miss_idx.is_empty() {
+            if self.inner.telemetry.tracer.is_enabled() {
+                self.emit_batch_events(system, op, rows, &results, &miss_idx);
+            }
             return Ok(results.into_iter().map(|r| r.expect("all hits")).collect());
         }
 
@@ -314,9 +375,15 @@ impl EstimatorService {
                 results[i] = Some(flow.estimate_readonly(&rows[i]));
             }
         }
-        self.inner
-            .misses
-            .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+        self.inner.misses.add(miss_idx.len() as u64);
+        for &i in &miss_idx {
+            self.inner
+                .estimate_secs
+                .observe(results[i].as_ref().expect("computed").secs);
+        }
+        if self.inner.telemetry.tracer.is_enabled() {
+            self.emit_batch_events(system, op, rows, &results, &miss_idx);
+        }
 
         let mut cache = shard.cache.lock();
         for &i in &miss_idx {
@@ -331,6 +398,28 @@ impl EstimatorService {
             .into_iter()
             .map(|r| r.expect("all filled"))
             .collect())
+    }
+
+    fn emit_batch_events(
+        &self,
+        system: &SystemId,
+        op: OperatorKind,
+        rows: &[Vec<f64>],
+        results: &[Option<CostEstimate>],
+        miss_idx: &[usize],
+    ) {
+        for (i, r) in results.iter().enumerate() {
+            let est = r.as_ref().expect("computed");
+            let cache_hit = !miss_idx.contains(&i);
+            self.inner.telemetry.tracer.emit(|| Event::EstimateServed {
+                system: system.to_string(),
+                operator: op.to_string(),
+                features: rows[i].clone(),
+                secs: est.secs,
+                source: format!("{:?}", est.source),
+                cache_hit,
+            });
+        }
     }
 
     /// Feeds an observed actual execution into the owning flow (log + α
@@ -353,7 +442,11 @@ impl EstimatorService {
                     op,
                 })?;
         check_arity(flow, features)?;
-        flow.observe_detached(features, actual_secs);
+        flow.observe_detached_traced(
+            features,
+            actual_secs,
+            &TraceCtx::new(&self.inner.telemetry.tracer, system),
+        );
         drop(models);
         self.bump_generation();
         Ok(())
@@ -370,7 +463,7 @@ impl EstimatorService {
                     system: system.clone(),
                     op,
                 })?;
-        let alpha = flow.adjust_alpha();
+        let alpha = flow.adjust_alpha_traced(&TraceCtx::new(&self.inner.telemetry.tracer, system));
         drop(models);
         self.bump_generation();
         Ok(alpha)
@@ -392,10 +485,30 @@ impl EstimatorService {
                     system: system.clone(),
                     op,
                 })?;
-        let report = flow.offline_tune(config);
+        let report =
+            flow.offline_tune_traced(config, &TraceCtx::new(&self.inner.telemetry.tracer, system));
         drop(models);
         self.bump_generation();
         Ok(report)
+    }
+
+    /// Replays every registered flow's pending execution-log entries into
+    /// a drift monitor keyed by `(system, operator)`, pairing each logged
+    /// actual with what the currently-registered model predicts for its
+    /// features. Returns the number of samples fed.
+    pub fn feed_drift_monitor(&self, monitor: &mut DriftMonitor<ModelKey>) -> usize {
+        let mut fed = 0;
+        for shard in &self.inner.shards {
+            let models = shard.models.read();
+            for (key, flow) in models.iter() {
+                for entry in flow.log.entries() {
+                    let predicted = flow.estimate_readonly(&entry.features).secs;
+                    monitor.record(key.clone(), predicted, entry.actual_secs);
+                    fed += 1;
+                }
+            }
+        }
+        fed
     }
 
     /// Runs a closure against a registered flow (read lock) — an escape
@@ -417,18 +530,18 @@ impl EstimatorService {
         Ok(f(flow))
     }
 
-    /// Current hit/miss counters.
+    /// Current hit/miss counters (reads the registry-backed handles).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.inner.hits.load(Ordering::Relaxed),
-            misses: self.inner.misses.load(Ordering::Relaxed),
+            hits: self.inner.hits.get(),
+            misses: self.inner.misses.get(),
         }
     }
 
     /// Zeroes the hit/miss counters.
     pub fn reset_stats(&self) {
-        self.inner.hits.store(0, Ordering::Relaxed);
-        self.inner.misses.store(0, Ordering::Relaxed);
+        self.inner.hits.reset();
+        self.inner.misses.reset();
     }
 
     /// Empties every shard's estimate cache (counters are untouched).
@@ -636,6 +749,111 @@ mod tests {
             .unwrap();
         let _ = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
         assert_eq!(svc.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn cache_counters_are_registry_backed() {
+        let (svc, sys) = service_with_model();
+        let x = [5e5, 200.0];
+        let _ = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        let _ = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        let snap = svc.telemetry().metrics.snapshot();
+        assert_eq!(snap.counter("estimator_cache_hits_total", &[]), Some(1));
+        assert_eq!(snap.counter("estimator_cache_misses_total", &[]), Some(1));
+        let h = snap.histogram("estimator_estimate_secs", &[]).unwrap();
+        assert_eq!(h.count, 1, "only the miss runs a model");
+        // The text exposition carries the same numbers.
+        let text = svc.telemetry().metrics.render_prometheus();
+        assert!(text.contains("estimator_cache_hits_total 1"));
+        assert!(text.contains("estimator_cache_misses_total 1"));
+    }
+
+    #[test]
+    fn subscribed_service_emits_estimate_served_events() {
+        use std::sync::Arc;
+        use telemetry::{Event, VecSubscriber};
+
+        let sub = Arc::new(VecSubscriber::new());
+        let svc = EstimatorService::with_telemetry(
+            ServiceConfig::default(),
+            Telemetry::with_subscriber(sub.clone()),
+        );
+        let sys = SystemId::new("hive-a");
+        svc.register(sys.clone(), trained_flow(2e-6));
+        let x = [5e5, 200.0];
+        let est = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        let _ = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        let served: Vec<_> = sub
+            .snapshot()
+            .into_iter()
+            .filter(|e| matches!(e, Event::EstimateServed { .. }))
+            .collect();
+        assert_eq!(served.len(), 2);
+        match &served[0] {
+            Event::EstimateServed {
+                system,
+                operator,
+                features,
+                secs,
+                cache_hit,
+                ..
+            } => {
+                assert_eq!(system, "hive-a");
+                assert_eq!(operator, "aggregation");
+                assert_eq!(features, &x.to_vec());
+                assert_eq!(*secs, est.secs);
+                assert!(!cache_hit);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert!(matches!(
+            served[1],
+            Event::EstimateServed {
+                cache_hit: true,
+                ..
+            }
+        ));
+        // The batch path reports per-row hit/miss too.
+        let rows = vec![x.to_vec(), vec![6e5, 300.0]];
+        let _ = svc
+            .estimate_batch(&sys, OperatorKind::Aggregation, &rows)
+            .unwrap();
+        let batch_served: Vec<bool> = sub
+            .snapshot()
+            .into_iter()
+            .skip(2)
+            .filter_map(|e| match e {
+                Event::EstimateServed { cache_hit, .. } => Some(cache_hit),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batch_served, vec![true, false]);
+    }
+
+    #[test]
+    fn service_drift_feeding_reaches_the_monitor() {
+        use telemetry::DriftConfig;
+
+        let (svc, sys) = service_with_model();
+        for i in 0..4 {
+            svc.observe_actual(
+                &sys,
+                OperatorKind::Aggregation,
+                &[2e7 + i as f64 * 1e5, 200.0],
+                55.0,
+            )
+            .unwrap();
+        }
+        let mut monitor = DriftMonitor::new(DriftConfig {
+            min_samples: 1,
+            ..DriftConfig::default()
+        });
+        let fed = svc.feed_drift_monitor(&mut monitor);
+        assert_eq!(fed, 4);
+        let health = monitor
+            .status(&(sys.clone(), OperatorKind::Aggregation))
+            .unwrap();
+        assert_eq!(health.samples, 4);
     }
 
     #[test]

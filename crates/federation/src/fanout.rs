@@ -61,6 +61,12 @@ pub fn service_execution_secs(
 
 /// Costs every placement of one query through the service and ranks them —
 /// the service-backed analogue of [`crate::planner::plan_query`].
+///
+/// Planning activity lands on the service's telemetry: the
+/// `federation_plans_total`, `federation_placements_costed_total`, and
+/// `federation_placements_skipped_total` counters, plus one
+/// [`telemetry::Event::PlanRanked`] per successful plan when a tracing
+/// subscriber is attached.
 pub fn plan_query_with_service(
     catalog: &Catalog,
     service: &EstimatorService,
@@ -72,12 +78,16 @@ pub fn plan_query_with_service(
     let analysis = analyze(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
 
     let mut candidates = Vec::new();
+    let mut skipped: u64 = 0;
     for option in options {
         let exec = match service_execution_secs(service, &option.system, &analysis) {
             Ok(secs) => secs,
             // No model for this system: skip the candidate, like the
             // serial planner skips systems without profiles.
-            Err(_) => continue,
+            Err(_) => {
+                skipped += 1;
+                continue;
+            }
         };
         let transfer_secs: f64 = option
             .transfers
@@ -91,6 +101,12 @@ pub fn plan_query_with_service(
             transfer_secs,
         });
     }
+    let reg = &service.telemetry().metrics;
+    reg.counter("federation_plans_total", &[]).inc();
+    reg.counter("federation_placements_costed_total", &[])
+        .add(candidates.len() as u64);
+    reg.counter("federation_placements_skipped_total", &[])
+        .add(skipped);
     if candidates.is_empty() {
         return Err(PlanError::NoViablePlacement);
     }
@@ -99,7 +115,9 @@ pub fn plan_query_with_service(
             .partial_cmp(&b.total_secs())
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    Ok(PlanReport { candidates })
+    let report = PlanReport { candidates };
+    report.emit_ranking(&service.telemetry().tracer);
+    Ok(report)
 }
 
 /// Plans a batch of queries concurrently on `threads` OS threads, all
@@ -274,6 +292,26 @@ mod tests {
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.as_ref().unwrap(), p.as_ref().unwrap());
         }
+    }
+
+    #[test]
+    fn fanout_planning_counts_plans_and_placements() {
+        let (catalog, service) = setup();
+        let transfer = TransferCostModel::default();
+        let plans: Vec<LogicalPlan> = (0..6).map(|_| join_plan()).collect();
+        let results = plan_queries_concurrent(&catalog, &service, &transfer, &plans, 3);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let snap = service.telemetry().metrics.snapshot();
+        assert_eq!(snap.counter("federation_plans_total", &[]), Some(6));
+        assert_eq!(
+            snap.counter("federation_placements_costed_total", &[]),
+            Some(12),
+            "two candidate systems per plan"
+        );
+        assert_eq!(
+            snap.counter("federation_placements_skipped_total", &[]),
+            Some(0)
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ use catalog::{Catalog, SystemId};
 use costing::hybrid::{CostingError, HybridCostManager};
 use remote_sim::analyze::analyze;
 use sqlkit::logical::LogicalPlan;
+use telemetry::{Event, Tracer};
 
 /// The cost breakdown of one placement candidate.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +39,20 @@ impl PlanReport {
     /// The winning placement.
     pub fn best(&self) -> &PlacementCost {
         &self.candidates[0]
+    }
+
+    /// Emits this ranking as an [`Event::PlanRanked`] decision-trail
+    /// event (cheapest candidate first, the winner's total cost).
+    pub fn emit_ranking(&self, tracer: &Tracer) {
+        tracer.emit(|| Event::PlanRanked {
+            ranking: self
+                .candidates
+                .iter()
+                .map(|c| c.option.system.to_string())
+                .collect(),
+            chosen: self.best().option.system.to_string(),
+            total_secs: self.best().total_secs(),
+        });
     }
 }
 
@@ -110,6 +125,56 @@ pub fn plan_query(
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     Ok(PlanReport { candidates })
+}
+
+/// [`plan_query`] with the decision trail: routes every candidate's
+/// operator estimates through [`HybridCostManager::estimate_traced`] (so
+/// per-operator [`Event::EstimateServed`] events appear) and emits one
+/// [`Event::PlanRanked`] with the final ranking.
+pub fn plan_query_traced(
+    catalog: &Catalog,
+    manager: &mut HybridCostManager,
+    transfer_model: &TransferCostModel,
+    plan: &LogicalPlan,
+    tracer: &Tracer,
+) -> Result<PlanReport, PlanError> {
+    let options =
+        enumerate_placements(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
+    let analysis = analyze(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
+
+    let mut candidates = Vec::new();
+    let mut last_err = None;
+    for option in options {
+        let exec = match manager.estimate_traced(&option.system, &analysis, tracer) {
+            Ok(cost) => cost.total_secs,
+            Err(e) => {
+                last_err = Some(e);
+                continue;
+            }
+        };
+        let transfer_secs: f64 = option
+            .transfers
+            .iter()
+            .map(|t| transfer_model.transfer_secs(t.bytes, t.hops))
+            .sum::<f64>()
+            + 0.0;
+        candidates.push(PlacementCost {
+            option,
+            execution_secs: exec,
+            transfer_secs,
+        });
+    }
+    if candidates.is_empty() {
+        return Err(last_err.map_or(PlanError::NoViablePlacement, PlanError::Costing));
+    }
+    candidates.sort_by(|a, b| {
+        a.total_secs()
+            .partial_cmp(&b.total_secs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let report = PlanReport { candidates };
+    report.emit_ranking(tracer);
+    Ok(report)
 }
 
 /// Returns the winning system for a query (convenience).
@@ -257,6 +322,42 @@ mod tests {
         let winner = choose_system(&catalog, &mut manager, &transfer, &plan).unwrap();
         let report = plan_query(&catalog, &mut manager, &transfer, &plan).unwrap();
         assert_eq!(winner, report.best().option.system);
+    }
+
+    #[test]
+    fn traced_planning_matches_untraced_and_emits_the_ranking() {
+        use std::sync::Arc;
+        use telemetry::VecSubscriber;
+
+        let (catalog, mut manager) = setup();
+        let transfer = TransferCostModel::default();
+        let plan =
+            sqlkit::sql_to_plan("SELECT r.a1, s.a1 FROM t_r r JOIN t_s s ON r.a1 = s.a1").unwrap();
+        let untraced = plan_query(&catalog, &mut manager, &transfer, &plan).unwrap();
+        let sub = Arc::new(VecSubscriber::new());
+        let tracer = Tracer::new(sub.clone());
+        let traced = plan_query_traced(&catalog, &mut manager, &transfer, &plan, &tracer).unwrap();
+        assert_eq!(traced, untraced);
+        let events = sub.snapshot();
+        // One EstimateServed per (candidate, operator) then one PlanRanked.
+        let served = events
+            .iter()
+            .filter(|e| matches!(e, Event::EstimateServed { .. }))
+            .count();
+        assert_eq!(served, traced.candidates.len());
+        match events.last().unwrap() {
+            Event::PlanRanked {
+                ranking,
+                chosen,
+                total_secs,
+            } => {
+                assert_eq!(ranking.len(), traced.candidates.len());
+                assert_eq!(chosen, &traced.best().option.system.to_string());
+                assert_eq!(&ranking[0], chosen);
+                assert_eq!(*total_secs, traced.best().total_secs());
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,105 @@
+#![warn(missing_docs)]
+
+//! Observability foundation for the IntelliSphere costing workspace.
+//!
+//! The paper's offline-tuning loop (§4.3) hinges on *seeing* what the
+//! estimator did: which path produced each estimate (pure NN, remedy
+//! blend, sub-operator formula), what the remote systems actually
+//! reported back, and whether a trained model is drifting away from the
+//! workload it serves. This crate provides the three layers that make
+//! that visible without taxing the estimation hot path:
+//!
+//! * [`metrics`] — a lock-cheap [`MetricsRegistry`] of atomic counters,
+//!   gauges, and fixed-bucket histograms. Handles are pre-resolvable
+//!   `Arc`s, so a hot loop pays one relaxed atomic per increment.
+//!   The registry renders Prometheus text exposition
+//!   ([`MetricsRegistry::render_prometheus`]) and produces a
+//!   [`MetricsSnapshot`] for programmatic assertions.
+//! * [`trace`] — structured event tracing: typed [`Event`]s describing
+//!   each estimate's full decision trail, routed through a pluggable
+//!   [`Subscriber`]. With no subscriber attached ([`Tracer::disabled`]),
+//!   [`Tracer::emit`] never runs its closure, so instrumented code
+//!   allocates nothing.
+//! * [`drift`] — a [`DriftMonitor`] computing rolling RMSE% and Q-error
+//!   per model key over a sliding window, flagging models whose error
+//!   exceeds a configurable threshold so the offline-tuning path knows
+//!   what to retrain.
+//!
+//! [`Telemetry`] bundles a registry and a tracer into one cheaply
+//! cloneable handle that instrumented components carry.
+
+pub mod drift;
+pub mod metrics;
+pub mod trace;
+
+pub use drift::{DriftConfig, DriftMonitor, ModelHealth};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricId, MetricsRegistry, MetricsSnapshot,
+};
+pub use trace::{Event, RingSubscriber, Span, Subscriber, Tracer, VecSubscriber};
+
+use std::sync::Arc;
+
+/// One observability handle: a metrics registry plus an event tracer.
+///
+/// Cloning shares the underlying registry and subscriber, so a planner
+/// thread's clone feeds the same metrics as the service that spawned it.
+/// [`Telemetry::default`] carries a fresh registry and a *disabled*
+/// tracer — instrumented code stays allocation-free on the hot path
+/// until a subscriber is attached.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    /// The shared metrics registry.
+    pub metrics: MetricsRegistry,
+    /// The event tracer (disabled unless a subscriber was attached).
+    pub tracer: Tracer,
+}
+
+impl Telemetry {
+    /// A fresh registry with no subscriber.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// A fresh registry with events routed to `subscriber`.
+    pub fn with_subscriber(subscriber: Arc<dyn Subscriber>) -> Self {
+        Telemetry {
+            metrics: MetricsRegistry::default(),
+            tracer: Tracer::new(subscriber),
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("tracing_enabled", &self.tracer.is_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_telemetry_is_disabled() {
+        let t = Telemetry::new();
+        assert!(!t.tracer.is_enabled());
+        t.tracer
+            .emit(|| unreachable!("disabled tracer must not build events"));
+    }
+
+    #[test]
+    fn with_subscriber_enables_tracing_and_shares_on_clone() {
+        let sub = Arc::new(VecSubscriber::new());
+        let t = Telemetry::with_subscriber(sub.clone());
+        let t2 = t.clone();
+        t2.tracer.emit(|| Event::Span {
+            name: "x".into(),
+            micros: 1.0,
+        });
+        assert_eq!(sub.len(), 1);
+        assert!(format!("{t:?}").contains("tracing_enabled: true"));
+    }
+}

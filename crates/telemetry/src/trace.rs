@@ -1,0 +1,495 @@
+//! Structured event tracing for the estimation path.
+//!
+//! Instead of log lines, instrumented code emits typed [`Event`]s — each
+//! estimate's full decision trail (features, pivots, blend weights,
+//! cache outcome, chosen sub-operator algorithm) is inspectable data.
+//! Events flow through a pluggable [`Subscriber`]; the crate ships two
+//! collectors, [`VecSubscriber`] (unbounded, for tests) and
+//! [`RingSubscriber`] (bounded, keep-latest, for long-running services).
+//!
+//! The hot-path contract: [`Tracer::emit`] takes a *closure* that builds
+//! the event. With no subscriber attached the closure is never invoked,
+//! so a disabled tracer adds no heap allocation to the estimate path.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One entry in an estimate's decision trail.
+///
+/// Variants mirror the stations of the paper's estimation pipeline:
+/// service-level cache handling, the logical-operator remedy path
+/// (§4.2), sub-operator algorithm choice (§4.1), observation/tuning
+/// feedback (§4.3), remote execution, and federation planning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The service answered an estimate request.
+    EstimateServed {
+        /// Target system.
+        system: String,
+        /// Operator kind (display form, e.g. `"join"`).
+        operator: String,
+        /// The request's feature vector.
+        features: Vec<f64>,
+        /// Estimated execution time, seconds.
+        secs: f64,
+        /// Provenance of the estimate (display form of `EstimateSource`).
+        source: String,
+        /// Whether the service cache satisfied the request.
+        cache_hit: bool,
+    },
+    /// The remedy path compared a query point against the training
+    /// envelope and found out-of-range (pivot) dimensions.
+    PivotsDetected {
+        /// Target system.
+        system: String,
+        /// Operator kind.
+        operator: String,
+        /// Indices of the feature dimensions outside the trained range.
+        pivots: Vec<usize>,
+    },
+    /// The remedy path blended the NN estimate with the local
+    /// regression estimate.
+    RemedyBlend {
+        /// Target system.
+        system: String,
+        /// Operator kind.
+        operator: String,
+        /// Blend weight on the NN component.
+        alpha: f64,
+        /// The NN component, seconds.
+        nn_estimate: f64,
+        /// The regression component, seconds.
+        regression_estimate: f64,
+        /// The blended result, seconds.
+        blended: f64,
+    },
+    /// A sub-operator costing policy chose among surviving algorithms.
+    SubOpAlgorithmChosen {
+        /// Target system.
+        system: String,
+        /// Operator kind.
+        operator: String,
+        /// Resolution policy name (e.g. `"worst"`).
+        policy: String,
+        /// Candidate algorithm costs the policy resolved over.
+        candidates: Vec<f64>,
+        /// The resolved cost, seconds.
+        resolved: f64,
+    },
+    /// An actual execution time was fed back to a model.
+    ActualObserved {
+        /// Target system.
+        system: String,
+        /// Operator kind.
+        operator: String,
+        /// What the model had predicted, seconds.
+        predicted: f64,
+        /// What the remote system reported, seconds.
+        actual: f64,
+    },
+    /// The α blend weight was retuned from accumulated observations.
+    AlphaAdjusted {
+        /// Target system.
+        system: String,
+        /// Operator kind.
+        operator: String,
+        /// Weight before retuning.
+        old_alpha: f64,
+        /// Weight after retuning.
+        new_alpha: f64,
+    },
+    /// An offline tuning pass retrained a model from its execution log.
+    TuningPass {
+        /// Target system.
+        system: String,
+        /// Operator kind.
+        operator: String,
+        /// Log entries consumed.
+        entries_used: usize,
+        /// Feature dimensions whose trained range was expanded.
+        dims_expanded: usize,
+        /// RMSE% against the log after retraining.
+        rmse_pct_after: f64,
+    },
+    /// A simulated remote system finished executing a query.
+    RemoteExecution {
+        /// Executing system.
+        system: String,
+        /// Wall-clock the execution took, simulated seconds.
+        secs: f64,
+        /// Queries the engine has executed so far.
+        queries_done: u64,
+    },
+    /// The federation planner ranked candidate systems for a query.
+    PlanRanked {
+        /// Systems in ranked order, cheapest first.
+        ranking: Vec<String>,
+        /// Chosen system.
+        chosen: String,
+        /// Total cost of the chosen placement, seconds.
+        total_secs: f64,
+    },
+    /// The drift monitor flagged a model as drifted.
+    DriftFlagged {
+        /// Model key (display form, e.g. `"hive-a/join"`).
+        model: String,
+        /// Rolling RMSE% over the window.
+        rmse_pct: f64,
+        /// Mean Q-error over the window.
+        mean_q_error: f64,
+    },
+    /// A named span of work completed.
+    Span {
+        /// Span name.
+        name: String,
+        /// Duration in microseconds.
+        micros: f64,
+    },
+}
+
+impl Event {
+    /// A short kind tag for filtering (e.g. `"remedy_blend"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::EstimateServed { .. } => "estimate_served",
+            Event::PivotsDetected { .. } => "pivots_detected",
+            Event::RemedyBlend { .. } => "remedy_blend",
+            Event::SubOpAlgorithmChosen { .. } => "sub_op_algorithm_chosen",
+            Event::ActualObserved { .. } => "actual_observed",
+            Event::AlphaAdjusted { .. } => "alpha_adjusted",
+            Event::TuningPass { .. } => "tuning_pass",
+            Event::RemoteExecution { .. } => "remote_execution",
+            Event::PlanRanked { .. } => "plan_ranked",
+            Event::DriftFlagged { .. } => "drift_flagged",
+            Event::Span { .. } => "span",
+        }
+    }
+}
+
+/// A sink for traced events. Implementations must be cheap and
+/// thread-safe; they are called inline from instrumented code.
+pub trait Subscriber: Send + Sync {
+    /// Receives one event.
+    fn on_event(&self, event: Event);
+}
+
+/// The handle instrumented code holds. Disabled by default; cloning
+/// shares the subscriber.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    subscriber: Option<Arc<dyn Subscriber>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer routing events to `subscriber`.
+    pub fn new(subscriber: Arc<dyn Subscriber>) -> Self {
+        Tracer {
+            subscriber: Some(subscriber),
+        }
+    }
+
+    /// A tracer that drops everything without building it.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// Whether a subscriber is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.subscriber.is_some()
+    }
+
+    /// Emits the event built by `f` — but only if a subscriber is
+    /// attached. The closure is never invoked on a disabled tracer, so
+    /// event construction (and its allocations) costs nothing when
+    /// tracing is off.
+    pub fn emit<F: FnOnce() -> Event>(&self, f: F) {
+        if let Some(sub) = &self.subscriber {
+            sub.on_event(f());
+        }
+    }
+
+    /// Runs `f`, timing it, and emits an [`Event::Span`] with the given
+    /// name. On a disabled tracer `f` runs untimed.
+    pub fn span<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        match &self.subscriber {
+            None => f(),
+            Some(sub) => {
+                let start = std::time::Instant::now();
+                let out = f();
+                sub.on_event(Event::Span {
+                    name: name.to_string(),
+                    micros: start.elapsed().as_secs_f64() * 1e6,
+                });
+                out
+            }
+        }
+    }
+
+    /// Opens a named [`Span`] guard that emits an [`Event::Span`] with
+    /// its elapsed time when dropped. On a disabled tracer the guard is
+    /// inert (no allocation, no timing). Use [`Tracer::span`] when the
+    /// work fits in a closure; the guard form suits spans crossing
+    /// `?`/early-return control flow.
+    pub fn start_span(&self, name: &str) -> Span {
+        Span {
+            inner: self.subscriber.as_ref().map(|sub| SpanInner {
+                name: name.to_string(),
+                start: std::time::Instant::now(),
+                subscriber: Arc::clone(sub),
+            }),
+        }
+    }
+}
+
+struct SpanInner {
+    name: String,
+    start: std::time::Instant,
+    subscriber: Arc<dyn Subscriber>,
+}
+
+/// An RAII guard for a timed region: created by [`Tracer::start_span`],
+/// it emits an [`Event::Span`] carrying its elapsed time when dropped.
+/// Inert (and allocation-free) when the tracer is disabled.
+#[must_use = "a span measures until it is dropped"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            inner.subscriber.on_event(Event::Span {
+                name: inner.name,
+                micros: inner.start.elapsed().as_secs_f64() * 1e6,
+            });
+        }
+    }
+}
+
+/// An unbounded collector that keeps every event. Intended for tests
+/// and short diagnostic sessions.
+#[derive(Default)]
+pub struct VecSubscriber {
+    events: Mutex<Vec<Event>>,
+}
+
+impl VecSubscriber {
+    /// An empty collector.
+    pub fn new() -> Self {
+        VecSubscriber::default()
+    }
+
+    /// Number of events collected so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether no events have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of all collected events, in arrival order.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Removes and returns all collected events.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    /// Discards all collected events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+impl Subscriber for VecSubscriber {
+    fn on_event(&self, event: Event) {
+        self.events.lock().push(event);
+    }
+}
+
+/// A bounded collector that keeps only the most recent `capacity`
+/// events, evicting the oldest. Suits long-running services where the
+/// trail of recent decisions matters but memory must stay flat.
+pub struct RingSubscriber {
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+}
+
+impl RingSubscriber {
+    /// A ring keeping at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSubscriber {
+            capacity,
+            events: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().iter().cloned().collect()
+    }
+}
+
+impl Subscriber for RingSubscriber {
+    fn on_event(&self, event: Event) {
+        let mut events = self.events.lock();
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, micros: f64) -> Event {
+        Event::Span {
+            name: name.to_string(),
+            micros,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_never_builds_events() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit(|| unreachable!("closure must not run"));
+        assert_eq!(t.span("untimed", || 42), 42);
+    }
+
+    #[test]
+    fn vec_subscriber_collects_in_order() {
+        let sub = Arc::new(VecSubscriber::new());
+        let t = Tracer::new(sub.clone());
+        assert!(t.is_enabled());
+        t.emit(|| span("a", 1.0));
+        t.emit(|| span("b", 2.0));
+        assert_eq!(sub.len(), 2);
+        let events = sub.take();
+        assert_eq!(events[0], span("a", 1.0));
+        assert_eq!(events[1], span("b", 2.0));
+        assert!(sub.is_empty());
+    }
+
+    #[test]
+    fn ring_subscriber_keeps_latest() {
+        let sub = Arc::new(RingSubscriber::new(2));
+        let t = Tracer::new(sub.clone());
+        for i in 0..5 {
+            t.emit(|| span("e", i as f64));
+        }
+        assert_eq!(sub.len(), 2);
+        let kept = sub.snapshot();
+        assert_eq!(kept, vec![span("e", 3.0), span("e", 4.0)]);
+        assert_eq!(sub.capacity(), 2);
+    }
+
+    #[test]
+    fn span_times_the_closure() {
+        let sub = Arc::new(VecSubscriber::new());
+        let t = Tracer::new(sub.clone());
+        let out = t.span("work", || 7);
+        assert_eq!(out, 7);
+        match &sub.snapshot()[0] {
+            Event::Span { name, micros } => {
+                assert_eq!(name, "work");
+                assert!(*micros >= 0.0);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_guard_emits_on_drop() {
+        let sub = Arc::new(VecSubscriber::new());
+        let t = Tracer::new(sub.clone());
+        {
+            let _guard = t.start_span("guarded");
+            assert!(sub.is_empty(), "span must emit on drop, not on open");
+        }
+        match &sub.snapshot()[0] {
+            Event::Span { name, micros } => {
+                assert_eq!(name, "guarded");
+                assert!(*micros >= 0.0);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // Disabled tracers hand out inert guards.
+        let disabled = Tracer::disabled();
+        drop(disabled.start_span("nothing"));
+        assert_eq!(sub.len(), 1);
+    }
+
+    #[test]
+    fn event_kinds_are_stable() {
+        assert_eq!(span("x", 0.0).kind(), "span");
+        let e = Event::RemedyBlend {
+            system: "hive-a".into(),
+            operator: "join".into(),
+            alpha: 0.5,
+            nn_estimate: 1.0,
+            regression_estimate: 2.0,
+            blended: 1.5,
+        };
+        assert_eq!(e.kind(), "remedy_blend");
+    }
+
+    #[test]
+    fn subscribers_are_thread_safe() {
+        let sub = Arc::new(VecSubscriber::new());
+        let t = Tracer::new(sub.clone());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        t.emit(|| span("p", i as f64));
+                    }
+                });
+            }
+        });
+        assert_eq!(sub.len(), 400);
+    }
+}
