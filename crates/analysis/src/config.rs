@@ -1,0 +1,101 @@
+//! The shipped rule configuration.
+//!
+//! Everything the rules treat as policy lives here: which modules form
+//! the estimation hot path, which lock receivers map to which ranks,
+//! and which modules are exempt from the float/entropy rules. Tests
+//! build ad-hoc `Config`s; the binary uses
+//! [`Config::workspace_default`].
+
+/// One named lock class for the lock-order rule: acquisitions are
+/// classified by the receiver field they are called on (the identifier
+/// directly before `.lock()` / `.read()` / `.write()`).
+#[derive(Debug, Clone)]
+pub struct LockClass {
+    /// Receiver identifier, e.g. `cache` for `shard.cache.lock()`.
+    pub receiver: String,
+    /// Display name used in diagnostics, e.g. `SERVICE_CACHE`.
+    pub name: String,
+    /// Acquisition rank (higher = must be taken later). `None` means
+    /// the class participates in cycle detection but has no rank.
+    pub rank: Option<u32>,
+}
+
+impl LockClass {
+    /// A ranked class.
+    pub fn ranked(receiver: &str, name: &str, rank: u32) -> Self {
+        LockClass {
+            receiver: receiver.to_string(),
+            name: name.to_string(),
+            rank: Some(rank),
+        }
+    }
+
+    /// An unranked class (cycle detection only).
+    pub fn unranked(receiver: &str, name: &str) -> Self {
+        LockClass {
+            receiver: receiver.to_string(),
+            name: name.to_string(),
+            rank: None,
+        }
+    }
+}
+
+/// The rule engine's policy knobs.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Modules where the panic-freedom rule (R1) denies
+    /// `unwrap`/`expect`/`panic!`-family macros and arithmetic slice
+    /// indexing.
+    pub hot_path_modules: Vec<String>,
+    /// Modules the lock-order rule (R2) scans for guard scopes.
+    pub lock_scope_modules: Vec<String>,
+    /// Receiver → class mapping for R2.
+    pub lock_classes: Vec<LockClass>,
+    /// Modules whose `*_traced` functions must delegate to their
+    /// untraced twins (R3).
+    pub trace_parity_modules: Vec<String>,
+    /// Modules exempt from the float-discipline rule (R4) — the
+    /// approved home of raw float comparisons.
+    pub float_exempt_modules: Vec<String>,
+    /// Modules allowed ambient time/entropy (R5).
+    pub entropy_exempt_modules: Vec<String>,
+}
+
+impl Config {
+    /// The policy shipped for this workspace.
+    ///
+    /// Lock ranks MUST mirror `parking_lot::rank` in
+    /// `shims/parking_lot/src/lib.rs` — the static pass and the runtime
+    /// checker enforce the same order. A test in
+    /// `crates/analysis/tests/workspace_clean.rs` parses the shim
+    /// source and fails on divergence.
+    pub fn workspace_default() -> Config {
+        Config {
+            hot_path_modules: vec![
+                "costing::service".into(),
+                "costing::logical_op".into(),
+                "costing::sub_op".into(),
+                "costing::hybrid".into(),
+                "federation::fanout".into(),
+                "federation::planner".into(),
+                "telemetry::metrics".into(),
+            ],
+            lock_scope_modules: vec!["costing::service".into(), "telemetry".into()],
+            lock_classes: vec![
+                LockClass::ranked("cache", "SERVICE_CACHE", 30),
+                LockClass::ranked("models", "SERVICE_MODELS", 40),
+                LockClass::ranked("metrics", "REGISTRY_METRICS", 50),
+                LockClass::ranked("help", "REGISTRY_HELP", 51),
+                LockClass::ranked("events", "TRACE_SUBSCRIBER", 60),
+            ],
+            trace_parity_modules: vec!["costing".into()],
+            float_exempt_modules: vec!["mathkit".into()],
+            entropy_exempt_modules: vec!["bench".into(), "telemetry::trace".into()],
+        }
+    }
+
+    /// Looks a receiver identifier up in the lock classes.
+    pub fn lock_class(&self, receiver: &str) -> Option<&LockClass> {
+        self.lock_classes.iter().find(|c| c.receiver == receiver)
+    }
+}

@@ -1,0 +1,213 @@
+//! Workspace-specific static analysis for the cost-estimation hot path.
+//!
+//! This crate is a deliberately dependency-free lint pass over the
+//! workspace's own source: a lightweight Rust lexer
+//! ([`lexer`]), a per-file structural model ([`source`]), and five
+//! rules ([`rules`]) that enforce the invariants the estimation
+//! pipeline relies on but `rustc`/`clippy` cannot see:
+//!
+//! * panic-freedom on the hot path (`panic-freedom`),
+//! * a rank-ordered, acyclic lock graph (`lock-order` — the static
+//!   half of the `parking_lot` shim's `lock-order-check` feature),
+//! * traced/untraced twin parity (`trace-parity`),
+//! * NaN-safe float handling (`float-discipline`),
+//! * replayable estimation — no ambient time/entropy
+//!   (`nondeterminism`).
+//!
+//! Run it with `cargo run -p analysis -- check` (add `--format json`
+//! for machine-readable output). Violations can be suppressed inline
+//! with `// analysis:allow(rule-id): reason` — the reason is
+//! mandatory; a bare allow is itself a finding.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use config::Config;
+use report::{AllowUse, Report};
+use source::SourceFile;
+
+/// Runs every rule over pre-parsed sources and applies the
+/// `analysis:allow` filter. This is the engine the CLI, the fixture
+/// tests, and the live-workspace test all share.
+pub fn check_sources(files: &[SourceFile], config: &Config) -> Report {
+    let mut rules = rules::all_rules();
+    let mut findings = Vec::new();
+    for file in files {
+        for rule in &mut rules {
+            rule.check_file(file, config, &mut findings);
+        }
+    }
+    for rule in &mut rules {
+        rule.finish(config, &mut findings);
+    }
+
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for finding in findings {
+        let allow = files.iter().find(|f| f.path == finding.file).and_then(|f| {
+            f.allows.iter().find(|a| {
+                a.rule == finding.rule
+                    && !a.reason.is_empty()
+                    && (a.line == finding.line || a.line + 1 == finding.line)
+            })
+        });
+        match allow {
+            Some(a) => report.allows.push(AllowUse {
+                rule: a.rule.clone(),
+                file: finding.file.clone(),
+                line: a.line,
+                reason: a.reason.clone(),
+            }),
+            None => report.findings.push(finding),
+        }
+    }
+    // A reasonless allow never suppresses anything and is itself a
+    // violation: the annotation exists to carry the justification.
+    for file in files {
+        for a in &file.allows {
+            if a.reason.is_empty() {
+                report.findings.push(report::Finding {
+                    rule: "allow-missing-reason",
+                    file: file.path.clone(),
+                    line: a.line,
+                    message: format!(
+                        "`analysis:allow({})` without a reason — write \
+                         `analysis:allow({}): why it is safe`",
+                        a.rule, a.rule
+                    ),
+                });
+            }
+        }
+    }
+    report.sort();
+    report
+}
+
+/// Parses a set of `(path, source)` pairs and runs the rules. Test
+/// convenience over [`check_sources`].
+pub fn check_str(sources: &[(&str, &str)], config: &Config) -> Report {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(path, text)| SourceFile::parse(path, text))
+        .collect();
+    check_sources(&files, config)
+}
+
+/// Scans `crates/*/src/**/*.rs` under `root` and runs the shipped
+/// rules. Paths in the report are workspace-relative with `/`
+/// separators. I/O errors surface as `Err`; unreadable trees should
+/// fail the build, not pass silently.
+pub fn check_workspace(root: &std::path::Path, config: &Config) -> std::io::Result<Report> {
+    let mut paths = Vec::new();
+    let crates = root.join("crates");
+    for entry in std::fs::read_dir(&crates)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(SourceFile::parse(&rel, &text));
+    }
+    Ok(check_sources(&files, config))
+}
+
+fn collect_rs_files(
+    dir: &std::path::Path,
+    out: &mut Vec<std::path::PathBuf>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_with_reason_suppresses_and_is_reported() {
+        let config = Config::workspace_default();
+        let src = "\
+fn f(x: Option<u32>) -> u32 {
+    // analysis:allow(panic-freedom): fixture exercises the escape hatch
+    x.unwrap()
+}
+";
+        let report = check_str(&[("crates/costing/src/service/mod.rs", src)], &config);
+        assert!(report.is_clean(), "unexpected: {}", report.render_text());
+        assert_eq!(report.allows.len(), 1);
+        assert_eq!(report.allows[0].rule, "panic-freedom");
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding() {
+        let config = Config::workspace_default();
+        let src = "\
+fn f(x: Option<u32>) -> u32 {
+    // analysis:allow(panic-freedom)
+    x.unwrap()
+}
+";
+        let report = check_str(&[("crates/costing/src/service/mod.rs", src)], &config);
+        // Both the unsuppressed unwrap and the bare allow fire.
+        assert_eq!(report.findings.len(), 2, "{}", report.render_text());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == "allow-missing-reason"));
+    }
+
+    #[test]
+    fn allow_for_other_rule_does_not_suppress() {
+        let config = Config::workspace_default();
+        let src = "\
+fn f(x: Option<u32>) -> u32 {
+    // analysis:allow(float-discipline): wrong rule on purpose
+    x.unwrap()
+}
+";
+        let report = check_str(&[("crates/costing/src/service/mod.rs", src)], &config);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "panic-freedom");
+    }
+
+    #[test]
+    fn findings_are_sorted_by_file_then_line() {
+        let config = Config::workspace_default();
+        let bad = "fn f(x: Option<u32>) { x.unwrap(); panic!(\"no\"); }\n";
+        let report = check_str(
+            &[
+                ("crates/federation/src/fanout.rs", bad),
+                ("crates/costing/src/service/mod.rs", bad),
+            ],
+            &config,
+        );
+        let files: Vec<&str> = report.findings.iter().map(|f| f.file.as_str()).collect();
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+        assert_eq!(report.files_scanned, 2);
+    }
+}

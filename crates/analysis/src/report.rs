@@ -1,0 +1,194 @@
+//! Findings and report rendering (human-readable text and JSON).
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `panic-freedom`.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// A used `analysis:allow` annotation (a suppressed finding).
+#[derive(Debug, Clone)]
+pub struct AllowUse {
+    /// The suppressed rule.
+    pub rule: String,
+    /// Workspace-relative file path of the annotation.
+    pub file: String,
+    /// 1-based line of the annotation.
+    pub line: usize,
+    /// The justification the annotation carries.
+    pub reason: String,
+}
+
+/// The outcome of one analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations, ordered by file then line.
+    pub findings: Vec<Finding>,
+    /// Allow annotations that suppressed a finding.
+    pub allows: Vec<AllowUse>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Orders findings by (file, line, rule) for stable output.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.allows
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    }
+
+    /// `file:line: [rule] message` lines plus a summary footer.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "{} finding{} in {} file{} ({} allow annotation{} in effect)\n",
+            self.findings.len(),
+            plural(self.findings.len()),
+            self.files_scanned,
+            plural(self.files_scanned),
+            self.allows.len(),
+            plural(self.allows.len()),
+        ));
+        out
+    }
+
+    /// The report as a JSON object (hand-rolled: the crate is
+    /// dependency-free by design).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"allow_count\": {},\n", self.allows.len()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(&a.rule),
+                json_str(&a.file),
+                a.line,
+                json_str(&a.reason)
+            ));
+        }
+        if !self.allows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report {
+            findings: vec![Finding {
+                rule: "panic-freedom",
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                message: "`.unwrap()` on a \"hot\" path".into(),
+            }],
+            allows: vec![AllowUse {
+                rule: "panic-freedom".into(),
+                file: "crates/y/src/lib.rs".into(),
+                line: 3,
+                reason: "invariant".into(),
+            }],
+            files_scanned: 2,
+        };
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn text_has_file_line_rule() {
+        let text = sample().render_text();
+        assert!(text.contains("crates/x/src/lib.rs:7: [panic-freedom]"));
+        assert!(text.contains("1 finding in 2 files (1 allow annotation in effect)"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_structured() {
+        let json = sample().render_json();
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("\"line\": 7"));
+        assert!(json.contains(r#"a \"hot\" path"#));
+        assert!(json.contains("\"allow_count\": 1"));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = Report::default();
+        assert!(r.is_clean());
+        assert!(r.render_json().contains("\"clean\": true"));
+        assert!(r.render_text().contains("0 findings"));
+    }
+}

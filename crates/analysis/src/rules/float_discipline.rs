@@ -1,0 +1,98 @@
+//! R4 — float comparison discipline.
+//!
+//! Cost estimates are `f64` end to end; two habits corrupt them
+//! silently:
+//!
+//! * `==` / `!=` against a nonzero float literal — representation
+//!   error makes the comparison flaky (comparisons against `0.0` are
+//!   exempt: exact zero is a meaningful sentinel, e.g. "no cardinality
+//!   recorded");
+//! * `sort_by(|a, b| a.partial_cmp(b).unwrap())` — NaN poisons the
+//!   sort or panics. The approved spelling is
+//!   `mathkit::total_cmp_f64`.
+//!
+//! The `mathkit` crate (and any module listed in
+//! [`Config::float_exempt_modules`]) is the approved home of raw float
+//! handling and is skipped.
+
+use crate::config::Config;
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// See the module docs.
+pub struct FloatDiscipline;
+
+/// How far ahead of `partial_cmp` we look for the `unwrap` that makes
+/// it NaN-unsafe (covers `.partial_cmp(&b.0).unwrap()` and
+/// `unwrap_or(Ordering::Equal)` spellings).
+const UNWRAP_WINDOW: usize = 12;
+
+impl Rule for FloatDiscipline {
+    fn id(&self) -> &'static str {
+        "float-discipline"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
+        if file.module_in(&config.float_exempt_modules) {
+            return;
+        }
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            let t = &tokens[i];
+            if file.in_test_code(t.line) {
+                continue;
+            }
+            if t.is_ident("partial_cmp") {
+                let window_end = (i + UNWRAP_WINDOW).min(tokens.len());
+                let unwrapped = tokens[i..window_end]
+                    .iter()
+                    .any(|x| x.is_ident("unwrap") || x.is_ident("unwrap_or"));
+                if unwrapped {
+                    out.push(Finding {
+                        rule: self.id(),
+                        file: file.path.clone(),
+                        line: t.line,
+                        message: "NaN-unsafe `partial_cmp(..).unwrap()` comparator — use \
+                                  `mathkit::total_cmp_f64`"
+                            .to_string(),
+                    });
+                }
+                continue;
+            }
+            // `==` / `!=` with a float literal on either side.
+            let eq = t.is_punct('=') && tokens.get(i + 1).is_some_and(|n| n.is_punct('='));
+            let ne = t.is_punct('!') && tokens.get(i + 1).is_some_and(|n| n.is_punct('='));
+            if !(eq || ne) {
+                continue;
+            }
+            let lhs = i.checked_sub(1).and_then(|j| tokens.get(j));
+            let rhs = tokens.get(i + 2);
+            let nonzero_float = |tok: Option<&crate::lexer::Token>| {
+                tok.is_some_and(|x| {
+                    x.kind == TokenKind::Float
+                        && x.text
+                            .trim_end_matches("f64")
+                            .trim_end_matches("f32")
+                            .trim_end_matches('_')
+                            .parse::<f64>()
+                            .map(|v| v != 0.0)
+                            .unwrap_or(false)
+                })
+            };
+            if nonzero_float(lhs) || nonzero_float(rhs) {
+                out.push(Finding {
+                    rule: self.id(),
+                    file: file.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` against a nonzero float literal is representation-fragile — \
+                         compare with a tolerance",
+                        if eq { "==" } else { "!=" }
+                    ),
+                });
+            }
+        }
+    }
+}

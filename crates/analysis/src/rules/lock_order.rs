@@ -1,0 +1,340 @@
+//! R2 — static lock-order enforcement.
+//!
+//! Extracts a lock-acquisition graph from guard scopes in the
+//! configured modules: every `.lock()` / `.read()` / `.write()` call on
+//! a receiver named in [`Config::lock_classes`] becomes an acquisition;
+//! its guard's liveness is approximated from the binding form
+//! (`let`-bound → to the end of the enclosing block or an explicit
+//! `drop(guard)`; `if let` condition → to the end of the `if`
+//! statement, mirroring Rust's temporary-lifetime extension; bare
+//! temporary → to the end of the statement). An acquisition inside a
+//! live guard's scope is a nesting edge.
+//!
+//! Violations:
+//!
+//! * **rank inversion** — an edge from a higher-or-equal rank to a
+//!   lower rank (ranks mirror `parking_lot::rank`);
+//! * **double acquisition** — re-locking a receiver whose guard is
+//!   still live (read→read excepted);
+//! * **cycle** — the merged cross-file graph contains a cycle.
+//!
+//! The pass is intra-function; cross-function chains (e.g. a tracer
+//! subscriber lock reached through `Tracer::emit` while a shard guard
+//! is held) are validated dynamically by the `parking_lot` shim's
+//! `lock-order-check` feature, which panics on inversion at runtime.
+//! The two layers share one rank table.
+
+use crate::config::Config;
+use crate::lexer::{Token, TokenKind};
+use crate::report::Finding;
+use crate::rules::Rule;
+use crate::source::{matching_brace, SourceFile};
+
+/// See the module docs.
+#[derive(Default)]
+pub struct LockOrder {
+    /// Merged `(from, to)` class-name edges with one example site each.
+    edges: Vec<(String, String, String, usize)>,
+}
+
+struct Acquisition {
+    token: usize,
+    line: usize,
+    receiver: String,
+    class: String,
+    rank: Option<u32>,
+    exclusive: bool,
+    blocking: bool,
+    /// Token index the guard is (approximately) live until.
+    scope_end: usize,
+}
+
+impl Rule for LockOrder {
+    fn id(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
+        if !file.module_in(&config.lock_scope_modules) {
+            return;
+        }
+        for function in &file.functions {
+            if function.body.is_empty() || file.in_test_code(function.line) {
+                continue;
+            }
+            let acqs = find_acquisitions(file, function.body.clone(), config);
+            for (ai, a) in acqs.iter().enumerate() {
+                for b in &acqs[ai + 1..] {
+                    if b.token >= a.scope_end {
+                        break;
+                    }
+                    if !b.blocking {
+                        continue;
+                    }
+                    if a.class == b.class {
+                        if a.receiver == b.receiver && (a.exclusive || b.exclusive) {
+                            out.push(Finding {
+                                rule: self.id(),
+                                file: file.path.clone(),
+                                line: b.line,
+                                message: format!(
+                                    "`{}` re-acquired while its guard from line {} is still live \
+                                     (class {}) — self-deadlock",
+                                    b.receiver, a.line, a.class
+                                ),
+                            });
+                        }
+                        continue;
+                    }
+                    self.edges
+                        .push((a.class.clone(), b.class.clone(), file.path.clone(), b.line));
+                    if let (Some(ra), Some(rb)) = (a.rank, b.rank) {
+                        if rb <= ra {
+                            out.push(Finding {
+                                rule: self.id(),
+                                file: file.path.clone(),
+                                line: b.line,
+                                message: format!(
+                                    "rank inversion: {} (rank {}) acquired while holding {} \
+                                     (rank {}) from line {} — ranked locks must be taken in \
+                                     increasing order",
+                                    b.class, rb, a.class, ra, a.line
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, _config: &Config, out: &mut Vec<Finding>) {
+        // Cycle detection over the merged graph (DFS, three colors).
+        let mut nodes: Vec<&str> = Vec::new();
+        for (a, b, _, _) in &self.edges {
+            if !nodes.contains(&a.as_str()) {
+                nodes.push(a);
+            }
+            if !nodes.contains(&b.as_str()) {
+                nodes.push(b);
+            }
+        }
+        let index = |n: &str| nodes.iter().position(|x| *x == n).unwrap_or(usize::MAX);
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (a, b, _, _) in &self.edges {
+            let (ia, ib) = (index(a), index(b));
+            if !adj[ia].contains(&ib) {
+                adj[ia].push(ib);
+            }
+        }
+        // 0 = white, 1 = on stack, 2 = done.
+        let mut color = vec![0u8; nodes.len()];
+        let mut stack: Vec<(usize, usize)> = Vec::new(); // (node, next-child)
+        let mut path: Vec<usize> = Vec::new();
+        for start in 0..nodes.len() {
+            if color[start] != 0 {
+                continue;
+            }
+            stack.push((start, 0));
+            color[start] = 1;
+            path.push(start);
+            while let Some(&mut (n, ref mut child)) = stack.last_mut() {
+                if *child < adj[n].len() {
+                    let next = adj[n][*child];
+                    *child += 1;
+                    if color[next] == 1 {
+                        // Cycle: slice of `path` from `next` onward.
+                        let from = path.iter().position(|&p| p == next).unwrap_or(0);
+                        let mut names: Vec<&str> = path[from..].iter().map(|&p| nodes[p]).collect();
+                        names.push(nodes[next]);
+                        let (_, _, file, line) = self
+                            .edges
+                            .iter()
+                            .find(|(a, b, _, _)| index(a) == n && index(b) == next)
+                            .cloned()
+                            .unwrap_or((String::new(), String::new(), String::new(), 0));
+                        out.push(Finding {
+                            rule: self.id(),
+                            file,
+                            line,
+                            message: format!(
+                                "lock acquisition cycle across the workspace: {}",
+                                names.join(" -> ")
+                            ),
+                        });
+                        color[next] = 2; // report each cycle once
+                    } else if color[next] == 0 {
+                        color[next] = 1;
+                        path.push(next);
+                        stack.push((next, 0));
+                    }
+                } else {
+                    color[n] = 2;
+                    path.pop();
+                    stack.pop();
+                }
+            }
+        }
+    }
+}
+
+const LOCK_METHODS: &[(&str, bool, bool)] = &[
+    // (method, exclusive, blocking)
+    ("lock", true, true),
+    ("write", true, true),
+    ("read", false, true),
+    ("try_lock", true, false),
+    ("try_write", true, false),
+    ("try_read", false, false),
+];
+
+fn find_acquisitions(
+    file: &SourceFile,
+    body: std::ops::Range<usize>,
+    config: &Config,
+) -> Vec<Acquisition> {
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    for i in body.clone() {
+        if !tokens[i].is_punct('.') {
+            continue;
+        }
+        let Some(method) = tokens.get(i + 1) else {
+            continue;
+        };
+        let Some(&(_, exclusive, blocking)) =
+            LOCK_METHODS.iter().find(|(m, _, _)| method.is_ident(m))
+        else {
+            continue;
+        };
+        // Zero-argument call: `.lock()`.
+        if !(tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct(')')))
+        {
+            continue;
+        }
+        if i == 0 || tokens[i - 1].kind != TokenKind::Ident {
+            continue;
+        }
+        let receiver = tokens[i - 1].text.clone();
+        let Some(class) = config.lock_class(&receiver) else {
+            continue;
+        };
+        let scope_end = guard_scope_end(tokens, i, body.end);
+        out.push(Acquisition {
+            token: i,
+            line: method.line,
+            receiver,
+            class: class.name.clone(),
+            rank: class.rank,
+            exclusive,
+            blocking,
+            scope_end,
+        });
+    }
+    out
+}
+
+/// Where does the guard produced by the acquisition at `dot` stop being
+/// live (approximately)?
+fn guard_scope_end(tokens: &[Token], dot: usize, body_end: usize) -> usize {
+    // Find the start of the enclosing statement.
+    let mut start = dot;
+    while start > 0 {
+        let t = &tokens[start - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        start -= 1;
+    }
+    let starts_with = |name: &str| tokens.get(start).is_some_and(|t| t.is_ident(name));
+
+    if starts_with("let") {
+        // `let g = recv.lock();` — live until the end of the enclosing
+        // block, or an explicit `drop(g)`.
+        let binding = binding_name(tokens, start);
+        let block_end = enclosing_block_end(tokens, dot, body_end);
+        if let Some(binding) = binding {
+            for j in dot..block_end {
+                if tokens[j].is_ident("drop")
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct('('))
+                    && tokens.get(j + 2).is_some_and(|t| t.is_ident(&binding))
+                    && tokens.get(j + 3).is_some_and(|t| t.is_punct(')'))
+                {
+                    return j;
+                }
+            }
+        }
+        return block_end;
+    }
+    if starts_with("if") || starts_with("while") || starts_with("match") {
+        // A temporary in an `if let` / `while let` / `match` head lives
+        // until the end of the whole statement (Rust extends condition
+        // temporaries across every arm, including `else`).
+        return statement_with_blocks_end(tokens, start, body_end);
+    }
+    // Plain temporary: to the end of the statement.
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().take(body_end).skip(dot) {
+        match t.kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => depth -= 1,
+            TokenKind::Punct(';') if depth <= 0 => return j,
+            _ => {}
+        }
+    }
+    body_end
+}
+
+/// The guard variable of `let [mut] name = …`, if the pattern is a
+/// plain binding.
+fn binding_name(tokens: &[Token], let_idx: usize) -> Option<String> {
+    let mut j = let_idx + 1;
+    if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name = tokens.get(j)?;
+    if name.kind == TokenKind::Ident && tokens.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+        Some(name.text.clone())
+    } else {
+        None
+    }
+}
+
+/// End (token index) of the block enclosing `pos`: the `}` that closes
+/// the nearest `{` still open at `pos`.
+fn enclosing_block_end(tokens: &[Token], pos: usize, body_end: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().take(body_end).skip(pos) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return j;
+            }
+        }
+    }
+    body_end
+}
+
+/// End of an `if`/`while`/`match` statement starting at `start`,
+/// following `else`/`else if` chains.
+fn statement_with_blocks_end(tokens: &[Token], start: usize, body_end: usize) -> usize {
+    let mut j = start;
+    loop {
+        // Find the block opening this arm.
+        let Some(open) = (j..body_end).find(|&k| tokens[k].is_punct('{')) else {
+            return body_end;
+        };
+        let Some(close) = matching_brace(tokens, open) else {
+            return body_end;
+        };
+        j = close + 1;
+        if tokens.get(j).is_some_and(|t| t.is_ident("else")) {
+            j += 1;
+            continue;
+        }
+        return j.min(body_end);
+    }
+}

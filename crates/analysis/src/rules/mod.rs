@@ -1,0 +1,50 @@
+//! The rule engine: one trait, five domain rules.
+//!
+//! | id                 | enforces                                                  |
+//! |--------------------|-----------------------------------------------------------|
+//! | `panic-freedom`    | no `unwrap`/`expect`/panic macros/arithmetic indexing in the estimation hot path |
+//! | `lock-order`       | guard-scope acquisition graph is acyclic and rank-ordered |
+//! | `trace-parity`     | every `*_traced` fn delegates to its untraced twin        |
+//! | `float-discipline` | no `==`/`!=` against float literals, no NaN-unsafe sorts  |
+//! | `nondeterminism`   | no ambient time/entropy outside approved modules          |
+
+use crate::config::Config;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+mod float_discipline;
+mod lock_order;
+mod nondeterminism;
+mod panic_freedom;
+mod trace_parity;
+
+pub use float_discipline::FloatDiscipline;
+pub use lock_order::LockOrder;
+pub use nondeterminism::Nondeterminism;
+pub use panic_freedom::PanicFreedom;
+pub use trace_parity::TraceParity;
+
+/// One analysis rule. Rules see every scanned file once, then get a
+/// [`Rule::finish`] call for whole-workspace checks (e.g. cycle
+/// detection over the merged lock graph).
+pub trait Rule {
+    /// Stable rule id used in diagnostics and `analysis:allow`.
+    fn id(&self) -> &'static str;
+
+    /// Scans one file, appending findings.
+    fn check_file(&mut self, file: &SourceFile, config: &Config, out: &mut Vec<Finding>);
+
+    /// Called once after every file has been scanned.
+    fn finish(&mut self, _config: &Config, _out: &mut Vec<Finding>) {}
+}
+
+/// A fresh instance of every shipped rule.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(PanicFreedom),
+        Box::new(LockOrder::default()),
+        Box::new(TraceParity),
+        Box::new(FloatDiscipline),
+        Box::new(Nondeterminism),
+    ]
+}

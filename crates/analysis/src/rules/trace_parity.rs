@@ -1,0 +1,119 @@
+//! R3 — traced/untraced twin parity.
+//!
+//! The costing crate keeps decision-trail variants (`estimate_traced`,
+//! `resolve_traced`, …) next to their untraced twins. The contract:
+//! the traced function is the untraced one plus a trace context — it
+//! must not fork the estimation logic. This rule checks, for every
+//! `*_traced` function in the configured modules:
+//!
+//! * a twin named without the `_traced` suffix exists in the same file;
+//! * the twin's parameters are a subsequence of the traced parameters
+//!   with trace-context parameters (`TraceCtx`/`Tracer` types) removed;
+//! * the return types match textually;
+//! * the traced body mentions the twin (direct delegation) or another
+//!   `*_traced` function (a delegation chain ending at a twin).
+
+use crate::config::Config;
+use crate::report::Finding;
+use crate::rules::Rule;
+use crate::source::{Function, SourceFile};
+
+/// See the module docs.
+pub struct TraceParity;
+
+impl Rule for TraceParity {
+    fn id(&self) -> &'static str {
+        "trace-parity"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
+        if !file.module_in(&config.trace_parity_modules) {
+            return;
+        }
+        for traced in &file.functions {
+            let Some(base) = traced.name.strip_suffix("_traced") else {
+                continue;
+            };
+            if file.in_test_code(traced.line) {
+                continue;
+            }
+            let Some(twin) = file.functions.iter().find(|f| f.name == base) else {
+                out.push(Finding {
+                    rule: self.id(),
+                    file: file.path.clone(),
+                    line: traced.line,
+                    message: format!(
+                        "`{}` has no untraced twin `{}` in this file",
+                        traced.name, base
+                    ),
+                });
+                continue;
+            };
+            let reduced: Vec<&String> = traced
+                .params
+                .iter()
+                .filter(|p| !is_trace_param(p))
+                .collect();
+            if !is_subsequence(&twin.params, &reduced) {
+                out.push(Finding {
+                    rule: self.id(),
+                    file: file.path.clone(),
+                    line: traced.line,
+                    message: format!(
+                        "`{}` signature diverges from `{}`: twin params [{}] are not a \
+                         subsequence of the traced params minus trace context [{}]",
+                        traced.name,
+                        base,
+                        twin.params.join(", "),
+                        reduced
+                            .iter()
+                            .map(|s| s.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    ),
+                });
+            }
+            if twin.ret != traced.ret {
+                out.push(Finding {
+                    rule: self.id(),
+                    file: file.path.clone(),
+                    line: traced.line,
+                    message: format!(
+                        "`{}` returns `{}` but `{}` returns `{}` — traced twins must agree",
+                        traced.name, traced.ret, base, twin.ret
+                    ),
+                });
+            }
+            if !delegates(file, traced, base) {
+                out.push(Finding {
+                    rule: self.id(),
+                    file: file.path.clone(),
+                    line: traced.line,
+                    message: format!(
+                        "`{}` never calls `{}` (or another `*_traced` delegate) — traced \
+                         variants must not fork the estimation logic",
+                        traced.name, base
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Is this normalized parameter a trace-context parameter?
+fn is_trace_param(param: &str) -> bool {
+    param.contains("TraceCtx") || param.contains("Tracer")
+}
+
+/// Is `needle` a subsequence of `hay` (order-preserving)?
+fn is_subsequence(needle: &[String], hay: &[&String]) -> bool {
+    let mut it = hay.iter();
+    needle.iter().all(|n| it.any(|h| *h == n))
+}
+
+/// Does the traced body mention the twin or another traced function?
+fn delegates(file: &SourceFile, traced: &Function, base: &str) -> bool {
+    file.tokens[traced.body.clone()]
+        .iter()
+        .any(|t| t.is_ident(base) || (t.text.ends_with("_traced") && t.text != traced.name))
+}

@@ -1,0 +1,217 @@
+//! Fixture tests: every rule must fire on its bad fixture (with
+//! file:line diagnostics in text and JSON) and stay silent on its good
+//! fixture. The CLI's exit codes are exercised against the `ws_bad`
+//! mini-workspace.
+
+use analysis::config::{Config, LockClass};
+use analysis::{check_str, report::Report};
+
+/// Hot-path module for R1 fixtures.
+const PANIC_PATH: &str = "crates/costing/src/service/fixture.rs";
+/// Lock-scope module for R2 fixtures.
+const LOCK_PATH: &str = "crates/costing/src/service/locks.rs";
+/// Costing (trace-parity) but non-hot-path module for R3 fixtures.
+const TRACE_PATH: &str = "crates/costing/src/trace_fixture.rs";
+/// Any non-exempt module for R4/R5 fixtures.
+const PLAIN_PATH: &str = "crates/costing/src/plain_fixture.rs";
+
+fn check(path: &str, src: &str) -> Report {
+    check_str(&[(path, src)], &Config::workspace_default())
+}
+
+fn assert_fires(report: &Report, rule: &str, times: usize) {
+    let hits: Vec<_> = report.findings.iter().filter(|f| f.rule == rule).collect();
+    assert_eq!(
+        hits.len(),
+        times,
+        "expected `{rule}` x{times}, got:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn bad_panic_fixture_fires_on_every_class() {
+    let report = check(PANIC_PATH, include_str!("fixtures/bad_panic.rs"));
+    // unwrap, computed index, panic!, expect — one finding each.
+    assert_fires(&report, "panic-freedom", 4);
+    for f in &report.findings {
+        assert_eq!(f.file, PANIC_PATH);
+        assert!(f.line > 0);
+    }
+    // Diagnostics carry file:line in both formats.
+    let text = report.render_text();
+    assert!(
+        text.contains(&format!("{PANIC_PATH}:3: [panic-freedom]")),
+        "{text}"
+    );
+    let json = report.render_json();
+    assert!(json.contains("\"clean\": false"));
+    assert!(json.contains("\"line\": 3"));
+}
+
+#[test]
+fn good_panic_fixture_is_clean() {
+    let report = check(PANIC_PATH, include_str!("fixtures/good_panic.rs"));
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn allow_hatch_suppresses_with_reason() {
+    let report = check(PANIC_PATH, include_str!("fixtures/allow_hatch.rs"));
+    assert!(report.is_clean(), "{}", report.render_text());
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].rule, "panic-freedom");
+    assert!(report.allows[0].reason.contains("escape hatch"));
+}
+
+#[test]
+fn bad_lock_fixture_fires_inversion_and_double_acquisition() {
+    let report = check(LOCK_PATH, include_str!("fixtures/bad_lock_inversion.rs"));
+    assert_fires(&report, "lock-order", 2);
+    let text = report.render_text();
+    assert!(text.contains("rank inversion"), "{text}");
+    assert!(text.contains("self-deadlock"), "{text}");
+}
+
+#[test]
+fn good_lock_fixture_is_clean() {
+    let report = check(LOCK_PATH, include_str!("fixtures/good_lock.rs"));
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn lock_cycle_across_files_is_detected() {
+    // Unranked classes: only the merged-graph cycle check can catch
+    // this — neither file is wrong in isolation under a rank check.
+    let config = Config {
+        lock_scope_modules: vec!["costing".into()],
+        lock_classes: vec![
+            LockClass::unranked("alpha", "ALPHA"),
+            LockClass::unranked("beta", "BETA"),
+        ],
+        ..Config::workspace_default()
+    };
+    let report = check_str(
+        &[
+            (
+                "crates/costing/src/cycle_a.rs",
+                include_str!("fixtures/bad_lock_cycle_a.rs"),
+            ),
+            (
+                "crates/costing/src/cycle_b.rs",
+                include_str!("fixtures/bad_lock_cycle_b.rs"),
+            ),
+        ],
+        &config,
+    );
+    assert_fires(&report, "lock-order", 1);
+    assert!(
+        report.findings[0].message.contains("cycle"),
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn bad_trace_parity_fixture_fires_on_every_class() {
+    let report = check(TRACE_PATH, include_str!("fixtures/bad_trace_parity.rs"));
+    // fork (no delegation), missing twin, return-type divergence.
+    assert_fires(&report, "trace-parity", 3);
+    let text = report.render_text();
+    assert!(text.contains("never calls"), "{text}");
+    assert!(text.contains("no untraced twin"), "{text}");
+    assert!(text.contains("must agree"), "{text}");
+}
+
+#[test]
+fn good_trace_parity_fixture_is_clean() {
+    let report = check(TRACE_PATH, include_str!("fixtures/good_trace_parity.rs"));
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn bad_float_fixture_fires_on_both_classes() {
+    let report = check(PLAIN_PATH, include_str!("fixtures/bad_float.rs"));
+    assert_fires(&report, "float-discipline", 2);
+    let text = report.render_text();
+    assert!(text.contains("total_cmp_f64"), "{text}");
+    assert!(text.contains("nonzero float literal"), "{text}");
+}
+
+#[test]
+fn good_float_fixture_is_clean() {
+    let report = check(PLAIN_PATH, include_str!("fixtures/good_float.rs"));
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn float_rule_skips_mathkit() {
+    let report = check(
+        "crates/mathkit/src/cmp.rs",
+        include_str!("fixtures/bad_float.rs"),
+    );
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn bad_entropy_fixture_fires_on_every_class() {
+    let report = check(PLAIN_PATH, include_str!("fixtures/bad_entropy.rs"));
+    // SystemTime::now, Instant::now, thread_rng.
+    assert_fires(&report, "nondeterminism", 3);
+}
+
+#[test]
+fn good_entropy_fixture_is_clean() {
+    let report = check(PLAIN_PATH, include_str!("fixtures/good_entropy.rs"));
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn entropy_rule_skips_exempt_modules() {
+    let bad = include_str!("fixtures/bad_entropy.rs");
+    for path in [
+        "crates/bench/src/harness.rs",
+        "crates/telemetry/src/trace.rs",
+    ] {
+        let report = check(path, bad);
+        assert_fires(&report, "nondeterminism", 0);
+    }
+}
+
+#[test]
+fn cli_exits_nonzero_with_diagnostics_on_bad_workspace() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/ws_bad");
+    let bin = env!("CARGO_BIN_EXE_analysis");
+
+    let text = std::process::Command::new(bin)
+        .args(["check", "--root", root])
+        .output()
+        .expect("running the analysis binary");
+    assert_eq!(text.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&text.stdout);
+    assert!(
+        stdout.contains("crates/costing/src/service/mod.rs:5: [panic-freedom]"),
+        "{stdout}"
+    );
+
+    let json = std::process::Command::new(bin)
+        .args(["check", "--root", root, "--format", "json"])
+        .output()
+        .expect("running the analysis binary");
+    assert_eq!(json.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&json.stdout);
+    assert!(stdout.contains("\"clean\": false"), "{stdout}");
+    assert!(stdout.contains("\"line\": 5"), "{stdout}");
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    let bin = env!("CARGO_BIN_EXE_analysis");
+    for args in [&["frobnicate"][..], &["check", "--format", "xml"][..]] {
+        let out = std::process::Command::new(bin)
+            .args(args)
+            .output()
+            .expect("running the analysis binary");
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: the inline escape hatch with a mandatory reason.
+pub fn f(x: Option<u32>) -> u32 {
+    // analysis:allow(panic-freedom): fixture demonstrates the escape hatch
+    x.unwrap()
+}

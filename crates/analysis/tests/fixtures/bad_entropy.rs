@@ -1,0 +1,12 @@
+// Fixture: ambient time and entropy in estimation code.
+pub fn stamp() -> u64 {
+    let t = SystemTime::now();
+    let i = Instant::now();
+    let _ = (t, i);
+    0
+}
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

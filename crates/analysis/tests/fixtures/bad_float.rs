@@ -1,0 +1,8 @@
+// Fixture: NaN-unsafe comparator and a fragile float-literal equality.
+pub fn rank(xs: &mut [(f64, u32)]) {
+    xs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+}
+
+pub fn is_half(x: f64) -> bool {
+    x == 0.5
+}

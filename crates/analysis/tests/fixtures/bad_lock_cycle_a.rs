@@ -1,0 +1,6 @@
+// Fixture (pair with bad_lock_cycle_b.rs): this file nests a -> b …
+pub fn forward(s: &super::S) -> u32 {
+    let ga = s.alpha.lock();
+    let gb = s.beta.lock();
+    *ga + *gb
+}

@@ -1,0 +1,7 @@
+// Fixture (pair with bad_lock_cycle_a.rs): … and this file nests
+// b -> a, closing the cycle across the merged workspace graph.
+pub fn backward(s: &super::S) -> u32 {
+    let gb = s.beta.lock();
+    let ga = s.alpha.lock();
+    *gb + *ga
+}

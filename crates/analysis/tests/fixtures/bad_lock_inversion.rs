@@ -1,0 +1,18 @@
+// Fixture: ranked locks taken in decreasing order, plus a
+// double-acquisition of the same mutex.
+pub struct S {
+    pub models: parking_lot::RwLock<u32>,
+    pub cache: parking_lot::Mutex<u32>,
+}
+
+pub fn wrong_order(s: &S) -> u32 {
+    let m = s.models.read();
+    let c = s.cache.lock();
+    *m + *c
+}
+
+pub fn double(s: &S) -> u32 {
+    let a = s.cache.lock();
+    let b = s.cache.lock();
+    *a + *b
+}

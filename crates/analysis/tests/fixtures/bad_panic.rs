@@ -1,0 +1,9 @@
+// Fixture: every panic-freedom violation class in one hot-path file.
+pub fn f(x: Option<u32>, xs: &[u32], i: usize) -> u32 {
+    let a = x.unwrap();
+    let b = xs[i - 1];
+    if a > b {
+        panic!("boom");
+    }
+    a.checked_add(b).expect("overflow")
+}

@@ -1,0 +1,25 @@
+// Fixture: every trace-parity violation class.
+
+// Forks the logic instead of delegating.
+pub fn estimate(x: u32) -> u32 {
+    x + 1
+}
+pub fn estimate_traced(x: u32, ctx: &mut TraceCtx) -> u32 {
+    ctx.note("estimate");
+    x + 2
+}
+
+// No untraced twin at all.
+pub fn resolve_traced(x: u32, ctx: &mut TraceCtx) -> u32 {
+    ctx.note("resolve");
+    x
+}
+
+// Return types diverge.
+pub fn blend(x: u32) -> u32 {
+    x
+}
+pub fn blend_traced(x: u32, ctx: &mut TraceCtx) -> u64 {
+    ctx.note("blend");
+    blend(x) as u64
+}

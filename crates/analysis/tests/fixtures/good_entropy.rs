@@ -1,0 +1,6 @@
+// Fixture: replayable randomness — a seeded generator is fine
+// anywhere; only ambient entropy is contained.
+pub fn jitter(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen()
+}

@@ -1,0 +1,14 @@
+// Fixture: float handling the float-discipline rule must accept.
+pub fn rank(xs: &mut [(f64, u32)]) {
+    xs.sort_by(|a, b| mathkit::total_cmp_f64(&a.0, &b.0));
+}
+
+// Exact zero is a meaningful sentinel ("no cardinality recorded") and
+// is exempt from the literal-equality check.
+pub fn unrecorded(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}

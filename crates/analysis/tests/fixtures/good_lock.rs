@@ -1,0 +1,26 @@
+// Fixture: lock usage the lock-order rule must accept.
+pub struct S {
+    pub models: parking_lot::RwLock<u32>,
+    pub cache: parking_lot::Mutex<u32>,
+}
+
+pub fn right_order(s: &S) -> u32 {
+    let c = s.cache.lock();
+    let m = s.models.read();
+    *c + *m
+}
+
+pub fn sequential(s: &S) -> u32 {
+    // The cache guard dies at the inner block's end, the models guard
+    // at the explicit drop — the second cache acquisition overlaps
+    // neither.
+    let first = {
+        let c = s.cache.lock();
+        *c
+    };
+    let m = s.models.read();
+    let snapshot = *m;
+    drop(m);
+    let c2 = s.cache.lock();
+    first + snapshot + *c2
+}

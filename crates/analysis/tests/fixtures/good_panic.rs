@@ -1,0 +1,29 @@
+// Fixture: hot-path code the panic-freedom rule must accept.
+
+/// Looks a value up by computed offset, fallibly.
+pub fn f(xs: &[u32], i: usize) -> Option<u32> {
+    xs.get(i.wrapping_sub(1)).copied()
+}
+
+/// Plain loop indexing stays legal — only computed offsets are denied.
+pub fn plain_index(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}
+
+/// A documented panic contract is an API decision, not an accident.
+///
+/// # Panics
+///
+/// Panics when `x` is `None`.
+pub fn must(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: a well-formed traced twin — same signature minus the trace
+// context, same return type, delegates to the untraced variant.
+pub fn estimate(x: u32, scale: f64) -> u32 {
+    (x as f64 * scale) as u32
+}
+
+pub fn estimate_traced(x: u32, scale: f64, ctx: &mut TraceCtx) -> u32 {
+    ctx.note("estimate");
+    estimate(x, scale)
+}
+
+// Delegation chains are fine too: the batch variant delegates to the
+// traced single-item variant.
+pub fn estimate_batch(xs: &[u32], scale: f64) -> Vec<u32> {
+    xs.iter().map(|&x| estimate(x, scale)).collect()
+}
+
+pub fn estimate_batch_traced(xs: &[u32], scale: f64, ctx: &mut TraceCtx) -> Vec<u32> {
+    xs.iter().map(|&x| estimate_traced(x, scale, ctx)).collect()
+}

@@ -73,9 +73,12 @@ pub fn save_manager(
 ) -> Result<usize, PersistError> {
     let mut n = 0;
     for id in manager.systems() {
-        let profile = manager.profile(id).expect("listed system has a profile");
-        save_profile(profile, &dir.join(format!("{id}.profile.json")))?;
-        n += 1;
+        // `systems()` and `profile()` read the same map, so the lookup
+        // cannot miss; skipping a hypothetical miss beats panicking.
+        if let Some(profile) = manager.profile(id) {
+            save_profile(profile, &dir.join(format!("{id}.profile.json")))?;
+            n += 1;
+        }
     }
     Ok(n)
 }

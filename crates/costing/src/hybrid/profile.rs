@@ -172,8 +172,7 @@ impl CostingProfile {
         self.estimates_made += 1;
         let n = self.estimates_made;
         // Work around the borrow: overrides and approach are disjoint.
-        if self.overrides.contains_key(&op) {
-            let mut chosen = self.overrides.remove(&op).expect("checked");
+        if let Some(mut chosen) = self.overrides.remove(&op) {
             let result = estimate_with(&mut chosen, op, analysis, n);
             self.overrides.insert(op, chosen);
             result
@@ -213,8 +212,7 @@ impl CostingProfile {
     /// straightforward", Fig. 8).
     pub fn observe_actual(&mut self, op: OperatorKind, analysis: &QueryAnalysis, actual_secs: f64) {
         let n = self.estimates_made;
-        if self.overrides.contains_key(&op) {
-            let mut chosen = self.overrides.remove(&op).expect("checked");
+        if let Some(mut chosen) = self.overrides.remove(&op) {
             observe_with(&mut chosen, op, analysis, actual_secs, n);
             self.overrides.insert(op, chosen);
         } else {
@@ -304,6 +302,7 @@ fn estimate_with(
             }
             OperatorKind::Scan | OperatorKind::Sort => Err(CostingError::ModelMissing(op)),
         },
+        // analysis:allow(panic-freedom): active() recursively unwraps Timed, so this arm is unreachable by construction
         CostingApproach::Timed { .. } => unreachable!("active() resolves Timed"),
     }
 }

@@ -161,8 +161,9 @@ impl TrainingMeta {
         );
         self.dims
             .iter()
+            .zip(x)
             .enumerate()
-            .filter(|(j, d)| d.is_way_off(x[*j], beta))
+            .filter(|&(_, (d, &xj))| d.is_way_off(xj, beta))
             .map(|(j, _)| j)
             .collect()
     }

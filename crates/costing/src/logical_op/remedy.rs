@@ -138,7 +138,7 @@ fn pivot_regression(model: &LogicalOpModel, x: &[f64], pivots: &[usize], k: usiz
             (dist, i)
         })
         .collect();
-    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored.sort_by(|a, b| mathkit::total_cmp_f64(&a.0, &b.0));
 
     // Among the closest matches in the in-range dims, prefer the records
     // whose pivot values are nearest the query's (its "immediate
@@ -148,7 +148,7 @@ fn pivot_regression(model: &LogicalOpModel, x: &[f64], pivots: &[usize], k: usiz
     candidates.sort_by(|&a, &b| {
         let da = pivot_distance(&data.inputs[a], x, pivots, &spans);
         let db = pivot_distance(&data.inputs[b], x, pivots, &spans);
-        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        mathkit::total_cmp_f64(&da, &db)
     });
     candidates.truncate(k);
 

@@ -90,6 +90,14 @@ pub enum ServiceError {
         /// The supplied feature count.
         got: usize,
     },
+    /// An internal bookkeeping invariant failed (a batch slot that every
+    /// code path should have filled came back empty). Surfaced as an
+    /// error instead of a panic so one corrupted batch cannot take down
+    /// the optimizer's costing path.
+    Internal(
+        /// Which invariant was violated.
+        &'static str,
+    ),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -102,6 +110,12 @@ impl std::fmt::Display for ServiceError {
                 write!(
                     f,
                     "feature arity mismatch: model expects {expected}, got {got}"
+                )
+            }
+            ServiceError::Internal(context) => {
+                write!(
+                    f,
+                    "internal estimation-service invariant violated: {context}"
                 )
             }
         }
@@ -181,9 +195,16 @@ impl EstimatorService {
     pub fn with_telemetry(config: ServiceConfig, telemetry: Telemetry) -> Self {
         let n = config.shards.max(1);
         let shards = (0..n)
-            .map(|_| Shard {
-                models: RwLock::new(HashMap::new()),
-                cache: Mutex::new(LruCache::new(config.cache_capacity_per_shard.max(1))),
+            .map(|_| {
+                let shard = Shard {
+                    models: RwLock::new(HashMap::new()),
+                    cache: Mutex::new(LruCache::new(config.cache_capacity_per_shard.max(1))),
+                };
+                // Ranks for `lock-order-check` builds: the estimate path
+                // may take cache → models (never the reverse).
+                shard.cache.set_rank(parking_lot::rank::SERVICE_CACHE);
+                shard.models.set_rank(parking_lot::rank::SERVICE_MODELS);
+                shard
             })
             .collect();
         let reg = &telemetry.metrics;
@@ -343,7 +364,10 @@ impl EstimatorService {
             if self.inner.telemetry.tracer.is_enabled() {
                 self.emit_batch_events(system, op, rows, &results, &miss_idx);
             }
-            return Ok(results.into_iter().map(|r| r.expect("all hits")).collect());
+            return results
+                .into_iter()
+                .map(|r| r.ok_or(ServiceError::Internal("cache hit slot left empty")))
+                .collect();
         }
 
         {
@@ -377,9 +401,10 @@ impl EstimatorService {
         }
         self.inner.misses.add(miss_idx.len() as u64);
         for &i in &miss_idx {
-            self.inner
-                .estimate_secs
-                .observe(results[i].as_ref().expect("computed").secs);
+            let est = results[i]
+                .as_ref()
+                .ok_or(ServiceError::Internal("miss slot not computed"))?;
+            self.inner.estimate_secs.observe(est.secs);
         }
         if self.inner.telemetry.tracer.is_enabled() {
             self.emit_batch_events(system, op, rows, &results, &miss_idx);
@@ -387,17 +412,15 @@ impl EstimatorService {
 
         let mut cache = shard.cache.lock();
         for &i in &miss_idx {
-            cache.insert(
-                keys[i].clone(),
-                results[i].as_ref().expect("computed").clone(),
-                generation,
-            );
+            if let Some(est) = results[i].as_ref() {
+                cache.insert(keys[i].clone(), est.clone(), generation);
+            }
         }
         drop(cache);
-        Ok(results
+        results
             .into_iter()
-            .map(|r| r.expect("all filled"))
-            .collect())
+            .map(|r| r.ok_or(ServiceError::Internal("batch slot left unfilled")))
+            .collect()
     }
 
     fn emit_batch_events(
@@ -409,7 +432,10 @@ impl EstimatorService {
         miss_idx: &[usize],
     ) {
         for (i, r) in results.iter().enumerate() {
-            let est = r.as_ref().expect("computed");
+            // Unfilled slots are reported by the caller as
+            // `ServiceError::Internal`; skipping them here keeps event
+            // emission panic-free.
+            let Some(est) = r.as_ref() else { continue };
             let cache_hit = !miss_idx.contains(&i);
             self.inner.telemetry.tracer.emit(|| Event::EstimateServed {
                 system: system.to_string(),

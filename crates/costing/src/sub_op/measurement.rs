@@ -106,7 +106,7 @@ impl SubOpMeasurement {
             .filter(|o| o.kind == kind && o.record_bytes == size && o.spill == spill)
             .map(|o| (o.rows as f64, o.elapsed_us))
             .collect();
-        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        pts.sort_by(|a, b| mathkit::total_cmp_f64(&a.0, &b.0));
         pts
     }
 

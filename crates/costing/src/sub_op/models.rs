@@ -47,6 +47,7 @@ fn default_model(subop: SubOp) -> SimpleLinearModel {
         SubOp::HashProbe => (0.012, 2.5),
         SubOp::RecMerge => (0.04, 40.0),
         // Basic sub-ops have no defaults — they are mandatory.
+        // analysis:allow(panic-freedom): private fn, callers guard on SubOp::is_specific before reaching here
         _ => unreachable!("default_model called for basic sub-op"),
     };
     SimpleLinearModel {

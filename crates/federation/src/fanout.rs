@@ -110,11 +110,7 @@ pub fn plan_query_with_service(
     if candidates.is_empty() {
         return Err(PlanError::NoViablePlacement);
     }
-    candidates.sort_by(|a, b| {
-        a.total_secs()
-            .partial_cmp(&b.total_secs())
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    candidates.sort_by(|a, b| mathkit::total_cmp_f64(&a.total_secs(), &b.total_secs()));
     let report = PlanReport { candidates };
     report.emit_ranking(&service.telemetry().tracer);
     Ok(report)
@@ -148,7 +144,9 @@ pub fn plan_queries_concurrent(
         // Round-robin strips: thread t takes plans t, t+threads, t+2·threads…
         let mut strips: Vec<Vec<Slot>> = (0..threads).map(|_| Vec::new()).collect();
         for (i, slot) in slots.into_iter().enumerate() {
-            strips[i % threads].push((i, slot));
+            if let Some(strip) = strips.get_mut(i % threads) {
+                strip.push((i, slot));
+            }
         }
         for strip in strips {
             let service = service.clone();
@@ -166,7 +164,7 @@ pub fn plan_queries_concurrent(
     });
     results
         .into_iter()
-        .map(|r| r.expect("every slot filled"))
+        .map(|r| r.unwrap_or(Err(PlanError::Internal("fan-out slot left unfilled"))))
         .collect()
 }
 

@@ -65,6 +65,13 @@ pub enum PlanError {
     NoViablePlacement,
     /// Costing failed on every candidate.
     Costing(CostingError),
+    /// An internal fan-out invariant failed (a result slot that a worker
+    /// thread should have filled came back empty). Reported as an error
+    /// rather than a panic so concurrent planning degrades per query.
+    Internal(
+        /// Which invariant was violated.
+        &'static str,
+    ),
 }
 
 impl std::fmt::Display for PlanError {
@@ -73,6 +80,9 @@ impl std::fmt::Display for PlanError {
             PlanError::Catalog(m) => write!(f, "catalog error: {m}"),
             PlanError::NoViablePlacement => write!(f, "no viable placement"),
             PlanError::Costing(e) => write!(f, "{e}"),
+            PlanError::Internal(context) => {
+                write!(f, "internal federation invariant violated: {context}")
+            }
         }
     }
 }
@@ -119,11 +129,7 @@ pub fn plan_query(
     if candidates.is_empty() {
         return Err(last_err.map_or(PlanError::NoViablePlacement, PlanError::Costing));
     }
-    candidates.sort_by(|a, b| {
-        a.total_secs()
-            .partial_cmp(&b.total_secs())
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    candidates.sort_by(|a, b| mathkit::total_cmp_f64(&a.total_secs(), &b.total_secs()));
     Ok(PlanReport { candidates })
 }
 
@@ -167,11 +173,7 @@ pub fn plan_query_traced(
     if candidates.is_empty() {
         return Err(last_err.map_or(PlanError::NoViablePlacement, PlanError::Costing));
     }
-    candidates.sort_by(|a, b| {
-        a.total_secs()
-            .partial_cmp(&b.total_secs())
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    candidates.sort_by(|a, b| mathkit::total_cmp_f64(&a.total_secs(), &b.total_secs()));
     let report = PlanReport { candidates };
     report.emit_ranking(tracer);
     Ok(report)

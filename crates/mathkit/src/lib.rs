@@ -73,6 +73,20 @@ impl std::error::Error for MathError {}
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, MathError>;
 
+/// NaN-safe total ordering for `f64` sort keys.
+///
+/// A drop-in comparator for `sort_by` that never panics and never returns
+/// an arbitrary order in the presence of NaN: it forwards to IEEE 754
+/// `totalOrder` ([`f64::total_cmp`]), which places NaN after +∞. Every
+/// ranking step in the estimation path (planner candidate ordering, remedy
+/// neighbour selection, measurement sorting) must use this instead of
+/// `partial_cmp(..).unwrap()` so a single corrupted estimate cannot panic
+/// the optimizer.
+#[inline]
+pub fn total_cmp_f64(a: &f64, b: &f64) -> std::cmp::Ordering {
+    a.total_cmp(b)
+}
+
 /// Returns true when every value in `xs` is finite.
 pub(crate) fn all_finite(xs: &[f64]) -> bool {
     xs.iter().all(|x| x.is_finite())

@@ -209,10 +209,23 @@ enum Metric {
     Histogram(Histogram),
 }
 
-#[derive(Default)]
 struct RegistryInner {
     metrics: Mutex<BTreeMap<MetricId, Metric>>,
     help: Mutex<BTreeMap<String, String>>,
+}
+
+impl Default for RegistryInner {
+    fn default() -> Self {
+        let inner = RegistryInner {
+            metrics: Mutex::new(BTreeMap::new()),
+            help: Mutex::new(BTreeMap::new()),
+        };
+        // Ranks for `lock-order-check` builds: exposition takes
+        // metrics → help (render_prometheus), never the reverse.
+        inner.metrics.set_rank(parking_lot::rank::REGISTRY_METRICS);
+        inner.help.set_rank(parking_lot::rank::REGISTRY_HELP);
+        inner
+    }
 }
 
 /// A shared registry of named metrics.

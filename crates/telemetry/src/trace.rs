@@ -285,9 +285,18 @@ impl Drop for Span {
 
 /// An unbounded collector that keeps every event. Intended for tests
 /// and short diagnostic sessions.
-#[derive(Default)]
 pub struct VecSubscriber {
     events: Mutex<Vec<Event>>,
+}
+
+impl Default for VecSubscriber {
+    fn default() -> Self {
+        let events = Mutex::new(Vec::new());
+        // Subscriber buffers are the innermost locks the estimation
+        // path touches (emit under a shard guard), hence the top rank.
+        events.set_rank(parking_lot::rank::TRACE_SUBSCRIBER);
+        VecSubscriber { events }
+    }
 }
 
 impl VecSubscriber {
@@ -343,10 +352,9 @@ impl RingSubscriber {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ring capacity must be positive");
-        RingSubscriber {
-            capacity,
-            events: Mutex::new(VecDeque::with_capacity(capacity)),
-        }
+        let events = Mutex::new(VecDeque::with_capacity(capacity));
+        events.set_rank(parking_lot::rank::TRACE_SUBSCRIBER);
+        RingSubscriber { capacity, events }
     }
 
     /// Maximum events retained.

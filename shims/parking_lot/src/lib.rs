@@ -5,96 +5,405 @@
 //! `Result`s. Poisoning is collapsed by taking the inner value anyway —
 //! parking_lot's actual semantics (a panicking thread simply releases
 //! the lock).
+//!
+//! # Lock-order checking (`lock-order-check` feature)
+//!
+//! With the `lock-order-check` feature enabled, every lock can be given
+//! a **rank** ([`Mutex::set_rank`] / [`RwLock::set_rank`], constants in
+//! [`rank`]) and every blocking acquisition is validated against a
+//! thread-local stack of locks the current thread already holds:
+//!
+//! * acquiring a *ranked* lock while holding a ranked lock of an equal
+//!   or higher rank panics (**rank inversion** — the static lock-order
+//!   graph in `crates/analysis` assigns ranks so that every legal
+//!   nesting is strictly increasing);
+//! * re-acquiring a lock this thread already holds panics when either
+//!   acquisition is exclusive (**self-deadlock** / read→write upgrade);
+//!   shared re-reads of the same `RwLock` stay legal;
+//! * unranked locks ([`rank::UNRANKED`]) skip the rank check but still
+//!   participate in self-deadlock detection;
+//! * `try_lock` / `try_read` / `try_write` only *record* — a
+//!   non-blocking attempt cannot deadlock, so it never panics.
+//!
+//! Without the feature every check compiles away: guards are the plain
+//! `std::sync` guard types and [`Mutex::set_rank`] is a no-op, so
+//! instrumented crates call it unconditionally.
 
 use std::sync::{self, PoisonError};
 
+#[cfg(not(feature = "lock-order-check"))]
 pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// Workspace-wide lock ranks, in required acquisition order.
+///
+/// A thread may only acquire a ranked lock whose rank is **strictly
+/// greater** than every ranked lock it already holds. The assignments
+/// mirror the static lock-order graph enforced by `crates/analysis`
+/// (rule R2); keep the two in sync — `analysis` has a test comparing
+/// its copy against this module's source.
+pub mod rank {
+    /// Rank of a lock that opted out of ordering (the default).
+    pub const UNRANKED: u32 = 0;
+    /// `costing::service` per-shard estimate cache (`Shard::cache`).
+    pub const SERVICE_CACHE: u32 = 30;
+    /// `costing::service` per-shard model registry (`Shard::models`).
+    pub const SERVICE_MODELS: u32 = 40;
+    /// `telemetry::metrics` registry metric map.
+    pub const REGISTRY_METRICS: u32 = 50;
+    /// `telemetry::metrics` registry help-text map.
+    pub const REGISTRY_HELP: u32 = 51;
+    /// `telemetry::trace` subscriber event buffers.
+    pub const TRACE_SUBSCRIBER: u32 = 60;
+}
+
+#[cfg(feature = "lock-order-check")]
+mod order {
+    use std::cell::RefCell;
+
+    struct Held {
+        addr: usize,
+        rank: u32,
+        exclusive: bool,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Releases its stack entry when the owning guard drops.
+    pub(crate) struct Token {
+        addr: usize,
+        exclusive: bool,
+    }
+
+    impl Drop for Token {
+        fn drop(&mut self) {
+            let (addr, exclusive) = (self.addr, self.exclusive);
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                if let Some(pos) = held
+                    .iter()
+                    .rposition(|h| h.addr == addr && h.exclusive == exclusive)
+                {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+
+    /// Records (and, for blocking acquisitions, validates) one lock
+    /// acquisition by the current thread.
+    pub(crate) fn acquire(addr: usize, rank: u32, exclusive: bool, blocking: bool) -> Token {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            let mut shared_reentry = false;
+            for h in held.iter() {
+                if h.addr != addr {
+                    continue;
+                }
+                if blocking && (exclusive || h.exclusive) {
+                    panic!(
+                        "lock-order-check: thread re-acquires lock {addr:#x} (rank {rank}) it \
+                         already holds ({} then {}) — guaranteed self-deadlock",
+                        kind(h.exclusive),
+                        kind(exclusive),
+                    );
+                }
+                shared_reentry = true;
+            }
+            if blocking && !shared_reentry && rank != super::rank::UNRANKED {
+                let max_held = held
+                    .iter()
+                    .filter(|h| h.rank != super::rank::UNRANKED)
+                    .map(|h| h.rank)
+                    .max();
+                if let Some(max_held) = max_held {
+                    if rank <= max_held {
+                        panic!(
+                            "lock-order-check: rank inversion — acquiring rank {rank} while \
+                             already holding rank {max_held}; ranked locks must be taken in \
+                             strictly increasing order (see parking_lot::rank)",
+                        );
+                    }
+                }
+            }
+            held.push(Held {
+                addr,
+                rank,
+                exclusive,
+            });
+        });
+        Token { addr, exclusive }
+    }
+
+    fn kind(exclusive: bool) -> &'static str {
+        if exclusive {
+            "exclusive"
+        } else {
+            "shared"
+        }
+    }
+}
+
+#[cfg(feature = "lock-order-check")]
+mod guards {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+    use std::sync;
+
+    use super::order::Token;
+
+    macro_rules! tracked_guard {
+        ($name:ident, $inner:ident, mutable: $mutable:tt) => {
+            /// A guard that pops the lock-order stack when dropped.
+            pub struct $name<'a, T: ?Sized> {
+                // Declared first so the order entry is released before
+                // the underlying lock itself.
+                _token: Token,
+                inner: sync::$inner<'a, T>,
+            }
+
+            impl<'a, T: ?Sized> $name<'a, T> {
+                pub(crate) fn new(token: Token, inner: sync::$inner<'a, T>) -> Self {
+                    $name {
+                        _token: token,
+                        inner,
+                    }
+                }
+            }
+
+            impl<T: ?Sized> Deref for $name<'_, T> {
+                type Target = T;
+                fn deref(&self) -> &T {
+                    &self.inner
+                }
+            }
+
+            tracked_guard!(@mut $mutable, $name);
+
+            impl<T: ?Sized + fmt::Debug> fmt::Debug for $name<'_, T> {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    fmt::Debug::fmt(&**self, f)
+                }
+            }
+
+            impl<T: ?Sized + fmt::Display> fmt::Display for $name<'_, T> {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    fmt::Display::fmt(&**self, f)
+                }
+            }
+        };
+        (@mut true, $name:ident) => {
+            impl<T: ?Sized> DerefMut for $name<'_, T> {
+                fn deref_mut(&mut self) -> &mut T {
+                    &mut self.inner
+                }
+            }
+        };
+        (@mut false, $name:ident) => {};
+    }
+
+    tracked_guard!(MutexGuard, MutexGuard, mutable: true);
+    tracked_guard!(RwLockReadGuard, RwLockReadGuard, mutable: false);
+    tracked_guard!(RwLockWriteGuard, RwLockWriteGuard, mutable: true);
+}
+
+#[cfg(feature = "lock-order-check")]
+pub use guards::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(feature = "lock-order-check")]
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Non-poisoning mutual-exclusion lock.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lock-order-check")]
+    rank: AtomicU32,
+    inner: sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     /// Wrap a value.
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            #[cfg(feature = "lock-order-check")]
+            rank: AtomicU32::new(rank::UNRANKED),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
+    /// Assigns this lock's rank for `lock-order-check` builds (see
+    /// [`rank`]). Without the feature this is a no-op, so callers need
+    /// no `cfg` of their own.
+    #[cfg_attr(not(feature = "lock-order-check"), allow(unused_variables))]
+    pub fn set_rank(&self, rank: u32) {
+        #[cfg(feature = "lock-order-check")]
+        self.rank.store(rank, Ordering::Relaxed);
+    }
+
+    #[cfg(feature = "lock-order-check")]
+    fn addr(&self) -> usize {
+        &self.rank as *const AtomicU32 as usize
+    }
+
     /// Acquire the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(feature = "lock-order-check")]
+        {
+            let token = order::acquire(self.addr(), self.rank.load(Ordering::Relaxed), true, true);
+            MutexGuard::new(
+                token,
+                self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            )
+        }
+        #[cfg(not(feature = "lock-order-check"))]
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Try to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
+        let guard = match self.inner.try_lock() {
             Ok(g) => Some(g),
             Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
             Err(sync::TryLockError::WouldBlock) => None,
+        };
+        #[cfg(feature = "lock-order-check")]
+        {
+            guard.map(|g| {
+                let token =
+                    order::acquire(self.addr(), self.rank.load(Ordering::Relaxed), true, false);
+                MutexGuard::new(token, g)
+            })
         }
+        #[cfg(not(feature = "lock-order-check"))]
+        guard
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 /// Non-poisoning readers-writer lock.
 #[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lock-order-check")]
+    rank: AtomicU32,
+    inner: sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
     /// Wrap a value.
     pub const fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            #[cfg(feature = "lock-order-check")]
+            rank: AtomicU32::new(rank::UNRANKED),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
+    /// Assigns this lock's rank for `lock-order-check` builds (see
+    /// [`rank`]). Without the feature this is a no-op, so callers need
+    /// no `cfg` of their own.
+    #[cfg_attr(not(feature = "lock-order-check"), allow(unused_variables))]
+    pub fn set_rank(&self, rank: u32) {
+        #[cfg(feature = "lock-order-check")]
+        self.rank.store(rank, Ordering::Relaxed);
+    }
+
+    #[cfg(feature = "lock-order-check")]
+    fn addr(&self) -> usize {
+        &self.rank as *const AtomicU32 as usize
+    }
+
     /// Acquire a shared read guard.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(feature = "lock-order-check")]
+        {
+            let token = order::acquire(self.addr(), self.rank.load(Ordering::Relaxed), false, true);
+            RwLockReadGuard::new(
+                token,
+                self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            )
+        }
+        #[cfg(not(feature = "lock-order-check"))]
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Acquire an exclusive write guard.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(feature = "lock-order-check")]
+        {
+            let token = order::acquire(self.addr(), self.rank.load(Ordering::Relaxed), true, true);
+            RwLockWriteGuard::new(
+                token,
+                self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            )
+        }
+        #[cfg(not(feature = "lock-order-check"))]
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Try to acquire a read guard without blocking.
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.0.try_read() {
+        let guard = match self.inner.try_read() {
             Ok(g) => Some(g),
             Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
             Err(sync::TryLockError::WouldBlock) => None,
+        };
+        #[cfg(feature = "lock-order-check")]
+        {
+            guard.map(|g| {
+                let token =
+                    order::acquire(self.addr(), self.rank.load(Ordering::Relaxed), false, false);
+                RwLockReadGuard::new(token, g)
+            })
         }
+        #[cfg(not(feature = "lock-order-check"))]
+        guard
     }
 
     /// Try to acquire a write guard without blocking.
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.0.try_write() {
+        let guard = match self.inner.try_write() {
             Ok(g) => Some(g),
             Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
             Err(sync::TryLockError::WouldBlock) => None,
+        };
+        #[cfg(feature = "lock-order-check")]
+        {
+            guard.map(|g| {
+                let token =
+                    order::acquire(self.addr(), self.rank.load(Ordering::Relaxed), true, false);
+                RwLockWriteGuard::new(token, g)
+            })
         }
+        #[cfg(not(feature = "lock-order-check"))]
+        guard
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -135,5 +444,101 @@ mod tests {
         // parking_lot semantics: the lock is usable after a panic.
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[cfg(feature = "lock-order-check")]
+    mod ordering {
+        use super::super::*;
+
+        #[test]
+        fn increasing_ranks_are_legal() {
+            let low = Mutex::new(());
+            let high = Mutex::new(());
+            low.set_rank(10);
+            high.set_rank(20);
+            let _a = low.lock();
+            let _b = high.lock();
+        }
+
+        #[test]
+        #[should_panic(expected = "rank inversion")]
+        fn decreasing_ranks_panic() {
+            let low = Mutex::new(());
+            let high = Mutex::new(());
+            low.set_rank(10);
+            high.set_rank(20);
+            let _b = high.lock();
+            let _a = low.lock();
+        }
+
+        #[test]
+        #[should_panic(expected = "rank inversion")]
+        fn equal_ranks_panic() {
+            let a = Mutex::new(());
+            let b = Mutex::new(());
+            a.set_rank(10);
+            b.set_rank(10);
+            let _a = a.lock();
+            let _b = b.lock();
+        }
+
+        #[test]
+        #[should_panic(expected = "self-deadlock")]
+        fn mutex_reentry_panics() {
+            let m = Mutex::new(());
+            let _a = m.lock();
+            let _b = m.lock();
+        }
+
+        #[test]
+        #[should_panic(expected = "self-deadlock")]
+        fn read_to_write_upgrade_panics() {
+            let l = RwLock::new(());
+            let _r = l.read();
+            let _w = l.write();
+        }
+
+        #[test]
+        fn shared_reread_is_legal() {
+            let l = RwLock::new(());
+            l.set_rank(10);
+            let _r1 = l.read();
+            let _r2 = l.read();
+        }
+
+        #[test]
+        fn release_unwinds_the_stack() {
+            let low = Mutex::new(());
+            let high = Mutex::new(());
+            low.set_rank(10);
+            high.set_rank(20);
+            drop(high.lock());
+            // The high-rank guard is gone, so the low rank is legal again.
+            let _a = low.lock();
+            let _b = high.lock();
+        }
+
+        #[test]
+        fn try_lock_records_without_panicking() {
+            let low = Mutex::new(());
+            let high = Mutex::new(());
+            low.set_rank(10);
+            high.set_rank(20);
+            let _b = high.lock();
+            // Inverted, but non-blocking: must not panic.
+            let a = low.try_lock();
+            assert!(a.is_some());
+            // Same-thread re-try on a held lock: std reports WouldBlock.
+            assert!(high.try_lock().is_none());
+        }
+
+        #[test]
+        fn unranked_locks_skip_rank_checks() {
+            let ranked = Mutex::new(());
+            ranked.set_rank(50);
+            let plain = Mutex::new(());
+            let _a = ranked.lock();
+            let _b = plain.lock();
+        }
     }
 }

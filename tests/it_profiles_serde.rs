@@ -170,7 +170,7 @@ fn every_estimate_source_variant_roundtrips() {
 }
 
 /// The checked-in golden profile: regenerate with
-/// `UPDATE_GOLDEN=1 cargo test -p integration-tests golden_`.
+/// `UPDATE_GOLDEN=1 cargo test -p tests golden_`.
 const GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/fixtures/logical_agg.profile.json"
