@@ -59,6 +59,12 @@ pub struct Config {
     pub float_exempt_modules: Vec<String>,
     /// Modules allowed ambient time/entropy (R5).
     pub entropy_exempt_modules: Vec<String>,
+    /// Modules on the estimation *read* path (R6): they must serve from
+    /// pinned epoch snapshots, never by locking the model store.
+    pub snapshot_read_modules: Vec<String>,
+    /// Receiver identifiers naming the model store for R6 (e.g.
+    /// `store` in `self.inner.store.write()`).
+    pub model_store_receivers: Vec<String>,
 }
 
 impl Config {
@@ -80,10 +86,15 @@ impl Config {
                 "federation::planner".into(),
                 "telemetry::metrics".into(),
             ],
-            lock_scope_modules: vec!["costing::service".into(), "telemetry".into()],
+            lock_scope_modules: vec![
+                "costing::service".into(),
+                "costing::epoch".into(),
+                "telemetry".into(),
+            ],
             lock_classes: vec![
+                LockClass::ranked("commit", "EPOCH_COMMIT", 10),
+                LockClass::ranked("retired", "EPOCH_RETIRED", 20),
                 LockClass::ranked("cache", "SERVICE_CACHE", 30),
-                LockClass::ranked("models", "SERVICE_MODELS", 40),
                 LockClass::ranked("metrics", "REGISTRY_METRICS", 50),
                 LockClass::ranked("help", "REGISTRY_HELP", 51),
                 LockClass::ranked("events", "TRACE_SUBSCRIBER", 60),
@@ -91,6 +102,12 @@ impl Config {
             trace_parity_modules: vec!["costing".into()],
             float_exempt_modules: vec!["mathkit".into()],
             entropy_exempt_modules: vec!["bench".into(), "telemetry::trace".into()],
+            snapshot_read_modules: vec![
+                "costing::service".into(),
+                "federation::fanout".into(),
+                "federation::planner".into(),
+            ],
+            model_store_receivers: vec!["models".into(), "store".into()],
         }
     }
 

@@ -1,0 +1,80 @@
+//! R6 — the estimation read path must be lock-free on the model store.
+//!
+//! Since the epoch refactor, the model registry lives in an
+//! `EpochStore`: readers pin an immutable snapshot with an atomic load
+//! and serve every estimate from it; writers publish new snapshots
+//! through clone-modify-publish transactions. Re-introducing a
+//! `RwLock`/`Mutex` acquisition on the store inside a read-path module
+//! would silently resurrect the contention (and the cache-staleness
+//! window) the refactor removed — a regression no unit test reliably
+//! catches, because it only shows up under concurrent retraining.
+//!
+//! In the configured [`Config::snapshot_read_modules`] this rule denies,
+//! outside `#[cfg(test)]` code, any `.lock()` / `.read()` / `.write()`
+//! (and `try_` variant) call on a receiver named in
+//! [`Config::model_store_receivers`]. Snapshot loads (`store.load()`)
+//! and locks on other receivers (the estimate cache, telemetry
+//! registries) remain legal — those are governed by the lock-order
+//! rule, not this one.
+
+use crate::config::Config;
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// See the module docs.
+pub struct HotPathWriteLock;
+
+const BANNED_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+impl Rule for HotPathWriteLock {
+    fn id(&self) -> &'static str {
+        "hot-path-write-lock"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
+        if !file.module_in(&config.snapshot_read_modules) {
+            return;
+        }
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            if !tokens[i].is_punct('.') {
+                continue;
+            }
+            let Some(method) = tokens.get(i + 1) else {
+                continue;
+            };
+            if method.kind != TokenKind::Ident || !BANNED_METHODS.contains(&method.text.as_str()) {
+                continue;
+            }
+            // Zero-argument call: `.write()` — `.read(&buf)`-style IO
+            // calls with arguments are not lock acquisitions.
+            if !(tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+                && tokens.get(i + 3).is_some_and(|t| t.is_punct(')')))
+            {
+                continue;
+            }
+            if i == 0 || tokens[i - 1].kind != TokenKind::Ident {
+                continue;
+            }
+            let receiver = &tokens[i - 1].text;
+            if !config.model_store_receivers.iter().any(|r| r == receiver) {
+                continue;
+            }
+            if file.in_test_code(method.line) {
+                continue;
+            }
+            out.push(Finding {
+                rule: self.id(),
+                file: file.path.clone(),
+                line: method.line,
+                message: format!(
+                    "`.{}()` on model store `{}` in read-path module `{}` — the estimation \
+                     hot path must load an epoch snapshot instead of locking the registry",
+                    method.text, receiver, file.module
+                ),
+            });
+        }
+    }
+}

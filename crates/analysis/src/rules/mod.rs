@@ -1,4 +1,4 @@
-//! The rule engine: one trait, five domain rules.
+//! The rule engine: one trait, six domain rules.
 //!
 //! | id                 | enforces                                                  |
 //! |--------------------|-----------------------------------------------------------|
@@ -7,18 +7,21 @@
 //! | `trace-parity`     | every `*_traced` fn delegates to its untraced twin        |
 //! | `float-discipline` | no `==`/`!=` against float literals, no NaN-unsafe sorts  |
 //! | `nondeterminism`   | no ambient time/entropy outside approved modules          |
+//! | `hot-path-write-lock` | read-path modules never lock the model store — they pin epoch snapshots |
 
 use crate::config::Config;
 use crate::report::Finding;
 use crate::source::SourceFile;
 
 mod float_discipline;
+mod hot_path_write_lock;
 mod lock_order;
 mod nondeterminism;
 mod panic_freedom;
 mod trace_parity;
 
 pub use float_discipline::FloatDiscipline;
+pub use hot_path_write_lock::HotPathWriteLock;
 pub use lock_order::LockOrder;
 pub use nondeterminism::Nondeterminism;
 pub use panic_freedom::PanicFreedom;
@@ -46,5 +49,6 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(TraceParity),
         Box::new(FloatDiscipline),
         Box::new(Nondeterminism),
+        Box::new(HotPathWriteLock),
     ]
 }

@@ -80,6 +80,32 @@ fn good_lock_fixture_is_clean() {
 }
 
 #[test]
+fn bad_hot_path_lock_fixture_fires_per_acquisition() {
+    let report = check(LOCK_PATH, include_str!("fixtures/bad_hot_path_lock.rs"));
+    // models.read, models.write, store.lock — one finding each.
+    assert_fires(&report, "hot-path-write-lock", 3);
+    let text = report.render_text();
+    assert!(text.contains("load an epoch snapshot"), "{text}");
+}
+
+#[test]
+fn good_hot_path_lock_fixture_is_clean() {
+    let report = check(LOCK_PATH, include_str!("fixtures/good_hot_path_lock.rs"));
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn hot_path_lock_rule_skips_mutation_modules() {
+    // The same store locks are legal outside the snapshot-read modules
+    // (e.g. in the epoch store's own commit path).
+    let report = check(
+        "crates/costing/src/epoch.rs",
+        include_str!("fixtures/bad_hot_path_lock.rs"),
+    );
+    assert_fires(&report, "hot-path-write-lock", 0);
+}
+
+#[test]
 fn lock_cycle_across_files_is_detected() {
     // Unranked classes: only the merged-graph cycle check can catch
     // this — neither file is wrong in isolation under a rank check.

@@ -1,0 +1,18 @@
+// Fixture: read-path code locking the model store — one finding per
+// acquisition (read, write, lock).
+pub struct Inner {
+    pub models: parking_lot::RwLock<u32>,
+    pub store: parking_lot::Mutex<u32>,
+}
+
+pub fn estimate(inner: &Inner) -> u32 {
+    let m = inner.models.read();
+    *m
+}
+
+pub fn observe(inner: &Inner, v: u32) {
+    let mut m = inner.models.write();
+    *m = v;
+    let mut s = inner.store.lock();
+    *s = v;
+}

@@ -1,14 +1,14 @@
 // Fixture: ranked locks taken in decreasing order, plus a
 // double-acquisition of the same mutex.
 pub struct S {
-    pub models: parking_lot::RwLock<u32>,
+    pub commit: parking_lot::Mutex<u32>,
     pub cache: parking_lot::Mutex<u32>,
 }
 
 pub fn wrong_order(s: &S) -> u32 {
-    let m = s.models.read();
     let c = s.cache.lock();
-    *m + *c
+    let co = s.commit.lock();
+    *c + *co
 }
 
 pub fn double(s: &S) -> u32 {

@@ -1,0 +1,12 @@
+// Fixture: read-path code the hot-path-write-lock rule must accept —
+// snapshot loads on the store and locks on non-store receivers.
+pub struct Inner {
+    pub store: arc_swap::ArcSwap<u32>,
+    pub cache: parking_lot::Mutex<u32>,
+}
+
+pub fn estimate(inner: &Inner) -> u32 {
+    let snapshot = inner.store.load();
+    let cached = inner.cache.lock();
+    *snapshot + *cached
+}

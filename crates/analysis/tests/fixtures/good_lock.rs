@@ -1,26 +1,28 @@
 // Fixture: lock usage the lock-order rule must accept.
 pub struct S {
-    pub models: parking_lot::RwLock<u32>,
+    pub commit: parking_lot::Mutex<u32>,
+    pub retired: parking_lot::Mutex<u32>,
     pub cache: parking_lot::Mutex<u32>,
 }
 
 pub fn right_order(s: &S) -> u32 {
+    let co = s.commit.lock();
+    let r = s.retired.lock();
     let c = s.cache.lock();
-    let m = s.models.read();
-    *c + *m
+    *co + *r + *c
 }
 
 pub fn sequential(s: &S) -> u32 {
-    // The cache guard dies at the inner block's end, the models guard
-    // at the explicit drop — the second cache acquisition overlaps
+    // The commit guard dies at the inner block's end, the cache guard
+    // at the explicit drop — the second commit acquisition overlaps
     // neither.
     let first = {
-        let c = s.cache.lock();
-        *c
+        let co = s.commit.lock();
+        *co
     };
-    let m = s.models.read();
-    let snapshot = *m;
-    drop(m);
-    let c2 = s.cache.lock();
-    first + snapshot + *c2
+    let c = s.cache.lock();
+    let snapshot = *c;
+    drop(c);
+    let co2 = s.commit.lock();
+    first + snapshot + *co2
 }

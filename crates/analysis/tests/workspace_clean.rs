@@ -62,6 +62,14 @@ fn static_ranks_mirror_the_runtime_checker() {
 
     let config = Config::workspace_default();
     assert!(!config.lock_classes.is_empty());
+    // The epoch store's cells must be in the shared table (the commit
+    // mutex below every other rank, reclamation just above it).
+    for expected in ["EPOCH_COMMIT", "EPOCH_RETIRED"] {
+        assert!(
+            config.lock_classes.iter().any(|c| c.name == expected),
+            "lock class {expected} missing from the shipped config"
+        );
+    }
     for class in &config.lock_classes {
         let Some(rank) = class.rank else { continue };
         assert_eq!(

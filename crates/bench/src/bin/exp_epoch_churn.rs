@@ -1,0 +1,7 @@
+//! Regenerates the epoch-churn read-latency table.
+//! Pass `--quick` for a reduced run.
+
+fn main() {
+    let cfg = bench::ExpConfig::from_env();
+    let _ = bench::experiments::epoch_churn::run(&cfg);
+}

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod drift;
+pub mod epoch_churn;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

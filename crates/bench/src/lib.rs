@@ -14,6 +14,7 @@
 //! | Table 1 (α adjustment)   | [`experiments::table1`] | `exp_table1_alpha` |
 //! | Ablations (DESIGN.md §5) | [`experiments::ablations`] | `exp_ablations` |
 //! | Drift health (DESIGN.md §9) | [`experiments::drift`] | `exp_drift` |
+//! | Epoch churn (DESIGN.md §11) | [`experiments::epoch_churn`] | `exp_epoch_churn` |
 //!
 //! Each experiment prints the same rows/series the paper reports and
 //! returns a structured result for the integration tests, which assert

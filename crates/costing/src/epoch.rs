@@ -1,0 +1,679 @@
+//! Epoch-versioned copy-on-write model snapshots.
+//!
+//! The paper's offline-tuning loop (§3) retrains models while queries
+//! keep arriving. Serving-side cost models are read-mostly with rare
+//! bulk updates, so this module makes the *read path* completely
+//! lock-free and pushes every mutation through a builder-style
+//! transaction that clones, modifies, and atomically publishes a fresh
+//! immutable [`ModelSnapshot`]:
+//!
+//! * [`ModelSnapshot`] — an immutable, `Arc`-shared map of
+//!   `(SystemId, OperatorKind) → LogicalOpCosting` plus hybrid costing
+//!   profiles, stamped with the [`Epoch`] that produced it and a
+//!   [`SnapshotLineage`] (parent epoch + tuning stats) for provenance
+//!   and rollback.
+//! * [`EpochStore`] — the publication point: readers call
+//!   [`EpochStore::load`] (an `arc-swap` pointer load, no locks) and
+//!   writers run [`EpochStore::transaction`], which serialises
+//!   clone-modify-publish cycles on a commit mutex held entirely off
+//!   the estimate hot path.
+//! * [`TuningPipeline`] — the offline-tuning worker: drains execution
+//!   logs, retrains every due model, and swaps the results in as one
+//!   epoch bump.
+//!
+//! A pinned snapshot is a consistency domain: every estimate computed
+//! against it reflects exactly one model version, and the snapshot's
+//! epoch doubles as the service's cache key, so a cached value can
+//! never be served against a model state it was not computed from.
+
+use crate::estimator::OperatorKind;
+use crate::hybrid::CostingProfile;
+use crate::logical_op::flow::LogicalOpCosting;
+use crate::logical_op::model::FitConfig;
+use crate::logical_op::tuning::TuneReport;
+use crate::observability::ModelKey;
+use arc_swap::ArcSwap;
+use catalog::SystemId;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use telemetry::{Event, Tracer};
+
+/// A monotonically increasing model-state version number.
+///
+/// Epoch 0 is the empty genesis snapshot; every published transaction
+/// bumps the epoch by one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(u64);
+
+impl Epoch {
+    /// The genesis epoch (empty snapshot).
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// Wraps a raw epoch number (used when reloading persisted
+    /// snapshots).
+    pub fn new(raw: u64) -> Self {
+        Epoch(raw)
+    }
+
+    /// The raw epoch number.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The epoch following this one.
+    fn next(self) -> Self {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Where a snapshot came from: its parent epoch plus a summary of the
+/// mutation that produced it. Persisted alongside the snapshot so a
+/// reloaded model state keeps its history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotLineage {
+    /// Epoch of the snapshot this one was derived from (`None` for the
+    /// genesis snapshot).
+    pub parent: Option<u64>,
+    /// Short label of the transaction that published it
+    /// (`"register"`, `"observe"`, `"tuning-pipeline"`, …).
+    pub label: String,
+    /// Log entries consumed by retraining in this transaction.
+    pub entries_trained: usize,
+    /// Models retrained in this transaction.
+    pub models_retrained: usize,
+    /// Held-out RMSE% reported by the last retrain in this transaction.
+    pub rmse_pct_after: Option<f64>,
+    /// When this snapshot is a rollback, the epoch whose content it
+    /// restored.
+    pub restores: Option<u64>,
+}
+
+impl SnapshotLineage {
+    fn genesis() -> Self {
+        SnapshotLineage {
+            parent: None,
+            label: "genesis".to_string(),
+            entries_trained: 0,
+            models_retrained: 0,
+            rmse_pct_after: None,
+            restores: None,
+        }
+    }
+}
+
+/// An immutable, epoch-stamped view of every registered model.
+///
+/// Snapshots are shared via `Arc` and never mutated after publication;
+/// holding one pins a consistent model state for as long as needed
+/// (e.g. across a fan-out batch), regardless of concurrent retraining.
+#[derive(Debug)]
+pub struct ModelSnapshot {
+    epoch: Epoch,
+    lineage: SnapshotLineage,
+    models: HashMap<ModelKey, Arc<LogicalOpCosting>>,
+    profiles: BTreeMap<SystemId, Arc<CostingProfile>>,
+}
+
+impl ModelSnapshot {
+    /// The empty epoch-0 snapshot.
+    fn genesis() -> Self {
+        ModelSnapshot {
+            epoch: Epoch::ZERO,
+            lineage: SnapshotLineage::genesis(),
+            models: HashMap::new(),
+            profiles: BTreeMap::new(),
+        }
+    }
+
+    /// Reassembles a snapshot from persisted parts (see
+    /// [`crate::hybrid::persist`]).
+    pub fn from_parts(
+        epoch: Epoch,
+        lineage: SnapshotLineage,
+        models: Vec<(ModelKey, LogicalOpCosting)>,
+        profiles: Vec<CostingProfile>,
+    ) -> Self {
+        ModelSnapshot {
+            epoch,
+            lineage,
+            models: models
+                .into_iter()
+                .map(|(k, flow)| (k, Arc::new(flow)))
+                .collect(),
+            profiles: profiles
+                .into_iter()
+                .map(|p| (p.system.clone(), Arc::new(p)))
+                .collect(),
+        }
+    }
+
+    /// The epoch that published this snapshot.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Provenance of this snapshot.
+    pub fn lineage(&self) -> &SnapshotLineage {
+        &self.lineage
+    }
+
+    /// The costing flow for one `(system, operator)` pair.
+    pub fn model(&self, system: &SystemId, op: OperatorKind) -> Option<&Arc<LogicalOpCosting>> {
+        self.models.get(&(system.clone(), op))
+    }
+
+    /// All registered models, in unspecified order.
+    pub fn models(&self) -> impl Iterator<Item = (&ModelKey, &Arc<LogicalOpCosting>)> {
+        self.models.iter()
+    }
+
+    /// The hybrid costing profile for `system`, when one is attached.
+    pub fn profile(&self, system: &SystemId) -> Option<&Arc<CostingProfile>> {
+        self.profiles.get(system)
+    }
+
+    /// All attached costing profiles, ordered by system.
+    pub fn profiles(&self) -> impl Iterator<Item = (&SystemId, &Arc<CostingProfile>)> {
+        self.profiles.iter()
+    }
+
+    /// Sorted list of registered model keys.
+    pub fn keys(&self) -> Vec<ModelKey> {
+        let mut keys: Vec<ModelKey> = self.models.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+/// Mutable staging area of an in-flight transaction.
+///
+/// The builder starts as a cheap clone of the current snapshot (the
+/// maps clone `Arc`s, not models); mutation helpers copy-on-write the
+/// individual entries they touch. Nothing is visible to readers until
+/// the transaction publishes.
+pub struct SnapshotBuilder {
+    models: HashMap<ModelKey, Arc<LogicalOpCosting>>,
+    profiles: BTreeMap<SystemId, Arc<CostingProfile>>,
+    lineage: SnapshotLineage,
+}
+
+impl SnapshotBuilder {
+    fn from_snapshot(base: &ModelSnapshot, label: &str) -> Self {
+        SnapshotBuilder {
+            models: base.models.clone(),
+            profiles: base.profiles.clone(),
+            lineage: SnapshotLineage {
+                parent: Some(base.epoch.get()),
+                label: label.to_string(),
+                entries_trained: 0,
+                models_retrained: 0,
+                rmse_pct_after: None,
+                restores: None,
+            },
+        }
+    }
+
+    fn build(self, epoch: Epoch) -> ModelSnapshot {
+        ModelSnapshot {
+            epoch,
+            lineage: self.lineage,
+            models: self.models,
+            profiles: self.profiles,
+        }
+    }
+
+    /// Inserts (or replaces) the model for `(system, op)`.
+    pub fn insert_model(&mut self, system: SystemId, op: OperatorKind, flow: LogicalOpCosting) {
+        self.models.insert((system, op), Arc::new(flow));
+    }
+
+    /// Removes the model for `(system, op)`; true when one was present.
+    pub fn remove_model(&mut self, system: &SystemId, op: OperatorKind) -> bool {
+        self.models.remove(&(system.clone(), op)).is_some()
+    }
+
+    /// Read access to a staged model.
+    pub fn model(&self, system: &SystemId, op: OperatorKind) -> Option<&Arc<LogicalOpCosting>> {
+        self.models.get(&(system.clone(), op))
+    }
+
+    /// Copy-on-write update of one staged model: the entry is cloned
+    /// out of the shared snapshot (if still shared), mutated in place,
+    /// and re-staged. Returns `None` when the model is not registered.
+    pub fn update_model<R>(
+        &mut self,
+        system: &SystemId,
+        op: OperatorKind,
+        f: impl FnOnce(&mut LogicalOpCosting) -> R,
+    ) -> Option<R> {
+        let entry = self.models.get_mut(&(system.clone(), op))?;
+        Some(f(Arc::make_mut(entry)))
+    }
+
+    /// Attaches (or replaces) a hybrid costing profile.
+    pub fn insert_profile(&mut self, profile: CostingProfile) {
+        self.profiles
+            .insert(profile.system.clone(), Arc::new(profile));
+    }
+
+    /// Copy-on-write update of one staged profile.
+    pub fn update_profile<R>(
+        &mut self,
+        system: &SystemId,
+        f: impl FnOnce(&mut CostingProfile) -> R,
+    ) -> Option<R> {
+        let entry = self.profiles.get_mut(system)?;
+        Some(f(Arc::make_mut(entry)))
+    }
+
+    /// Replaces the staged content wholesale with `snapshot`'s,
+    /// recording the restored epoch in the lineage (rollback).
+    pub fn restore_from(&mut self, snapshot: &ModelSnapshot) {
+        self.models = snapshot.models.clone();
+        self.profiles = snapshot.profiles.clone();
+        self.lineage.restores = Some(snapshot.epoch.get());
+    }
+
+    /// Accumulates tuning stats into the lineage of the snapshot being
+    /// built (`rmse_pct_after` keeps the last reported value).
+    pub fn note_training(&mut self, entries_used: usize, rmse_pct_after: f64) {
+        self.lineage.entries_trained += entries_used;
+        self.lineage.models_retrained += 1;
+        if rmse_pct_after.is_finite() {
+            self.lineage.rmse_pct_after = Some(rmse_pct_after);
+        }
+    }
+}
+
+/// The snapshot publication point: lock-free reads, serialised writes.
+///
+/// Readers call [`EpochStore::load`] — an atomic pointer load through
+/// the `arc-swap` cell, never a lock. Writers take the `commit` mutex
+/// (rank [`parking_lot::rank::EPOCH_COMMIT`]), stage changes on a
+/// [`SnapshotBuilder`], and publish a new snapshot with the epoch
+/// bumped by one. Retraining inside a transaction blocks other
+/// *writers*, never readers.
+pub struct EpochStore {
+    cell: ArcSwap<ModelSnapshot>,
+    commit: Mutex<()>,
+}
+
+impl EpochStore {
+    /// A store holding the empty genesis snapshot (epoch 0).
+    pub fn new() -> Self {
+        let store = EpochStore {
+            cell: ArcSwap::new(Arc::new(ModelSnapshot::genesis())),
+            commit: Mutex::new(()),
+        };
+        store.commit.set_rank(parking_lot::rank::EPOCH_COMMIT);
+        store.cell.set_rank(parking_lot::rank::EPOCH_RETIRED);
+        store
+    }
+
+    /// Pins the current snapshot. Lock-free; the returned `Arc` stays
+    /// valid (and immutable) for as long as it is held.
+    pub fn load(&self) -> Arc<ModelSnapshot> {
+        self.cell.load_full()
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.load().epoch
+    }
+
+    /// Runs a clone-modify-publish transaction: `f` stages changes on a
+    /// builder seeded from the current snapshot, and the result is
+    /// published as the next epoch. Returns `f`'s result and the
+    /// published snapshot.
+    pub fn transaction<R>(
+        &self,
+        label: &str,
+        f: impl FnOnce(&mut SnapshotBuilder) -> R,
+    ) -> (R, Arc<ModelSnapshot>) {
+        match self.try_transaction::<R, std::convert::Infallible>(label, |tx| Ok(f(tx))) {
+            Ok(pair) => pair,
+            Err(never) => match never {},
+        }
+    }
+
+    /// [`EpochStore::transaction`] for fallible staging: when `f`
+    /// returns `Err` the transaction aborts and **nothing is
+    /// published** — the current snapshot and epoch are unchanged.
+    pub fn try_transaction<R, E>(
+        &self,
+        label: &str,
+        f: impl FnOnce(&mut SnapshotBuilder) -> Result<R, E>,
+    ) -> Result<(R, Arc<ModelSnapshot>), E> {
+        let _commit = self.commit.lock();
+        let current = self.cell.load_full();
+        let mut tx = SnapshotBuilder::from_snapshot(&current, label);
+        let out = f(&mut tx)?;
+        let next = Arc::new(tx.build(current.epoch.next()));
+        self.cell.store(Arc::clone(&next));
+        Ok((out, next))
+    }
+
+    /// Publishes a content-identical snapshot under a new epoch (used
+    /// by cache-invalidation tests and churn benchmarks; estimates must
+    /// be bit-identical across a republish).
+    pub fn republish(&self, label: &str) -> Arc<ModelSnapshot> {
+        self.transaction(label, |_| ()).1
+    }
+
+    /// Publishes a new epoch whose content is `snapshot`'s — rollback
+    /// to (or restore of) a previously persisted model state. The
+    /// lineage records both the current parent and the restored epoch.
+    pub fn rollback_to(&self, snapshot: &ModelSnapshot) -> Arc<ModelSnapshot> {
+        self.transaction("rollback", |tx| tx.restore_from(snapshot))
+            .1
+    }
+}
+
+impl Default for EpochStore {
+    fn default() -> Self {
+        EpochStore::new()
+    }
+}
+
+impl std::fmt::Debug for EpochStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochStore")
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+/// What one [`TuningPipeline`] pass did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Epoch published by the pass, `None` when no model was due (no
+    /// epoch bump happens for an empty pass).
+    pub epoch: Option<Epoch>,
+    /// Per-model tuning reports, sorted by model key.
+    pub reports: Vec<(ModelKey, TuneReport)>,
+    /// Total log entries drained across all retrained models.
+    pub entries_drained: usize,
+}
+
+/// The offline-tuning worker (§3 "periodically, this log is fed to the
+/// neural network model"): drains execution logs, retrains every model
+/// with enough pending observations, and publishes all results in one
+/// epoch bump.
+#[derive(Debug, Clone)]
+pub struct TuningPipeline {
+    config: FitConfig,
+    min_entries: usize,
+}
+
+impl TuningPipeline {
+    /// A pipeline retraining with `config`; by default any model with
+    /// at least one pending log entry is due.
+    pub fn new(config: FitConfig) -> Self {
+        TuningPipeline {
+            config,
+            min_entries: 1,
+        }
+    }
+
+    /// Only retrain models with at least `n` pending log entries.
+    pub fn with_min_entries(mut self, n: usize) -> Self {
+        self.min_entries = n.max(1);
+        self
+    }
+
+    /// Runs one pass over `store`: every due model is retrained inside
+    /// a single transaction and the results are swapped in as one epoch
+    /// bump. Readers keep serving the previous snapshot throughout.
+    pub fn run_once(&self, store: &EpochStore) -> PipelineReport {
+        let (reports, published) = store.transaction("tuning-pipeline", |tx| {
+            let mut due: Vec<ModelKey> = Vec::new();
+            for (key, flow) in tx.models.iter() {
+                if flow.log.len() >= self.min_entries {
+                    due.push(key.clone());
+                }
+            }
+            due.sort();
+            let mut reports: Vec<(ModelKey, TuneReport)> = Vec::new();
+            for key in due {
+                let Some(report) =
+                    tx.update_model(&key.0, key.1, |flow| flow.offline_tune(&self.config))
+                else {
+                    continue;
+                };
+                tx.note_training(report.entries_used, report.rmse_pct_after);
+                reports.push((key, report));
+            }
+            reports
+        });
+        if reports.is_empty() {
+            // The no-op transaction above still published an epoch; that
+            // is harmless (content-identical republish) but we report
+            // `None` so callers can tell nothing was retrained.
+            return PipelineReport {
+                epoch: None,
+                reports,
+                entries_drained: 0,
+            };
+        }
+        let entries_drained = reports.iter().map(|(_, r)| r.entries_used).sum();
+        PipelineReport {
+            epoch: Some(published.epoch()),
+            reports,
+            entries_drained,
+        }
+    }
+
+    /// [`TuningPipeline::run_once`] with the decision trail: emits one
+    /// [`Event::TuningPass`] per retrained model.
+    pub fn run_once_traced(&self, store: &EpochStore, tracer: &Tracer) -> PipelineReport {
+        let report = self.run_once(store);
+        for (key, tune) in &report.reports {
+            tracer.emit(|| Event::TuningPass {
+                system: key.0.to_string(),
+                operator: key.1.to_string(),
+                entries_used: tune.entries_used,
+                dims_expanded: tune.dims_expanded.len(),
+                rmse_pct_after: tune.rmse_pct_after,
+            });
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical_op::model::LogicalOpModel;
+    use neuro::Dataset;
+
+    fn agg_flow() -> LogicalOpCosting {
+        let mut inputs = vec![];
+        let mut targets = vec![];
+        for r in 1..=15 {
+            for s in 1..=4 {
+                let rows = r as f64 * 1e5;
+                let size = s as f64 * 100.0;
+                inputs.push(vec![rows, size]);
+                targets.push(1.0 + 2e-6 * rows + 0.01 * size);
+            }
+        }
+        let (model, _) = LogicalOpModel::fit(
+            OperatorKind::Aggregation,
+            &["rows", "size"],
+            &Dataset::new(inputs, targets),
+            &FitConfig::fast(),
+        );
+        LogicalOpCosting::new(model)
+    }
+
+    fn hive() -> SystemId {
+        SystemId::new("hive-a")
+    }
+
+    #[test]
+    fn genesis_store_is_empty_at_epoch_zero() {
+        let store = EpochStore::new();
+        let snap = store.load();
+        assert_eq!(snap.epoch(), Epoch::ZERO);
+        assert!(snap.is_empty());
+        assert_eq!(snap.lineage().parent, None);
+        assert_eq!(snap.lineage().label, "genesis");
+    }
+
+    #[test]
+    fn transactions_bump_the_epoch_and_record_lineage() {
+        let store = EpochStore::new();
+        let (_, snap) = store.transaction("register", |tx| {
+            tx.insert_model(hive(), OperatorKind::Aggregation, agg_flow());
+        });
+        assert_eq!(snap.epoch(), Epoch::new(1));
+        assert_eq!(snap.lineage().parent, Some(0));
+        assert_eq!(snap.lineage().label, "register");
+        assert_eq!(store.load().len(), 1);
+    }
+
+    #[test]
+    fn aborted_transactions_publish_nothing() {
+        let store = EpochStore::new();
+        let result: Result<((), _), &str> = store.try_transaction("doomed", |tx| {
+            tx.insert_model(hive(), OperatorKind::Aggregation, agg_flow());
+            Err("abort")
+        });
+        assert_eq!(result.unwrap_err(), "abort");
+        assert_eq!(store.epoch(), Epoch::ZERO);
+        assert!(store.load().is_empty());
+    }
+
+    #[test]
+    fn pinned_snapshots_survive_later_publications() {
+        let store = EpochStore::new();
+        store.transaction("register", |tx| {
+            tx.insert_model(hive(), OperatorKind::Aggregation, agg_flow());
+        });
+        let pinned = store.load();
+        store.transaction("remove", |tx| {
+            assert!(tx.remove_model(&hive(), OperatorKind::Aggregation));
+        });
+        // The pinned snapshot still serves the removed model; the live
+        // snapshot does not.
+        assert!(pinned.model(&hive(), OperatorKind::Aggregation).is_some());
+        assert!(store.load().is_empty());
+        assert!(pinned.epoch() < store.epoch());
+    }
+
+    #[test]
+    fn update_model_is_copy_on_write() {
+        let store = EpochStore::new();
+        store.transaction("register", |tx| {
+            tx.insert_model(hive(), OperatorKind::Aggregation, agg_flow());
+        });
+        let before = store.load();
+        let before_len = before
+            .model(&hive(), OperatorKind::Aggregation)
+            .map(|m| m.log.len());
+        store.transaction("observe", |tx| {
+            let touched = tx.update_model(&hive(), OperatorKind::Aggregation, |flow| {
+                flow.observe_detached(&[5e5, 200.0], 2.0);
+            });
+            assert!(touched.is_some());
+        });
+        // The old snapshot's model is untouched; the new one logged it.
+        assert_eq!(
+            before
+                .model(&hive(), OperatorKind::Aggregation)
+                .map(|m| m.log.len()),
+            before_len
+        );
+        assert_eq!(
+            store
+                .load()
+                .model(&hive(), OperatorKind::Aggregation)
+                .map(|m| m.log.len()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn rollback_restores_content_under_a_new_epoch() {
+        let store = EpochStore::new();
+        store.transaction("register", |tx| {
+            tx.insert_model(hive(), OperatorKind::Aggregation, agg_flow());
+        });
+        let good = store.load();
+        store.transaction("remove", |tx| {
+            tx.remove_model(&hive(), OperatorKind::Aggregation);
+        });
+        assert!(store.load().is_empty());
+        let restored = store.rollback_to(&good);
+        // New epoch, old content, lineage remembers both.
+        assert!(restored.epoch() > good.epoch());
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored.lineage().restores, Some(good.epoch().get()));
+        assert_eq!(restored.lineage().label, "rollback");
+    }
+
+    #[test]
+    fn tuning_pipeline_retrains_due_models_in_one_epoch_bump() {
+        let store = EpochStore::new();
+        store.transaction("register", |tx| {
+            let mut flow = agg_flow();
+            let mut rows = 1.6e6;
+            while rows <= 2.6e6 {
+                flow.observe_detached(&[rows, 200.0], 1.0 + 2e-6 * rows + 2.0);
+                rows += 1e5;
+            }
+            tx.insert_model(hive(), OperatorKind::Aggregation, flow);
+            tx.insert_model(
+                SystemId::new("presto-b"),
+                OperatorKind::Aggregation,
+                agg_flow(),
+            );
+        });
+        let before = store.epoch();
+        let pipeline = TuningPipeline::new(FitConfig::fast());
+        let report = pipeline.run_once(&store);
+        // Only the model with pending log entries was retrained, and
+        // exactly one epoch was published for the whole pass.
+        assert_eq!(report.reports.len(), 1);
+        assert!(report.entries_drained > 0);
+        assert_eq!(report.epoch, Some(store.epoch()));
+        assert_eq!(store.epoch().get(), before.get() + 1);
+        let snap = store.load();
+        let tuned = snap
+            .model(&hive(), OperatorKind::Aggregation)
+            .expect("model");
+        assert!(tuned.log.is_empty(), "tuning must drain the log");
+        assert_eq!(snap.lineage().models_retrained, 1);
+        assert!(snap.lineage().entries_trained > 0);
+    }
+
+    #[test]
+    fn idle_pipeline_pass_reports_nothing_retrained() {
+        let store = EpochStore::new();
+        store.transaction("register", |tx| {
+            tx.insert_model(hive(), OperatorKind::Aggregation, agg_flow());
+        });
+        let pipeline = TuningPipeline::new(FitConfig::fast()).with_min_entries(4);
+        let report = pipeline.run_once(&store);
+        assert_eq!(report.epoch, None);
+        assert!(report.reports.is_empty());
+        assert_eq!(report.entries_drained, 0);
+    }
+}

@@ -5,6 +5,7 @@ use crate::{
     estimator::OperatorKind,
     features::{agg_features, join_features},
     hybrid::profile::{CostingError, CostingProfile, QueryCost},
+    logical_op::{model::FitConfig, tuning::TuneReport},
     observability::ModelKey,
 };
 use catalog::{Catalog, SystemId};
@@ -17,6 +18,14 @@ use telemetry::{DriftMonitor, Event, Tracer};
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct HybridCostManager {
     profiles: BTreeMap<SystemId, CostingProfile>,
+    /// Model-state version, bumped on every mutation of the registered
+    /// profiles (registration, observation feedback, tuning). Serves the
+    /// same role as [`crate::epoch::Epoch`] in the snapshot store: trace
+    /// events and drift samples carry it so an estimate is attributable
+    /// to one profile state. Kept `#[serde(default)]` so profiles
+    /// persisted before versioning load at version 0.
+    #[serde(default)]
+    version: u64,
 }
 
 impl HybridCostManager {
@@ -25,9 +34,15 @@ impl HybridCostManager {
         HybridCostManager::default()
     }
 
+    /// The current profile-state version (see the `version` field).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Registers (or replaces) a system's costing profile.
     pub fn register(&mut self, profile: CostingProfile) {
         self.profiles.insert(profile.system.clone(), profile);
+        self.version += 1;
     }
 
     /// The registered profile for a system, if any.
@@ -98,6 +113,7 @@ impl HybridCostManager {
                     secs: est.secs,
                     source: format!("{:?}", est.source),
                     cache_hit: false,
+                    epoch: Some(self.version),
                 });
             }
         }
@@ -114,7 +130,12 @@ impl HybridCostManager {
             for (op, flow) in profile.logical_flows() {
                 for entry in flow.log.entries() {
                     let predicted = flow.estimate_readonly(&entry.features).secs;
-                    monitor.record((system.clone(), op), predicted, entry.actual_secs);
+                    monitor.record_versioned(
+                        (system.clone(), op),
+                        predicted,
+                        entry.actual_secs,
+                        Some(self.version),
+                    );
                     fed += 1;
                 }
             }
@@ -132,7 +153,27 @@ impl HybridCostManager {
     ) {
         if let Some(profile) = self.profiles.get_mut(system) {
             profile.observe_actual(op, analysis, actual_secs);
+            self.version += 1;
         }
+    }
+
+    /// Runs the offline tuning phase over every registered profile's
+    /// logical-op flows, builder-style: tuning happens on a private clone
+    /// of the profile map, which replaces the live map wholesale under a
+    /// single version bump once every model retrained. A panic mid-tune
+    /// leaves the manager exactly as it was, and observers never see a
+    /// half-tuned profile set.
+    pub fn offline_tune_all(&mut self, config: &FitConfig) -> Vec<(ModelKey, TuneReport)> {
+        let mut next = self.profiles.clone();
+        let mut reports = Vec::new();
+        for (system, profile) in next.iter_mut() {
+            for (op, report) in profile.offline_tune(config) {
+                reports.push(((system.clone(), op), report));
+            }
+        }
+        self.profiles = next;
+        self.version += 1;
+        reports
     }
 }
 
@@ -275,6 +316,62 @@ mod tests {
         let health = monitor.status(&key).unwrap();
         assert_eq!(health.samples, logged);
         assert!(health.rmse_pct.is_finite());
+    }
+
+    #[test]
+    fn versioned_builder_tuning_swaps_profiles_in_one_bump() {
+        use crate::hybrid::profile::LogicalOpSuite;
+        use crate::logical_op::flow::LogicalOpCosting;
+        use crate::logical_op::model::{FitConfig, LogicalOpModel};
+        use neuro::Dataset;
+
+        let mut inputs = vec![];
+        let mut targets = vec![];
+        for r in 1..=12 {
+            for g in [2.0, 5.0, 10.0] {
+                let rows = r as f64 * 1e5;
+                inputs.push(vec![rows, 100.0, rows / g, 12.0]);
+                targets.push(4.0 + rows * 1e-5);
+            }
+        }
+        let (model, _) = LogicalOpModel::fit(
+            OperatorKind::Aggregation,
+            &["in_rows", "in_bytes", "groups", "out_bytes"],
+            &Dataset::new(inputs, targets),
+            &FitConfig::fast(),
+        );
+        let mut flow = LogicalOpCosting::new(model);
+        for r in 1..=6 {
+            let rows = r as f64 * 1e5;
+            flow.observe_actual(&[rows, 100.0, rows / 5.0, 12.0], 4.0 + rows * 1e-5);
+        }
+        let mut mgr = HybridCostManager::new();
+        assert_eq!(mgr.version(), 0);
+        mgr.register(CostingProfile::new(
+            SystemId::new("hive-a"),
+            SystemKind::Hive,
+            CostingApproach::LogicalOp(LogicalOpSuite {
+                join: None,
+                aggregation: Some(flow),
+            }),
+        ));
+        assert_eq!(mgr.version(), 1);
+        let reports = mgr.offline_tune_all(&FitConfig::fast());
+        assert_eq!(reports.len(), 1);
+        assert_eq!(
+            reports[0].0,
+            (SystemId::new("hive-a"), OperatorKind::Aggregation)
+        );
+        assert!(reports[0].1.entries_used > 0);
+        assert_eq!(mgr.version(), 2, "one bump per tuning pass");
+        // The swapped-in profile's log is drained.
+        let sys = SystemId::new("hive-a");
+        let flows = mgr.profile(&sys).unwrap().logical_flows();
+        assert!(flows[0].1.log.is_empty());
+        // A pass with nothing to tune still swaps and bumps (it is a
+        // republish of identical content).
+        assert!(mgr.offline_tune_all(&FitConfig::fast()).is_empty());
+        assert_eq!(mgr.version(), 3);
     }
 
     #[test]

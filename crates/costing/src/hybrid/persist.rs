@@ -8,7 +8,12 @@
 //! ecosystem survives restarts without re-running multi-hour training
 //! campaigns.
 
+use crate::epoch::{Epoch, ModelSnapshot, SnapshotLineage};
+use crate::estimator::OperatorKind;
 use crate::hybrid::profile::CostingProfile;
+use crate::logical_op::flow::LogicalOpCosting;
+use catalog::SystemId;
+use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -97,6 +102,108 @@ pub fn load_manager(dir: &Path) -> Result<crate::hybrid::manager::HybridCostMana
         }
     }
     Ok(manager)
+}
+
+/// Serialized form of one registered model in a snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SnapshotModelDto {
+    system: SystemId,
+    op: OperatorKind,
+    flow: LogicalOpCosting,
+}
+
+/// Serialized form of an epoch-stamped [`ModelSnapshot`], carrying its
+/// full lineage so a reloaded model state keeps its history (and can be
+/// used as a rollback target). Maps are flattened to entry lists because
+/// the snapshot keys are composite, not strings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SnapshotDto {
+    epoch: u64,
+    #[serde(default)]
+    parent: Option<u64>,
+    label: String,
+    #[serde(default)]
+    entries_trained: usize,
+    #[serde(default)]
+    models_retrained: usize,
+    #[serde(default)]
+    rmse_pct_after: Option<f64>,
+    #[serde(default)]
+    restores: Option<u64>,
+    models: Vec<SnapshotModelDto>,
+    profiles: Vec<CostingProfile>,
+}
+
+impl SnapshotDto {
+    fn from_snapshot(snapshot: &ModelSnapshot) -> Self {
+        let lineage = snapshot.lineage();
+        let mut models: Vec<SnapshotModelDto> = snapshot
+            .models()
+            .map(|((system, op), flow)| SnapshotModelDto {
+                system: system.clone(),
+                op: *op,
+                flow: LogicalOpCosting::clone(flow),
+            })
+            .collect();
+        models.sort_by(|a, b| (&a.system, a.op).cmp(&(&b.system, b.op)));
+        SnapshotDto {
+            epoch: snapshot.epoch().get(),
+            parent: lineage.parent,
+            label: lineage.label.clone(),
+            entries_trained: lineage.entries_trained,
+            models_retrained: lineage.models_retrained,
+            rmse_pct_after: lineage.rmse_pct_after,
+            restores: lineage.restores,
+            models,
+            profiles: snapshot
+                .profiles()
+                .map(|(_, p)| CostingProfile::clone(p))
+                .collect(),
+        }
+    }
+
+    fn into_snapshot(self) -> ModelSnapshot {
+        ModelSnapshot::from_parts(
+            Epoch::new(self.epoch),
+            SnapshotLineage {
+                parent: self.parent,
+                label: self.label,
+                entries_trained: self.entries_trained,
+                models_retrained: self.models_retrained,
+                rmse_pct_after: self.rmse_pct_after,
+                restores: self.restores,
+            },
+            self.models
+                .into_iter()
+                .map(|m| ((m.system, m.op), m.flow))
+                .collect(),
+            self.profiles,
+        )
+    }
+}
+
+/// Writes an epoch-stamped model snapshot (with lineage) as
+/// pretty-printed JSON, atomically, creating parent directories as
+/// needed. A snapshot saved here can later be reloaded and published as
+/// a rollback target via
+/// [`crate::service::EstimatorService::rollback_to`].
+pub fn save_snapshot(snapshot: &ModelSnapshot, path: &Path) -> Result<(), PersistError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(&SnapshotDto::from_snapshot(snapshot))?;
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, json)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a persisted model snapshot back, preserving its epoch and
+/// lineage.
+pub fn load_snapshot(path: &Path) -> Result<ModelSnapshot, PersistError> {
+    let json = fs::read_to_string(path)?;
+    let dto: SnapshotDto = serde_json::from_str(&json)?;
+    Ok(dto.into_snapshot())
 }
 
 #[cfg(test)]
@@ -201,6 +308,55 @@ mod tests {
         assert!(restored.profile(&SystemId::new("hive-a")).is_some());
         assert!(restored.profile(&SystemId::new("spark-b")).is_some());
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_epoch_lineage_and_enables_rollback() {
+        use crate::service::EstimatorService;
+
+        fn flow(slope: f64) -> LogicalOpCosting {
+            let mut inputs = vec![];
+            let mut targets = vec![];
+            for i in 0..40 {
+                let rows = (i + 1) as f64 * 1e5;
+                inputs.push(vec![rows, 100.0]);
+                targets.push(1.0 + rows * slope);
+            }
+            let (model, _) = LogicalOpModel::fit(
+                OperatorKind::Aggregation,
+                &["rows", "size"],
+                &Dataset::new(inputs, targets),
+                &FitConfig::fast(),
+            );
+            LogicalOpCosting::new(model)
+        }
+
+        let svc = EstimatorService::default();
+        let sys = SystemId::new("hive-a");
+        svc.register(sys.clone(), flow(1e-6));
+        let x = [5e5, 100.0];
+        let good_est = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        let path = tmp_path("snapshot.json");
+        save_snapshot(&svc.snapshot(), &path).unwrap();
+
+        // The live state moves on.
+        svc.register(sys.clone(), flow(6e-6));
+        let drifted = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        assert_ne!(good_est.secs, drifted.secs);
+
+        // Reload: epoch and lineage survive the roundtrip.
+        let restored = load_snapshot(&path).unwrap();
+        assert_eq!(restored.epoch().get(), 1);
+        assert_eq!(restored.lineage().label, "register");
+        assert_eq!(restored.lineage().parent, Some(0));
+        assert_eq!(restored.len(), 1);
+
+        // The reloaded snapshot is a valid rollback target.
+        let published = svc.rollback_to(&restored);
+        assert_eq!(published.lineage().restores, Some(1));
+        let back = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        assert_eq!(back, good_est);
+        fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::{
     estimator::{CostEstimate, OperatorKind},
     features::{agg_features, join_features},
-    logical_op::flow::LogicalOpCosting,
+    logical_op::{flow::LogicalOpCosting, model::FitConfig, tuning::TuneReport},
     sub_op::{RuleInputs, SubOpCosting},
 };
 use catalog::{SystemId, SystemKind};
@@ -219,6 +219,27 @@ impl CostingProfile {
             observe_with(&mut self.approach, op, analysis, actual_secs, n);
         }
     }
+
+    /// Runs the offline tuning phase over every active logical-op flow
+    /// that has pending log entries, returning one report per retrained
+    /// operator. Sub-op approaches have nothing to tune.
+    pub fn offline_tune(&mut self, config: &FitConfig) -> Vec<(OperatorKind, TuneReport)> {
+        let n = self.estimates_made;
+        let mut reports = Vec::new();
+        for op in [OperatorKind::Join, OperatorKind::Aggregation] {
+            let report = if let Some(mut chosen) = self.overrides.remove(&op) {
+                let r = tune_with(&mut chosen, op, config, n);
+                self.overrides.insert(op, chosen);
+                r
+            } else {
+                tune_with(&mut self.approach, op, config, n)
+            };
+            if let Some(r) = report {
+                reports.push((op, r));
+            }
+        }
+        reports
+    }
 }
 
 fn active_ref(approach: &CostingApproach, estimates_made: u64) -> &CostingApproach {
@@ -305,6 +326,26 @@ fn estimate_with(
         // analysis:allow(panic-freedom): active() recursively unwraps Timed, so this arm is unreachable by construction
         CostingApproach::Timed { .. } => unreachable!("active() resolves Timed"),
     }
+}
+
+fn tune_with(
+    approach: &mut CostingApproach,
+    op: OperatorKind,
+    config: &FitConfig,
+    estimates_made: u64,
+) -> Option<TuneReport> {
+    if let CostingApproach::LogicalOp(suite) = active(approach, estimates_made) {
+        let flow = match op {
+            OperatorKind::Join => suite.join.as_mut(),
+            OperatorKind::Aggregation => suite.aggregation.as_mut(),
+            _ => None,
+        }?;
+        if flow.log.is_empty() {
+            return None;
+        }
+        return Some(flow.offline_tune(config));
+    }
+    None
 }
 
 fn observe_with(

@@ -32,6 +32,7 @@
 //! expert (open-box) knowledge enters as data: formulas, rules, and
 //! thresholds stored in the Costing Profile.
 
+pub mod epoch;
 pub mod estimator;
 pub mod features;
 pub mod hybrid;
@@ -40,6 +41,7 @@ pub mod observability;
 pub mod service;
 pub mod sub_op;
 
+pub use epoch::{Epoch, EpochStore, ModelSnapshot, SnapshotLineage, TuningPipeline};
 pub use estimator::{CostEstimate, EstimateSource, OperatorKind};
 pub use features::{agg_features, join_features, QueryFeatures, AGG_DIMS, JOIN_DIMS};
 pub use hybrid::{CostingApproach, CostingProfile, HybridCostManager};

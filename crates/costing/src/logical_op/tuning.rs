@@ -20,20 +20,75 @@ pub struct LogEntry {
     pub actual_secs: f64,
 }
 
+/// Default bound on pending log entries when none is configured.
+pub const DEFAULT_LOG_CAPACITY: usize = 8192;
+
 /// The execution log feeding offline tuning.
+///
+/// The log is bounded: once `capacity()` entries are pending, each new
+/// observation evicts the oldest one, so a system that never runs a
+/// tuning pass cannot grow memory without limit. Evictions are counted
+/// in [`ExecutionLog::dropped`] for telemetry.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionLog {
     entries: Vec<LogEntry>,
+    /// Configured bound; `None` means [`DEFAULT_LOG_CAPACITY`]. Kept as
+    /// an `Option` so profiles persisted before the bound existed load
+    /// with the default.
+    #[serde(default)]
+    capacity: Option<usize>,
+    /// Total entries evicted oldest-first since the log was created.
+    #[serde(default)]
+    dropped: u64,
 }
 
 impl ExecutionLog {
-    /// An empty log.
+    /// An empty log with the default capacity.
     pub fn new() -> Self {
         ExecutionLog::default()
     }
 
-    /// Appends one observation ("Dump a record into the batch", Fig. 3).
+    /// An empty log bounded at `capacity` pending entries (zero is
+    /// treated as one).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ExecutionLog {
+            capacity: Some(capacity.max(1)),
+            ..ExecutionLog::default()
+        }
+    }
+
+    /// The bound on pending entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity.unwrap_or(DEFAULT_LOG_CAPACITY).max(1)
+    }
+
+    /// Reconfigures the bound (zero is treated as one), evicting
+    /// oldest-first immediately if the log is over the new bound.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = Some(capacity.max(1));
+        let cap = self.capacity();
+        if self.entries.len() > cap {
+            let excess = self.entries.len() - cap;
+            self.entries.drain(..excess);
+            self.dropped += excess as u64;
+        }
+    }
+
+    /// Total observations evicted (oldest-first) because the log was at
+    /// capacity when they would have been retained.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends one observation ("Dump a record into the batch", Fig. 3),
+    /// evicting the oldest pending entry if the log is at capacity.
     pub fn push(&mut self, features: Vec<f64>, actual_secs: f64) {
+        let cap = self.capacity();
+        if self.entries.len() >= cap {
+            let excess = self.entries.len() + 1 - cap;
+            self.entries.drain(..excess);
+            self.dropped += excess as u64;
+        }
         self.entries.push(LogEntry {
             features,
             actual_secs,
@@ -151,6 +206,32 @@ mod tests {
             &FitConfig::fast(),
         )
         .0
+    }
+
+    #[test]
+    fn log_evicts_oldest_first_at_capacity() {
+        let mut log = ExecutionLog::with_capacity(3);
+        for i in 0..5 {
+            log.push(vec![i as f64], i as f64);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let oldest: Vec<f64> = log.entries().iter().map(|e| e.actual_secs).collect();
+        assert_eq!(oldest, vec![2.0, 3.0, 4.0]);
+        // Shrinking the bound evicts immediately, still oldest-first.
+        log.set_capacity(1);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.dropped(), 4);
+        assert_eq!(log.entries()[0].actual_secs, 4.0);
+    }
+
+    #[test]
+    fn unbounded_era_json_loads_with_the_default_capacity() {
+        let json = r#"{"entries":[{"features":[1.0,2.0],"actual_secs":3.0}]}"#;
+        let log: ExecutionLog = serde_json::from_str(json).expect("legacy log");
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.capacity(), DEFAULT_LOG_CAPACITY);
+        assert_eq!(log.dropped(), 0);
     }
 
     #[test]

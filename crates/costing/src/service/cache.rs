@@ -3,7 +3,9 @@
 //! Two callers asking for the cost of the same operator with the same
 //! features (a planner re-costing the same sub-plan across placement
 //! candidates, a federation layer retrying a query) should not pay for
-//! two NN forward passes. Feature vectors are `f64`s, which are neither
+//! two NN forward passes. Entries are tagged with the [`crate::epoch`]
+//! number of the snapshot that computed them, so a value can only ever
+//! be served against the exact model state it came from. Feature vectors are `f64`s, which are neither
 //! `Eq` nor `Hash`, so the cache key quantizes each feature to a fixed
 //! number of significant decimal digits; values that agree to that
 //! precision are interchangeable for costing purposes (the models are
@@ -59,9 +61,9 @@ const NIL: usize = usize::MAX;
 struct Entry {
     key: CacheKey,
     value: CostEstimate,
-    /// Registry generation at insert time; a bumped generation makes the
-    /// entry stale without requiring an eager sweep.
-    generation: u64,
+    /// Epoch of the snapshot the value was computed from; a published
+    /// epoch makes the entry stale without requiring an eager sweep.
+    epoch: u64,
     prev: usize,
     next: usize,
 }
@@ -69,8 +71,8 @@ struct Entry {
 /// A fixed-capacity LRU cache over [`CacheKey`]s with O(1) get/insert.
 ///
 /// Entries live in a slab; recency is a doubly-linked list threaded
-/// through the slab (head = most recent). Stale generations are treated
-/// as misses and evicted lazily.
+/// through the slab (head = most recent). Entries from other epochs are
+/// treated as misses and evicted lazily.
 #[derive(Debug)]
 pub struct LruCache {
     map: HashMap<CacheKey, usize>,
@@ -106,11 +108,10 @@ impl LruCache {
     }
 
     /// Looks up `key`; a hit is promoted to most-recent. An entry whose
-    /// generation differs from `generation` is removed and reported as a
-    /// miss.
-    pub fn get(&mut self, key: &CacheKey, generation: u64) -> Option<CostEstimate> {
+    /// epoch differs from `epoch` is removed and reported as a miss.
+    pub fn get(&mut self, key: &CacheKey, epoch: u64) -> Option<CostEstimate> {
         let idx = *self.map.get(key)?;
-        if self.slab[idx].generation != generation {
+        if self.slab[idx].epoch != epoch {
             self.remove_idx(idx);
             return None;
         }
@@ -121,10 +122,10 @@ impl LruCache {
 
     /// Inserts (or refreshes) an entry, evicting the least-recently-used
     /// one if the cache is full.
-    pub fn insert(&mut self, key: CacheKey, value: CostEstimate, generation: u64) {
+    pub fn insert(&mut self, key: CacheKey, value: CostEstimate, epoch: u64) {
         if let Some(&idx) = self.map.get(&key) {
             self.slab[idx].value = value;
-            self.slab[idx].generation = generation;
+            self.slab[idx].epoch = epoch;
             self.unlink(idx);
             self.push_front(idx);
             return;
@@ -137,7 +138,7 @@ impl LruCache {
         let entry = Entry {
             key: key.clone(),
             value,
-            generation,
+            epoch,
             prev: NIL,
             next: NIL,
         };
@@ -254,7 +255,7 @@ mod tests {
     }
 
     #[test]
-    fn stale_generation_is_a_miss_and_is_removed() {
+    fn stale_epoch_is_a_miss_and_is_removed() {
         let mut c = LruCache::new(4);
         c.insert(key(&[1.0]), est(1.0), 0);
         assert!(c.get(&key(&[1.0]), 1).is_none());

@@ -8,43 +8,49 @@
 //! threads at once. [`EstimatorService`] packages the estimation read
 //! path for that workload:
 //!
-//! * a **sharded model registry** keyed by `(remote system, operator)` —
-//!   each shard is an independent [`parking_lot::RwLock`], so concurrent
-//!   estimates against different systems never contend, and estimates
-//!   against the same system share a read lock;
+//! * an **epoch-versioned model store** ([`crate::epoch::EpochStore`]):
+//!   the read path pins an immutable [`ModelSnapshot`] with a lock-free
+//!   atomic load — estimates never take a `RwLock` or `Mutex` on the
+//!   model registry, and concurrent retraining can never stall them;
+//! * **builder-style mutations**: registration, observations, α
+//!   adjustment, and offline tuning are clone-modify-publish
+//!   transactions that swap in a new snapshot under the next epoch,
+//!   entirely off the hot path;
 //! * an **LRU estimate cache** per shard, keyed by quantized feature
-//!   vectors (see [`cache`]), with hit/miss counters backed by the
-//!   service's [`telemetry::MetricsRegistry`] (the [`CacheStats`]
-//!   snapshot API reads the same handles);
+//!   vectors (see [`cache`]) and tagged with the *epoch of the snapshot
+//!   that computed the value* — the key and the model state come from
+//!   the same pinned `Arc`, so a cached estimate can never be served
+//!   against a model state it was not computed from (the old
+//!   generation-counter scheme allowed exactly that interleaving);
 //! * a **batched path** ([`EstimatorService::estimate_batch`]) that runs
 //!   all in-range rows through one amortised
-//!   [`neuro::Network::predict_batch`] forward pass;
+//!   [`neuro::Network::predict_batch`] forward pass against a single
+//!   pinned snapshot;
 //! * cheap **cloneable handles**: the service is an `Arc` internally, so
 //!   `service.clone()` hands a planner thread its own handle.
 //!
 //! Estimates served through the service use the *read-only* flow
 //! ([`crate::logical_op::flow::LogicalOpCosting::estimate_readonly`]),
-//! which is a pure function of the registered model state — two threads
-//! asking the same question always get bit-identical answers, and a
-//! concurrent fan-out returns exactly what a serial loop would. Writes
-//! (observing actuals, α adjustment, offline tuning) take the shard's
-//! write lock and bump a generation counter that lazily invalidates
-//! cached estimates.
+//! which is a pure function of the pinned snapshot — two threads asking
+//! the same question against the same epoch always get bit-identical
+//! answers, and a concurrent fan-out returns exactly what a serial loop
+//! would. Callers that need several estimates to be internally
+//! consistent mid-retrain pin one snapshot ([`EstimatorService::snapshot`])
+//! and use the `*_pinned` variants.
 
 pub mod cache;
 
 use crate::{
+    epoch::{Epoch, EpochStore, ModelSnapshot, PipelineReport, TuningPipeline},
     estimator::{CostEstimate, OperatorKind},
     logical_op::{flow::LogicalOpCosting, model::FitConfig, tuning::TuneReport},
     observability::{ModelKey, TraceCtx},
 };
 use cache::{CacheKey, LruCache};
 use catalog::SystemId;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use telemetry::{Counter, DriftMonitor, Event, Histogram, Telemetry};
 
@@ -55,7 +61,7 @@ const ESTIMATE_SECS_BOUNDS: [f64; 7] = [0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0
 /// Service tuning knobs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceConfig {
-    /// Number of registry/cache shards (rounded up to at least 1).
+    /// Number of cache shards (rounded up to at least 1).
     pub shards: usize,
     /// LRU capacity per shard.
     pub cache_capacity_per_shard: usize,
@@ -141,15 +147,14 @@ impl CacheStats {
 }
 
 struct Shard {
-    models: RwLock<HashMap<(SystemId, OperatorKind), LogicalOpCosting>>,
     cache: Mutex<LruCache>,
 }
 
 struct Inner {
+    /// The epoch-versioned model store; reads are lock-free snapshot
+    /// loads, writes are serialised clone-modify-publish transactions.
+    store: EpochStore,
     shards: Vec<Shard>,
-    /// Bumped on every registry mutation; cache entries from older
-    /// generations read as misses.
-    generation: AtomicU64,
     telemetry: Telemetry,
     /// Registry-backed cache counters (handles into `telemetry.metrics`).
     hits: Counter,
@@ -169,6 +174,7 @@ impl std::fmt::Debug for EstimatorService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let stats = self.stats();
         f.debug_struct("EstimatorService")
+            .field("epoch", &self.epoch())
             .field("shards", &self.inner.shards.len())
             .field("models", &self.registered().len())
             .field("hits", &stats.hits)
@@ -197,13 +203,13 @@ impl EstimatorService {
         let shards = (0..n)
             .map(|_| {
                 let shard = Shard {
-                    models: RwLock::new(HashMap::new()),
                     cache: Mutex::new(LruCache::new(config.cache_capacity_per_shard.max(1))),
                 };
-                // Ranks for `lock-order-check` builds: the estimate path
-                // may take cache → models (never the reverse).
+                // Rank for `lock-order-check` builds; the model store's
+                // commit/retired mutexes rank below the cache, so a
+                // transaction may never be started while a cache shard
+                // is held.
                 shard.cache.set_rank(parking_lot::rank::SERVICE_CACHE);
-                shard.models.set_rank(parking_lot::rank::SERVICE_MODELS);
                 shard
             })
             .collect();
@@ -220,13 +226,17 @@ impl EstimatorService {
             "estimator_estimate_secs",
             "Distribution of served cost estimates, in estimated seconds.",
         );
+        reg.set_help(
+            "execution_log_dropped_entries",
+            "Observations evicted oldest-first from a model's bounded execution log.",
+        );
         let hits = reg.counter("estimator_cache_hits_total", &[]);
         let misses = reg.counter("estimator_cache_misses_total", &[]);
         let estimate_secs = reg.histogram("estimator_estimate_secs", &[], &ESTIMATE_SECS_BOUNDS);
         EstimatorService {
             inner: Arc::new(Inner {
+                store: EpochStore::new(),
                 shards,
-                generation: AtomicU64::new(0),
                 telemetry,
                 hits,
                 misses,
@@ -249,47 +259,83 @@ impl EstimatorService {
         &self.inner.shards[idx]
     }
 
-    fn bump_generation(&self) {
-        self.inner.generation.fetch_add(1, Ordering::Relaxed);
+    /// Pins the current model snapshot (a lock-free atomic load). The
+    /// snapshot is immutable: every estimate computed against it — here
+    /// or via the `*_pinned` methods — reflects exactly one model
+    /// version, regardless of concurrent publications.
+    pub fn snapshot(&self) -> Arc<ModelSnapshot> {
+        self.inner.store.load()
+    }
+
+    /// The current model-state epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.inner.store.epoch()
+    }
+
+    /// Publishes a content-identical snapshot under a new epoch.
+    /// Estimates are bit-identical across a republish; only the cache
+    /// tag changes.
+    pub fn republish(&self) -> Arc<ModelSnapshot> {
+        self.inner.store.republish("republish")
+    }
+
+    /// Publishes a new epoch whose model content is `snapshot`'s —
+    /// rollback to a previously pinned or reloaded model state.
+    pub fn rollback_to(&self, snapshot: &ModelSnapshot) -> Arc<ModelSnapshot> {
+        self.inner.store.rollback_to(snapshot)
+    }
+
+    /// Runs one offline-tuning pipeline pass: drains every due model's
+    /// execution log, retrains, and publishes all results as a single
+    /// epoch bump (with one [`Event::TuningPass`] per retrained model).
+    pub fn run_tuning(&self, pipeline: &TuningPipeline) -> PipelineReport {
+        pipeline.run_once_traced(&self.inner.store, &self.inner.telemetry.tracer)
     }
 
     /// Registers (or replaces) the costing flow for one operator on one
     /// system; the operator kind comes from the trained model itself.
     pub fn register(&self, system: SystemId, flow: LogicalOpCosting) {
         let op = flow.model.op;
-        self.shard(&system, op)
-            .models
-            .write()
-            .insert((system, op), flow);
-        self.bump_generation();
+        let _ = self
+            .inner
+            .store
+            .transaction("register", |tx| tx.insert_model(system, op, flow));
     }
 
     /// Every registered `(system, operator)` pair, sorted.
     pub fn registered(&self) -> Vec<(SystemId, OperatorKind)> {
-        let mut all: Vec<(SystemId, OperatorKind)> = self
-            .inner
-            .shards
-            .iter()
-            .flat_map(|s| s.models.read().keys().cloned().collect::<Vec<_>>())
-            .collect();
-        all.sort();
-        all
+        self.inner.store.load().keys()
     }
 
-    /// Estimates one operator's cost, consulting the cache first. A miss
-    /// runs the read-only remedy flow under the shard's read lock, so any
-    /// number of threads may estimate concurrently.
+    /// Estimates one operator's cost against the current snapshot,
+    /// consulting the cache first. Completely lock-free on the model
+    /// store: the only lock touched is the cache shard's mutex.
     pub fn estimate(
         &self,
         system: &SystemId,
         op: OperatorKind,
         features: &[f64],
     ) -> Result<CostEstimate, ServiceError> {
+        let snapshot = self.inner.store.load();
+        self.estimate_pinned(&snapshot, system, op, features)
+    }
+
+    /// [`EstimatorService::estimate`] against a caller-pinned snapshot.
+    /// Cached values are tagged with the snapshot's epoch, so replaying
+    /// an estimate from an older pinned snapshot can never pollute the
+    /// cache for readers of a newer one.
+    pub fn estimate_pinned(
+        &self,
+        snapshot: &ModelSnapshot,
+        system: &SystemId,
+        op: OperatorKind,
+        features: &[f64],
+    ) -> Result<CostEstimate, ServiceError> {
         let shard = self.shard(system, op);
-        let generation = self.inner.generation.load(Ordering::Relaxed);
+        let epoch = snapshot.epoch().get();
         let key = CacheKey::new(system, op, features, self.inner.sig_digits);
         let tracer = &self.inner.telemetry.tracer;
-        if let Some(hit) = shard.cache.lock().get(&key, generation) {
+        if let Some(hit) = shard.cache.lock().get(&key, epoch) {
             self.inner.hits.inc();
             tracer.emit(|| Event::EstimateServed {
                 system: system.to_string(),
@@ -298,21 +344,18 @@ impl EstimatorService {
                 secs: hit.secs,
                 source: format!("{:?}", hit.source),
                 cache_hit: true,
+                epoch: Some(epoch),
             });
             return Ok(hit);
         }
-        let est = {
-            let models = shard.models.read();
-            let flow =
-                models
-                    .get(&(system.clone(), op))
-                    .ok_or_else(|| ServiceError::UnknownModel {
-                        system: system.clone(),
-                        op,
-                    })?;
-            check_arity(flow, features)?;
-            flow.estimate_readonly_traced(features, &TraceCtx::new(tracer, system))
-        };
+        let flow = snapshot
+            .model(system, op)
+            .ok_or_else(|| ServiceError::UnknownModel {
+                system: system.clone(),
+                op,
+            })?;
+        check_arity(flow, features)?;
+        let est = flow.estimate_readonly_traced(features, &TraceCtx::new(tracer, system));
         self.inner.misses.inc();
         self.inner.estimate_secs.observe(est.secs);
         tracer.emit(|| Event::EstimateServed {
@@ -322,27 +365,43 @@ impl EstimatorService {
             secs: est.secs,
             source: format!("{:?}", est.source),
             cache_hit: false,
+            epoch: Some(epoch),
         });
-        shard.cache.lock().insert(key, est.clone(), generation);
+        shard.cache.lock().insert(key, est.clone(), epoch);
         Ok(est)
     }
 
-    /// Estimates a whole batch of feature vectors for one `(system, op)`.
+    /// Estimates a whole batch of feature vectors for one `(system, op)`
+    /// against one pinned snapshot.
     ///
     /// Cached rows are answered from the cache; the remaining in-range
     /// rows share a single batched NN forward pass
     /// ([`crate::logical_op::model::LogicalOpModel::predict_nn_batch`]),
     /// and out-of-range rows go through the remedy individually. Results
     /// are identical, bit for bit, to calling
-    /// [`EstimatorService::estimate`] per row.
+    /// [`EstimatorService::estimate`] per row at the same epoch, and the
+    /// whole batch is internally consistent even mid-retrain.
     pub fn estimate_batch(
         &self,
         system: &SystemId,
         op: OperatorKind,
         rows: &[Vec<f64>],
     ) -> Result<Vec<CostEstimate>, ServiceError> {
+        let snapshot = self.inner.store.load();
+        self.estimate_batch_pinned(&snapshot, system, op, rows)
+    }
+
+    /// [`EstimatorService::estimate_batch`] against a caller-pinned
+    /// snapshot (see [`EstimatorService::estimate_pinned`]).
+    pub fn estimate_batch_pinned(
+        &self,
+        snapshot: &ModelSnapshot,
+        system: &SystemId,
+        op: OperatorKind,
+        rows: &[Vec<f64>],
+    ) -> Result<Vec<CostEstimate>, ServiceError> {
         let shard = self.shard(system, op);
-        let generation = self.inner.generation.load(Ordering::Relaxed);
+        let epoch = snapshot.epoch().get();
         let keys: Vec<CacheKey> = rows
             .iter()
             .map(|r| CacheKey::new(system, op, r, self.inner.sig_digits))
@@ -353,7 +412,7 @@ impl EstimatorService {
         {
             let mut cache = shard.cache.lock();
             for (i, key) in keys.iter().enumerate() {
-                match cache.get(key, generation) {
+                match cache.get(key, epoch) {
                     Some(hit) => results[i] = Some(hit),
                     None => miss_idx.push(i),
                 }
@@ -362,7 +421,7 @@ impl EstimatorService {
         self.inner.hits.add((rows.len() - miss_idx.len()) as u64);
         if miss_idx.is_empty() {
             if self.inner.telemetry.tracer.is_enabled() {
-                self.emit_batch_events(system, op, rows, &results, &miss_idx);
+                self.emit_batch_events(system, op, rows, &results, &miss_idx, epoch);
             }
             return results
                 .into_iter()
@@ -370,34 +429,30 @@ impl EstimatorService {
                 .collect();
         }
 
-        {
-            let models = shard.models.read();
-            let flow =
-                models
-                    .get(&(system.clone(), op))
-                    .ok_or_else(|| ServiceError::UnknownModel {
-                        system: system.clone(),
-                        op,
-                    })?;
-            for &i in &miss_idx {
-                check_arity(flow, &rows[i])?;
-            }
-            // In-range rows take the batched forward pass; out-of-range
-            // rows need per-row pivot regressions anyway.
-            let (in_range, out_of_range): (Vec<usize>, Vec<usize>) = miss_idx
-                .iter()
-                .copied()
-                .partition(|&i| flow.model.meta.all_in_range(&rows[i], flow.remedy.beta));
-            let batch: Vec<Vec<f64>> = in_range.iter().map(|&i| rows[i].clone()).collect();
-            for (&i, secs) in in_range.iter().zip(flow.model.predict_nn_batch(&batch)) {
-                results[i] = Some(CostEstimate::new(
-                    secs,
-                    crate::estimator::EstimateSource::NeuralNetwork,
-                ));
-            }
-            for &i in &out_of_range {
-                results[i] = Some(flow.estimate_readonly(&rows[i]));
-            }
+        let flow = snapshot
+            .model(system, op)
+            .ok_or_else(|| ServiceError::UnknownModel {
+                system: system.clone(),
+                op,
+            })?;
+        for &i in &miss_idx {
+            check_arity(flow, &rows[i])?;
+        }
+        // In-range rows take the batched forward pass; out-of-range
+        // rows need per-row pivot regressions anyway.
+        let (in_range, out_of_range): (Vec<usize>, Vec<usize>) = miss_idx
+            .iter()
+            .copied()
+            .partition(|&i| flow.model.meta.all_in_range(&rows[i], flow.remedy.beta));
+        let batch: Vec<Vec<f64>> = in_range.iter().map(|&i| rows[i].clone()).collect();
+        for (&i, secs) in in_range.iter().zip(flow.model.predict_nn_batch(&batch)) {
+            results[i] = Some(CostEstimate::new(
+                secs,
+                crate::estimator::EstimateSource::NeuralNetwork,
+            ));
+        }
+        for &i in &out_of_range {
+            results[i] = Some(flow.estimate_readonly(&rows[i]));
         }
         self.inner.misses.add(miss_idx.len() as u64);
         for &i in &miss_idx {
@@ -407,13 +462,13 @@ impl EstimatorService {
             self.inner.estimate_secs.observe(est.secs);
         }
         if self.inner.telemetry.tracer.is_enabled() {
-            self.emit_batch_events(system, op, rows, &results, &miss_idx);
+            self.emit_batch_events(system, op, rows, &results, &miss_idx, epoch);
         }
 
         let mut cache = shard.cache.lock();
         for &i in &miss_idx {
             if let Some(est) = results[i].as_ref() {
-                cache.insert(keys[i].clone(), est.clone(), generation);
+                cache.insert(keys[i].clone(), est.clone(), epoch);
             }
         }
         drop(cache);
@@ -430,6 +485,7 @@ impl EstimatorService {
         rows: &[Vec<f64>],
         results: &[Option<CostEstimate>],
         miss_idx: &[usize],
+        epoch: u64,
     ) {
         for (i, r) in results.iter().enumerate() {
             // Unfilled slots are reported by the caller as
@@ -444,13 +500,16 @@ impl EstimatorService {
                 secs: est.secs,
                 source: format!("{:?}", est.source),
                 cache_hit,
+                epoch: Some(epoch),
             });
         }
     }
 
     /// Feeds an observed actual execution into the owning flow (log + α
-    /// tuner) under the shard's write lock, and invalidates cached
-    /// estimates via the generation counter.
+    /// tuner) through a clone-modify-publish transaction; the published
+    /// epoch implicitly invalidates cached estimates. The flow's
+    /// eviction counter is surfaced as the
+    /// `execution_log_dropped_entries{system,operator}` gauge.
     pub fn observe_actual(
         &self,
         system: &SystemId,
@@ -458,97 +517,109 @@ impl EstimatorService {
         features: &[f64],
         actual_secs: f64,
     ) -> Result<(), ServiceError> {
-        let shard = self.shard(system, op);
-        let mut models = shard.models.write();
-        let flow =
-            models
-                .get_mut(&(system.clone(), op))
-                .ok_or_else(|| ServiceError::UnknownModel {
-                    system: system.clone(),
-                    op,
-                })?;
-        check_arity(flow, features)?;
-        flow.observe_detached_traced(
-            features,
-            actual_secs,
-            &TraceCtx::new(&self.inner.telemetry.tracer, system),
-        );
-        drop(models);
-        self.bump_generation();
+        let tracer = &self.inner.telemetry.tracer;
+        let (dropped, _) = self.inner.store.try_transaction("observe", |tx| {
+            let ctx = TraceCtx::new(tracer, system);
+            tx.update_model(system, op, |flow| {
+                check_arity(flow, features)?;
+                flow.observe_detached_traced(features, actual_secs, &ctx);
+                Ok(flow.log.dropped())
+            })
+            .ok_or_else(|| ServiceError::UnknownModel {
+                system: system.clone(),
+                op,
+            })?
+        })?;
+        let system_label = system.to_string();
+        let op_label = op.to_string();
+        self.inner
+            .telemetry
+            .metrics
+            .gauge(
+                "execution_log_dropped_entries",
+                &[
+                    ("system", system_label.as_str()),
+                    ("operator", op_label.as_str()),
+                ],
+            )
+            .set(dropped as f64);
         Ok(())
     }
 
-    /// Re-fits the α blend weight from everything observed so far.
+    /// Re-fits the α blend weight from everything observed so far
+    /// (clone-modify-publish; readers keep the previous snapshot until
+    /// the new epoch lands).
     pub fn adjust_alpha(&self, system: &SystemId, op: OperatorKind) -> Result<f64, ServiceError> {
-        let shard = self.shard(system, op);
-        let mut models = shard.models.write();
-        let flow =
-            models
-                .get_mut(&(system.clone(), op))
+        let tracer = &self.inner.telemetry.tracer;
+        let (alpha, _) = self.inner.store.try_transaction("adjust-alpha", |tx| {
+            let ctx = TraceCtx::new(tracer, system);
+            tx.update_model(system, op, |flow| flow.adjust_alpha_traced(&ctx))
                 .ok_or_else(|| ServiceError::UnknownModel {
                     system: system.clone(),
                     op,
-                })?;
-        let alpha = flow.adjust_alpha_traced(&TraceCtx::new(&self.inner.telemetry.tracer, system));
-        drop(models);
-        self.bump_generation();
+                })
+        })?;
         Ok(alpha)
     }
 
-    /// Runs the offline tuning phase over the accumulated execution log.
+    /// Runs the offline tuning phase over one model's accumulated
+    /// execution log. Retraining happens on a private clone inside the
+    /// transaction; the estimate path keeps serving the previous
+    /// snapshot until the tuned model is published.
     pub fn offline_tune(
         &self,
         system: &SystemId,
         op: OperatorKind,
         config: &FitConfig,
     ) -> Result<TuneReport, ServiceError> {
-        let shard = self.shard(system, op);
-        let mut models = shard.models.write();
-        let flow =
-            models
-                .get_mut(&(system.clone(), op))
+        let tracer = &self.inner.telemetry.tracer;
+        let (report, _) = self.inner.store.try_transaction("offline-tune", |tx| {
+            let ctx = TraceCtx::new(tracer, system);
+            let report = tx
+                .update_model(system, op, |flow| flow.offline_tune_traced(config, &ctx))
                 .ok_or_else(|| ServiceError::UnknownModel {
                     system: system.clone(),
                     op,
                 })?;
-        let report =
-            flow.offline_tune_traced(config, &TraceCtx::new(&self.inner.telemetry.tracer, system));
-        drop(models);
-        self.bump_generation();
+            if report.entries_used > 0 {
+                tx.note_training(report.entries_used, report.rmse_pct_after);
+            }
+            Ok(report)
+        })?;
         Ok(report)
     }
 
     /// Replays every registered flow's pending execution-log entries into
     /// a drift monitor keyed by `(system, operator)`, pairing each logged
-    /// actual with what the currently-registered model predicts for its
-    /// features. Returns the number of samples fed.
+    /// actual with what the pinned snapshot's model predicts for its
+    /// features. Samples are tagged with the snapshot's epoch, so drift
+    /// is attributable to a model version. Returns the number of samples
+    /// fed.
     pub fn feed_drift_monitor(&self, monitor: &mut DriftMonitor<ModelKey>) -> usize {
+        let snapshot = self.inner.store.load();
+        let epoch = snapshot.epoch().get();
         let mut fed = 0;
-        for shard in &self.inner.shards {
-            let models = shard.models.read();
-            for (key, flow) in models.iter() {
-                for entry in flow.log.entries() {
-                    let predicted = flow.estimate_readonly(&entry.features).secs;
-                    monitor.record(key.clone(), predicted, entry.actual_secs);
-                    fed += 1;
-                }
+        for (key, flow) in snapshot.models() {
+            for entry in flow.log.entries() {
+                let predicted = flow.estimate_readonly(&entry.features).secs;
+                monitor.record_versioned(key.clone(), predicted, entry.actual_secs, Some(epoch));
+                fed += 1;
             }
         }
         fed
     }
 
-    /// Runs a closure against a registered flow (read lock) — an escape
-    /// hatch for inspection without exposing the map.
+    /// Runs a closure against a registered flow in the current snapshot
+    /// — an escape hatch for inspection without exposing the map.
     pub fn with_flow<T>(
         &self,
         system: &SystemId,
         op: OperatorKind,
         f: impl FnOnce(&LogicalOpCosting) -> T,
     ) -> Result<T, ServiceError> {
-        let shard = self.shard(system, op);
-        let models = shard.models.read();
-        let flow = models
-            .get(&(system.clone(), op))
+        let snapshot = self.inner.store.load();
+        let flow = snapshot
+            .model(system, op)
             .ok_or_else(|| ServiceError::UnknownModel {
                 system: system.clone(),
                 op,
@@ -725,7 +796,7 @@ mod tests {
         let _ = svc.estimate(&sys, OperatorKind::Aggregation, &oor).unwrap();
         svc.observe_actual(&sys, OperatorKind::Aggregation, &oor, 55.0)
             .unwrap();
-        // Generation bump: the cached value no longer counts as a hit.
+        // Epoch bump: the cached value no longer counts as a hit.
         let _ = svc.estimate(&sys, OperatorKind::Aggregation, &oor).unwrap();
         assert_eq!(svc.stats(), CacheStats { hits: 0, misses: 2 });
         let (obs, log_len) = svc
@@ -822,6 +893,7 @@ mod tests {
                 features,
                 secs,
                 cache_hit,
+                epoch,
                 ..
             } => {
                 assert_eq!(system, "hive-a");
@@ -829,6 +901,8 @@ mod tests {
                 assert_eq!(features, &x.to_vec());
                 assert_eq!(*secs, est.secs);
                 assert!(!cache_hit);
+                // register() published epoch 1; the estimate pinned it.
+                assert_eq!(*epoch, Some(1));
             }
             other => panic!("unexpected event {other:?}"),
         }
@@ -836,6 +910,7 @@ mod tests {
             served[1],
             Event::EstimateServed {
                 cache_hit: true,
+                epoch: Some(1),
                 ..
             }
         ));
@@ -880,6 +955,9 @@ mod tests {
             .status(&(sys.clone(), OperatorKind::Aggregation))
             .unwrap();
         assert_eq!(health.samples, 4);
+        // Samples carry the snapshot's epoch: register + 4 observations
+        // = epoch 5, and all predictions came from that one snapshot.
+        assert_eq!(health.epoch_span, Some((5, 5)));
     }
 
     #[test]
@@ -913,5 +991,179 @@ mod tests {
                 .collect()
         });
         assert_eq!(serial, concurrent);
+    }
+
+    #[test]
+    fn stale_pinned_snapshot_cannot_pollute_the_current_epoch_cache() {
+        // Regression for the generation-counter staleness window: an
+        // estimate computed against pre-publication model state used to
+        // be insertable into the cache with a generation value that a
+        // later (or weakly-ordered concurrent) reader would still match,
+        // serving the old model's output after an update. With
+        // epoch-pinned keys the cache tag comes from the same snapshot
+        // Arc as the model state, so the two cannot disagree.
+        let (svc, sys) = service_with_model();
+        let x = [5e5, 200.0];
+        // A reader pins the snapshot, then gets descheduled...
+        let pinned = svc.snapshot();
+        // ...meanwhile the model is replaced and a new epoch publishes.
+        svc.register(sys.clone(), trained_flow(8e-6));
+        // The descheduled reader wakes up and completes its estimate
+        // from the *old* snapshot — computed before the publication,
+        // inserted after it (exactly the racy interleaving).
+        let stale = svc
+            .estimate_pinned(&pinned, &sys, OperatorKind::Aggregation, &x)
+            .unwrap();
+        // Readers of the current epoch never see the stale insert: the
+        // fresh estimate is a miss that recomputes from the new model.
+        let fresh = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        assert_ne!(fresh.secs, stale.secs, "stale value must not be served");
+        let direct = svc
+            .with_flow(&sys, OperatorKind::Aggregation, |f| f.estimate_readonly(&x))
+            .unwrap();
+        assert_eq!(fresh, direct, "fresh estimate reflects the new model");
+        // The cache keeps one entry per key, tagged with the epoch that
+        // computed it: replaying under the old epoch and reading under
+        // the new one each recompute (mismatched tag = miss) instead of
+        // ever serving the other epoch's value.
+        svc.reset_stats();
+        let replay = svc
+            .estimate_pinned(&pinned, &sys, OperatorKind::Aggregation, &x)
+            .unwrap();
+        let live = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        assert_eq!(replay, stale);
+        assert_eq!(live, fresh);
+        assert_eq!(svc.stats(), CacheStats { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn republish_keeps_estimates_bit_identical_and_lineage_links() {
+        let (svc, sys) = service_with_model();
+        let x = [7.3e5, 250.0];
+        let before_epoch = svc.epoch();
+        let before = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        let snap = svc.republish();
+        assert_eq!(snap.epoch().get(), before_epoch.get() + 1);
+        assert_eq!(snap.lineage().parent, Some(before_epoch.get()));
+        assert_eq!(snap.lineage().label, "republish");
+        let after = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        assert_eq!(before, after, "no-op republish must not change estimates");
+        // The republish did invalidate the cache tag (second request is
+        // a recompute, not a hit).
+        assert_eq!(svc.stats(), CacheStats { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn rollback_restores_an_earlier_model_state() {
+        let (svc, sys) = service_with_model();
+        let x = [5e5, 200.0];
+        let good = svc.snapshot();
+        let good_est = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        svc.register(sys.clone(), trained_flow(9e-6));
+        let bad_est = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        assert_ne!(good_est.secs, bad_est.secs);
+        let restored = svc.rollback_to(&good);
+        assert_eq!(restored.lineage().restores, Some(good.epoch().get()));
+        let back = svc.estimate(&sys, OperatorKind::Aggregation, &x).unwrap();
+        assert_eq!(back, good_est, "rollback must restore exact estimates");
+    }
+
+    #[test]
+    fn tuning_pipeline_runs_through_the_service() {
+        use std::sync::Arc;
+        use telemetry::{Event, VecSubscriber};
+
+        let sub = Arc::new(VecSubscriber::new());
+        let svc = EstimatorService::with_telemetry(
+            ServiceConfig::default(),
+            Telemetry::with_subscriber(sub.clone()),
+        );
+        let sys = SystemId::new("hive-a");
+        svc.register(sys.clone(), trained_flow(2e-6));
+        let mut rows = 1.6e6;
+        while rows <= 2.6e6 {
+            svc.observe_actual(
+                &sys,
+                OperatorKind::Aggregation,
+                &[rows, 200.0],
+                1.0 + 2e-6 * rows + 2.0,
+            )
+            .unwrap();
+            rows += 1e5;
+        }
+        let report = svc.run_tuning(&TuningPipeline::new(FitConfig::fast()));
+        assert_eq!(report.reports.len(), 1);
+        assert!(report.entries_drained > 0);
+        assert_eq!(report.epoch, Some(svc.epoch()));
+        assert!(svc
+            .with_flow(&sys, OperatorKind::Aggregation, |f| f.log.is_empty())
+            .unwrap());
+        assert!(
+            sub.snapshot()
+                .iter()
+                .any(|e| matches!(e, Event::TuningPass { .. })),
+            "the pipeline pass must leave a tuning_pass trail"
+        );
+    }
+
+    #[test]
+    fn log_evictions_surface_in_the_registry_gauge() {
+        let (svc, sys) = service_with_model();
+        let mut tight = trained_flow(2e-6);
+        tight.log.set_capacity(2);
+        svc.register(sys.clone(), tight);
+        for i in 0..5 {
+            svc.observe_actual(
+                &sys,
+                OperatorKind::Aggregation,
+                &[5e5 + i as f64 * 1e4, 200.0],
+                2.0,
+            )
+            .unwrap();
+        }
+        assert_eq!(
+            svc.with_flow(&sys, OperatorKind::Aggregation, |f| (
+                f.log.len(),
+                f.log.dropped()
+            ))
+            .unwrap(),
+            (2, 3)
+        );
+        let snap = svc.telemetry().metrics.snapshot();
+        assert_eq!(
+            snap.gauge(
+                "execution_log_dropped_entries",
+                &[("system", "hive-a"), ("operator", "aggregation")]
+            ),
+            Some(3.0)
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // A no-op republish (same training data, new epoch) must
+            // yield bit-identical estimates for arbitrary feature
+            // vectors — in-range, out-of-range, or degenerate.
+            #[test]
+            fn republish_is_bit_identical_for_arbitrary_features(
+                features in proptest::collection::vec(0.0f64..4e6, 2),
+                republishes in 1usize..4,
+            ) {
+                let (svc, sys) = service_with_model();
+                let before = svc
+                    .estimate(&sys, OperatorKind::Aggregation, &features)
+                    .unwrap();
+                for _ in 0..republishes {
+                    let _ = svc.republish();
+                }
+                let after = svc
+                    .estimate(&sys, OperatorKind::Aggregation, &features)
+                    .unwrap();
+                prop_assert_eq!(before, after);
+            }
+        }
     }
 }

@@ -9,6 +9,13 @@
 //! pure reads, so the concurrent output is exactly what the serial loop
 //! produces, in the same order.
 //!
+//! Every entry point pins one [`ModelSnapshot`] for its whole unit of
+//! work — per query in [`plan_query_with_service`], per *batch* in
+//! [`plan_queries_concurrent`] — so a ranking is never assembled from
+//! estimates of two different model states, even while a tuning pass
+//! publishes new epochs concurrently. The pinned epoch is recorded on
+//! the [`PlanReport`].
+//!
 //! [`HybridCostManager`]: costing::hybrid::HybridCostManager
 
 use crate::{
@@ -18,18 +25,33 @@ use crate::{
 };
 use catalog::Catalog;
 use costing::service::{EstimatorService, ServiceError};
-use costing::{agg_features, join_features, OperatorKind};
+use costing::{agg_features, join_features, ModelSnapshot, OperatorKind};
 use remote_sim::analyze::{analyze, QueryAnalysis};
 use sqlkit::logical::LogicalPlan;
 
 /// Estimates a query's execution time on one system via the service: the
 /// join and/or aggregation operators the analysis found, summed.
 ///
-/// Returns `Err` when the service has no model for a required operator on
-/// that system — the caller skips the placement, mirroring how the serial
-/// planner treats systems without costing profiles.
+/// Pins the current snapshot for the duration of the call; see
+/// [`service_execution_secs_pinned`].
 pub fn service_execution_secs(
     service: &EstimatorService,
+    system: &catalog::SystemId,
+    analysis: &QueryAnalysis,
+) -> Result<f64, ServiceError> {
+    let snapshot = service.snapshot();
+    service_execution_secs_pinned(service, &snapshot, system, analysis)
+}
+
+/// [`service_execution_secs`] against a caller-pinned snapshot: both
+/// operator estimates come from the same model state.
+///
+/// Returns `Err` when the snapshot has no model for a required operator
+/// on that system — the caller skips the placement, mirroring how the
+/// serial planner treats systems without costing profiles.
+pub fn service_execution_secs_pinned(
+    service: &EstimatorService,
+    snapshot: &ModelSnapshot,
     system: &catalog::SystemId,
     analysis: &QueryAnalysis,
 ) -> Result<f64, ServiceError> {
@@ -37,14 +59,16 @@ pub fn service_execution_secs(
     let mut costed = false;
     if analysis.join.is_some() {
         if let Some(f) = join_features(analysis) {
-            total += service.estimate(system, OperatorKind::Join, &f)?.secs;
+            total += service
+                .estimate_pinned(snapshot, system, OperatorKind::Join, &f)?
+                .secs;
             costed = true;
         }
     }
     if analysis.agg.is_some() {
         if let Some(f) = agg_features(analysis) {
             total += service
-                .estimate(system, OperatorKind::Aggregation, &f)?
+                .estimate_pinned(snapshot, system, OperatorKind::Aggregation, &f)?
                 .secs;
             costed = true;
         }
@@ -73,6 +97,20 @@ pub fn plan_query_with_service(
     transfer_model: &TransferCostModel,
     plan: &LogicalPlan,
 ) -> Result<PlanReport, PlanError> {
+    let snapshot = service.snapshot();
+    plan_query_with_service_pinned(catalog, service, &snapshot, transfer_model, plan)
+}
+
+/// [`plan_query_with_service`] against a caller-pinned snapshot: every
+/// candidate's execution estimate comes from the same model state, and
+/// the report records its epoch.
+pub fn plan_query_with_service_pinned(
+    catalog: &Catalog,
+    service: &EstimatorService,
+    snapshot: &ModelSnapshot,
+    transfer_model: &TransferCostModel,
+    plan: &LogicalPlan,
+) -> Result<PlanReport, PlanError> {
     let options =
         enumerate_placements(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
     let analysis = analyze(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
@@ -80,7 +118,8 @@ pub fn plan_query_with_service(
     let mut candidates = Vec::new();
     let mut skipped: u64 = 0;
     for option in options {
-        let exec = match service_execution_secs(service, &option.system, &analysis) {
+        let exec = match service_execution_secs_pinned(service, snapshot, &option.system, &analysis)
+        {
             Ok(secs) => secs,
             // No model for this system: skip the candidate, like the
             // serial planner skips systems without profiles.
@@ -111,7 +150,10 @@ pub fn plan_query_with_service(
         return Err(PlanError::NoViablePlacement);
     }
     candidates.sort_by(|a, b| mathkit::total_cmp_f64(&a.total_secs(), &b.total_secs()));
-    let report = PlanReport { candidates };
+    let report = PlanReport {
+        candidates,
+        epoch: Some(snapshot.epoch().get()),
+    };
     report.emit_ranking(&service.telemetry().tracer);
     Ok(report)
 }
@@ -119,9 +161,12 @@ pub fn plan_query_with_service(
 /// Plans a batch of queries concurrently on `threads` OS threads, all
 /// sharing one [`EstimatorService`] handle (and its estimate cache).
 ///
-/// Results come back in input order, and — because service estimates are
-/// read-only — are identical to running
-/// [`plan_query_with_service`] over the slice serially.
+/// The whole batch is costed against one pinned snapshot, so every
+/// report carries the same epoch and the batch is internally consistent
+/// even if tuning publishes new model states mid-flight. Results come
+/// back in input order, and — because pinned estimates are read-only —
+/// are identical to running [`plan_query_with_service_pinned`] over the
+/// slice serially with the same snapshot.
 pub fn plan_queries_concurrent(
     catalog: &Catalog,
     service: &EstimatorService,
@@ -129,11 +174,13 @@ pub fn plan_queries_concurrent(
     plans: &[LogicalPlan],
     threads: usize,
 ) -> Vec<Result<PlanReport, PlanError>> {
+    let snapshot = service.snapshot();
+    let snapshot = &snapshot;
     let threads = threads.max(1).min(plans.len().max(1));
     if threads == 1 {
         return plans
             .iter()
-            .map(|p| plan_query_with_service(catalog, service, transfer_model, p))
+            .map(|p| plan_query_with_service_pinned(catalog, service, snapshot, transfer_model, p))
             .collect();
     }
     type Slot<'a> = (usize, &'a mut Option<Result<PlanReport, PlanError>>);
@@ -152,9 +199,10 @@ pub fn plan_queries_concurrent(
             let service = service.clone();
             scope.spawn(move || {
                 for (i, slot) in strip {
-                    *slot = Some(plan_query_with_service(
+                    *slot = Some(plan_query_with_service_pinned(
                         catalog,
                         &service,
+                        snapshot,
                         transfer_model,
                         &plans[i],
                     ));
@@ -309,6 +357,29 @@ mod tests {
         assert_eq!(
             snap.counter("federation_placements_skipped_total", &[]),
             Some(0)
+        );
+    }
+
+    #[test]
+    fn batch_reports_are_pinned_to_one_epoch() {
+        let (catalog, service) = setup();
+        let transfer = TransferCostModel::default();
+        let plans: Vec<LogicalPlan> = (0..6).map(|_| join_plan()).collect();
+        let epoch_before = service.epoch().get();
+        let results = plan_queries_concurrent(&catalog, &service, &transfer, &plans, 3);
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap().epoch, Some(epoch_before));
+        }
+        // A publication between batches shows up as a new pinned epoch.
+        service.republish();
+        let report = plan_query_with_service(&catalog, &service, &transfer, &join_plan()).unwrap();
+        assert_eq!(report.epoch, Some(epoch_before + 1));
+        // Pinning an old snapshot replays it under its own epoch.
+        let results2 = plan_queries_concurrent(&catalog, &service, &transfer, &plans, 3);
+        assert_eq!(
+            results2[0].as_ref().unwrap().candidates,
+            results[0].as_ref().unwrap().candidates,
+            "republish must not change the ranking"
         );
     }
 

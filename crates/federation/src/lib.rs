@@ -30,7 +30,9 @@ pub mod placement;
 pub mod planner;
 pub mod transfer;
 
-pub use fanout::{plan_queries_concurrent, plan_query_with_service};
+pub use fanout::{
+    plan_queries_concurrent, plan_query_with_service, plan_query_with_service_pinned,
+};
 pub use intellisphere::{ExecutionReport, IntelliSphere};
 pub use placement::{enumerate_placements, PlacementOption, Transfer};
 pub use planner::{PlacementCost, PlanReport};

@@ -33,6 +33,11 @@ impl PlacementCost {
 pub struct PlanReport {
     /// Every costed candidate, sorted cheapest first.
     pub candidates: Vec<PlacementCost>,
+    /// Model-state version every execution estimate in this report was
+    /// computed from: the pinned snapshot's epoch on the service path,
+    /// the manager's profile version on the hybrid path. A whole report
+    /// always reflects exactly one model state.
+    pub epoch: Option<u64>,
 }
 
 impl PlanReport {
@@ -130,7 +135,10 @@ pub fn plan_query(
         return Err(last_err.map_or(PlanError::NoViablePlacement, PlanError::Costing));
     }
     candidates.sort_by(|a, b| mathkit::total_cmp_f64(&a.total_secs(), &b.total_secs()));
-    Ok(PlanReport { candidates })
+    Ok(PlanReport {
+        candidates,
+        epoch: Some(manager.version()),
+    })
 }
 
 /// [`plan_query`] with the decision trail: routes every candidate's
@@ -174,7 +182,10 @@ pub fn plan_query_traced(
         return Err(last_err.map_or(PlanError::NoViablePlacement, PlanError::Costing));
     }
     candidates.sort_by(|a, b| mathkit::total_cmp_f64(&a.total_secs(), &b.total_secs()));
-    let report = PlanReport { candidates };
+    let report = PlanReport {
+        candidates,
+        epoch: Some(manager.version()),
+    };
     report.emit_ranking(tracer);
     Ok(report)
 }

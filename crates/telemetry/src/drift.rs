@@ -55,6 +55,11 @@ pub struct ModelHealth {
     /// Whether the window crossed a drift threshold (with enough
     /// samples to trust it).
     pub drifted: bool,
+    /// `(oldest, newest)` model-state epoch among the window's
+    /// epoch-tagged samples, `None` when no sample carried an epoch.
+    /// A drifted window whose span covers a single epoch attributes the
+    /// drift to that exact model version.
+    pub epoch_span: Option<(u64, u64)>,
 }
 
 impl ModelHealth {
@@ -74,7 +79,8 @@ fn q_error(predicted: f64, actual: f64) -> f64 {
 
 #[derive(Debug, Clone, Default)]
 struct ModelWindow {
-    pairs: VecDeque<(f64, f64)>,
+    /// `(predicted, actual, producing epoch)` samples, oldest first.
+    pairs: VecDeque<(f64, f64, Option<u64>)>,
 }
 
 /// Tracks rolling prediction error per model key and flags drift.
@@ -113,11 +119,19 @@ impl<K: Ord + Clone> DriftMonitor<K> {
     /// Records one `(predicted, actual)` pair for `key`, evicting the
     /// oldest pair once the window is full.
     pub fn record(&mut self, key: K, predicted: f64, actual: f64) {
+        self.record_versioned(key, predicted, actual, None);
+    }
+
+    /// [`DriftMonitor::record`] with provenance: tags the sample with
+    /// the model-state epoch that produced `predicted`, so a drift flag
+    /// can be attributed to a specific model version (see
+    /// [`ModelHealth::epoch_span`]).
+    pub fn record_versioned(&mut self, key: K, predicted: f64, actual: f64, epoch: Option<u64>) {
         let window = self.windows.entry(key).or_default();
         if window.pairs.len() == self.config.window {
             window.pairs.pop_front();
         }
-        window.pairs.push_back((predicted, actual));
+        window.pairs.push_back((predicted, actual, epoch));
     }
 
     /// Number of models the monitor has seen.
@@ -153,7 +167,15 @@ impl<K: Ord + Clone> DriftMonitor<K> {
     }
 
     fn health_of(&self, window: &ModelWindow) -> ModelHealth {
-        let (predicted, actual): (Vec<f64>, Vec<f64>) = window.pairs.iter().copied().unzip();
+        let predicted: Vec<f64> = window.pairs.iter().map(|&(p, _, _)| p).collect();
+        let actual: Vec<f64> = window.pairs.iter().map(|&(_, a, _)| a).collect();
+        let epoch_span = window.pairs.iter().filter_map(|&(_, _, e)| e).fold(
+            None,
+            |span: Option<(u64, u64)>, e| match span {
+                None => Some((e, e)),
+                Some((lo, hi)) => Some((lo.min(e), hi.max(e))),
+            },
+        );
         let samples = predicted.len();
         let rmse_pct = rmse_pct(&predicted, &actual);
         let qs: Vec<f64> = predicted
@@ -176,6 +198,7 @@ impl<K: Ord + Clone> DriftMonitor<K> {
             mean_q_error,
             max_q_error,
             drifted,
+            epoch_span,
         }
     }
 }
@@ -259,6 +282,23 @@ mod tests {
         assert!(q_error(0.0, 0.0).is_finite());
         assert!((q_error(0.0, 0.0) - 1.0).abs() < 1e-6);
         assert!(q_error(0.0, 1.0) > 1e6);
+    }
+
+    #[test]
+    fn epoch_span_tracks_tagged_samples() {
+        let mut m = DriftMonitor::new(cfg());
+        m.record("k", 10.0, 10.0);
+        assert_eq!(m.status(&"k").unwrap().epoch_span, None);
+        m.record_versioned("k", 10.0, 10.0, Some(3));
+        m.record_versioned("k", 10.0, 10.0, Some(7));
+        m.record_versioned("k", 10.0, 10.0, None);
+        assert_eq!(m.status(&"k").unwrap().epoch_span, Some((3, 7)));
+        // The span follows the sliding window: once the old epochs are
+        // evicted, only the surviving tags contribute.
+        for _ in 0..8 {
+            m.record_versioned("k", 10.0, 10.0, Some(9));
+        }
+        assert_eq!(m.status(&"k").unwrap().epoch_span, Some((9, 9)));
     }
 
     #[test]

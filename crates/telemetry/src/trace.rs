@@ -37,6 +37,9 @@ pub enum Event {
         source: String,
         /// Whether the service cache satisfied the request.
         cache_hit: bool,
+        /// Model-state epoch the estimate was computed from (`None` for
+        /// unversioned paths, e.g. a profile-based manager).
+        epoch: Option<u64>,
     },
     /// The remedy path compared a query point against the training
     /// envelope and found out-of-range (pivot) dimensions.

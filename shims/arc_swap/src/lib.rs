@@ -1,0 +1,215 @@
+//! Offline stand-in for the `arc-swap` crate: an atomically swappable
+//! `Arc<T>` cell whose read path (`load_full`) never blocks.
+//!
+//! The real crate uses hazard-pointer-style debt lists; this shim keeps
+//! the same contract with a simpler RCU scheme:
+//!
+//! * readers announce themselves on a striped `SeqCst` counter, load the
+//!   current pointer, bump the `Arc` strong count, and retire from the
+//!   stripe — no locks, no waiting on writers;
+//! * writers swap the pointer atomically and push the previous `Arc`
+//!   onto a mutex-guarded *retired* list, which is drained only once all
+//!   reader stripes have been observed at zero, so a reader that raced
+//!   the swap can never see its snapshot freed underneath it.
+//!
+//! Because every ordering is `SeqCst`, a writer that observes all
+//! stripes at zero after its swap knows every in-flight reader either
+//! already owns a strong count on the old value or will load the new
+//! pointer. The retired list is the only lock in the cell; it is a
+//! [`parking_lot::Mutex`] so it participates in the workspace
+//! `lock-order-check` runtime via [`ArcSwap::set_rank`].
+//!
+//! Writers are expected to be rare (epoch publication); a retired
+//! snapshot is reclaimed by the next store that finds the cell quiescent
+//! or when the cell itself is dropped.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+/// Number of reader-counter stripes; threads hash onto a stripe to keep
+/// the announce/retire traffic off a single contended cache line.
+const STRIPES: usize = 16;
+
+/// One cache-line-padded reader counter.
+#[repr(align(64))]
+struct Stripe(AtomicUsize);
+
+/// Stripe assignment for the current thread, computed once per thread.
+fn stripe_index() -> usize {
+    thread_local! {
+        static IDX: usize = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            (h.finish() as usize) % STRIPES
+        };
+    }
+    IDX.with(|i| *i)
+}
+
+/// An atomically swappable `Arc<T>` with lock-free reads.
+///
+/// `load_full` returns an owned `Arc<T>` snapshot; `store`/`swap`
+/// publish a replacement. Readers never block and writers never block
+/// readers — the only mutex guards the writer-side retired list.
+pub struct ArcSwap<T> {
+    /// Raw pointer produced by `Arc::into_raw`; the cell owns one
+    /// strong count on whatever this points at.
+    ptr: AtomicPtr<T>,
+    readers: Vec<Stripe>,
+    /// Previously published values awaiting quiescence before drop.
+    retired: Mutex<Vec<Arc<T>>>,
+}
+
+// The cell hands out `Arc<T>` across threads, so it is exactly as
+// shareable as `Arc<T>` itself.
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+impl<T> ArcSwap<T> {
+    /// Creates a cell holding `initial`.
+    pub fn new(initial: Arc<T>) -> Self {
+        Self {
+            ptr: AtomicPtr::new(Arc::into_raw(initial).cast_mut()),
+            readers: (0..STRIPES).map(|_| Stripe(AtomicUsize::new(0))).collect(),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Assigns a lock-order rank to the retired-list mutex (see
+    /// `parking_lot::rank`). No-op unless `lock-order-check` is active.
+    pub fn set_rank(&self, rank: u32) {
+        self.retired.set_rank(rank);
+    }
+
+    /// Returns an owned snapshot of the current value without taking
+    /// any lock.
+    pub fn load_full(&self) -> Arc<T> {
+        let stripe = &self.readers[stripe_index()];
+        stripe.0.fetch_add(1, SeqCst);
+        let ptr = self.ptr.load(SeqCst);
+        // SAFETY: `ptr` came from `Arc::into_raw` and cannot have been
+        // reclaimed: a writer only drops retired values after observing
+        // this stripe at zero, and our increment above precedes this
+        // load in the SeqCst total order.
+        let arc = unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        };
+        stripe.0.fetch_sub(1, SeqCst);
+        arc
+    }
+
+    /// Alias for [`ArcSwap::load_full`], mirroring the real crate's
+    /// guard-returning `load` in the cases this workspace needs.
+    pub fn load(&self) -> Arc<T> {
+        self.load_full()
+    }
+
+    /// Publishes `new`, dropping the previous value once quiescent.
+    pub fn store(&self, new: Arc<T>) {
+        drop(self.swap(new));
+    }
+
+    /// Publishes `new` and returns the previously published value.
+    pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        let new_ptr = Arc::into_raw(new).cast_mut();
+        let old_ptr = self.ptr.swap(new_ptr, SeqCst);
+        // SAFETY: `old_ptr` was produced by `Arc::into_raw` and the
+        // cell held one strong count on it, which we take over here.
+        let old = unsafe { Arc::from_raw(old_ptr) };
+        let previous = Arc::clone(&old);
+        let mut retired = self.retired.lock();
+        retired.push(old);
+        // A reader announces on its stripe *before* loading the
+        // pointer, so "every stripe is zero" (all SeqCst, read after
+        // our swap) proves no reader still holds an un-counted
+        // reference to anything in the retired list.
+        if self.readers.iter().all(|s| s.0.load(SeqCst) == 0) {
+            retired.clear();
+        }
+        previous
+    }
+
+    /// Number of retired values awaiting reclamation (test hook).
+    pub fn retired_len(&self) -> usize {
+        self.retired.lock().len()
+    }
+}
+
+impl<T> Drop for ArcSwap<T> {
+    fn drop(&mut self) {
+        let ptr = *self.ptr.get_mut();
+        // SAFETY: exclusive access; the cell owns one strong count on
+        // the currently published value.
+        unsafe { drop(Arc::from_raw(ptr)) };
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ArcSwap").field(&self.load_full()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_returns_the_stored_value() {
+        let cell = ArcSwap::new(Arc::new(41));
+        assert_eq!(*cell.load_full(), 41);
+        cell.store(Arc::new(42));
+        assert_eq!(*cell.load_full(), 42);
+    }
+
+    #[test]
+    fn swap_returns_the_previous_value() {
+        let cell = ArcSwap::new(Arc::new("a"));
+        let old = cell.swap(Arc::new("b"));
+        assert_eq!(*old, "a");
+        assert_eq!(*cell.load(), "b");
+    }
+
+    #[test]
+    fn quiescent_stores_reclaim_retired_values() {
+        let cell = ArcSwap::new(Arc::new(0));
+        for i in 1..10 {
+            cell.store(Arc::new(i));
+        }
+        // Single-threaded: every store observes zero readers and drains.
+        assert_eq!(cell.retired_len(), 0);
+    }
+
+    #[test]
+    fn snapshots_outlive_later_stores() {
+        let cell = ArcSwap::new(Arc::new(vec![1, 2, 3]));
+        let pinned = cell.load_full();
+        cell.store(Arc::new(vec![4]));
+        cell.store(Arc::new(vec![5]));
+        assert_eq!(*pinned, vec![1, 2, 3]);
+        assert_eq!(*cell.load_full(), vec![5]);
+    }
+
+    #[test]
+    fn concurrent_readers_see_only_published_values() {
+        let cell = Arc::new(ArcSwap::new(Arc::new(0_u64)));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                scope.spawn(move || {
+                    for _ in 0..20_000 {
+                        let v = cell.load_full();
+                        assert!(v.is_multiple_of(7), "torn or reclaimed value: {}", *v);
+                    }
+                });
+            }
+            for i in 1..=2_000_u64 {
+                cell.store(Arc::new(i * 7));
+            }
+        });
+        assert_eq!(*cell.load_full(), 2_000 * 7);
+    }
+}

@@ -44,10 +44,12 @@ pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 pub mod rank {
     /// Rank of a lock that opted out of ordering (the default).
     pub const UNRANKED: u32 = 0;
+    /// `costing::epoch` snapshot-publication commit mutex (`EpochStore::commit`).
+    pub const EPOCH_COMMIT: u32 = 10;
+    /// `arc_swap` retired-snapshot reclamation list (`ArcSwap::retired`).
+    pub const EPOCH_RETIRED: u32 = 20;
     /// `costing::service` per-shard estimate cache (`Shard::cache`).
     pub const SERVICE_CACHE: u32 = 30;
-    /// `costing::service` per-shard model registry (`Shard::models`).
-    pub const SERVICE_MODELS: u32 = 40;
     /// `telemetry::metrics` registry metric map.
     pub const REGISTRY_METRICS: u32 = 50;
     /// `telemetry::metrics` registry help-text map.
