@@ -85,13 +85,18 @@ impl Config {
                 "federation::fanout".into(),
                 "federation::planner".into(),
                 "telemetry::metrics".into(),
+                "serving::frontend".into(),
+                "serving::limiter".into(),
             ],
             lock_scope_modules: vec![
                 "costing::service".into(),
                 "costing::epoch".into(),
                 "telemetry".into(),
+                "serving".into(),
             ],
             lock_classes: vec![
+                LockClass::ranked("buckets", "FRONTEND_LIMITER", 3),
+                LockClass::ranked("queue_rx", "FRONTEND_QUEUE", 5),
                 LockClass::ranked("commit", "EPOCH_COMMIT", 10),
                 LockClass::ranked("retired", "EPOCH_RETIRED", 20),
                 LockClass::ranked("cache", "SERVICE_CACHE", 30),
@@ -101,11 +106,16 @@ impl Config {
             ],
             trace_parity_modules: vec!["costing".into()],
             float_exempt_modules: vec!["mathkit".into()],
-            entropy_exempt_modules: vec!["bench".into(), "telemetry::trace".into()],
+            entropy_exempt_modules: vec![
+                "bench".into(),
+                "telemetry::trace".into(),
+                "serving::clock".into(),
+            ],
             snapshot_read_modules: vec![
                 "costing::service".into(),
                 "federation::fanout".into(),
                 "federation::planner".into(),
+                "serving::frontend".into(),
             ],
             model_store_receivers: vec!["models".into(), "store".into()],
         }

@@ -70,15 +70,6 @@ fn variant(scale: f64) -> LogicalOpCosting {
     LogicalOpCosting::new(model)
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample.
-fn percentile(sorted_us: &[f64], q: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
-    sorted_us[idx]
-}
-
 /// Times `reads` estimate calls with `republishers` writer threads
 /// churning the store underneath.
 fn measure(
@@ -138,8 +129,8 @@ fn measure(
         republishers,
         reads,
         epochs_published: service.epoch().get() - epoch_before,
-        p50_us: percentile(&latencies_us, 0.50),
-        p99_us: percentile(&latencies_us, 0.99),
+        p50_us: mathkit::nearest_rank(&latencies_us, 0.50),
+        p99_us: mathkit::nearest_rank(&latencies_us, 0.99),
     }
 }
 

@@ -8,6 +8,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod frontend;
 pub mod heterogeneous;
 pub mod logical;
 pub mod skew;

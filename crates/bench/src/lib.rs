@@ -15,6 +15,7 @@
 //! | Ablations (DESIGN.md §5) | [`experiments::ablations`] | `exp_ablations` |
 //! | Drift health (DESIGN.md §9) | [`experiments::drift`] | `exp_drift` |
 //! | Epoch churn (DESIGN.md §11) | [`experiments::epoch_churn`] | `exp_epoch_churn` |
+//! | Serving front-end (DESIGN.md §12) | [`experiments::frontend`] | `exp_frontend` |
 //!
 //! Each experiment prints the same rows/series the paper reports and
 //! returns a structured result for the integration tests, which assert

@@ -22,6 +22,7 @@ pub mod matrix;
 pub mod metrics;
 pub mod piecewise;
 pub mod poly;
+pub mod quantiles;
 pub mod scale;
 
 pub use linreg::{LinearModel, SimpleLinearModel};
@@ -29,6 +30,7 @@ pub use matrix::Matrix;
 pub use metrics::{mae, pearson_r, r2_score, rmse, rmse_pct};
 pub use piecewise::TwoRegimeModel;
 pub use poly::PolynomialModel;
+pub use quantiles::{exact_quantiles, nearest_rank, QuantileSketch};
 pub use scale::MinMaxScaler;
 
 /// Errors produced by the numerical routines in this crate.

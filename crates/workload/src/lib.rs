@@ -22,6 +22,11 @@
 //! grids ([`aggq`], [`joinq`]), the sub-operator probe suite of Fig. 5
 //! ([`probes`]), and the out-of-range query sets behind Fig. 14 and
 //! Table 1 ([`oor`]).
+//!
+//! Beyond the paper's training/evaluation grids, [`traffic`] adds
+//! seeded open- and closed-loop arrival models and a skewed tenant
+//! mix, so the serving-layer benches can drive the estimator with
+//! realistic concurrent traffic from large simulated populations.
 
 pub mod aggq;
 pub mod joinq;
@@ -29,6 +34,7 @@ pub mod oor;
 pub mod probes;
 pub mod skew;
 pub mod tables;
+pub mod traffic;
 
 pub use aggq::{agg_training_queries, agg_training_queries_with, AggQuery};
 pub use joinq::{join_training_queries, join_training_queries_with, JoinQuery};
@@ -37,4 +43,7 @@ pub use probes::{probe_suite, probe_suite_for};
 pub use skew::{build_skewed_table, skew_join_sql, SkewedTableSpec};
 pub use tables::{
     build_table, fig10_table_specs, register_tables, specs_up_to, table_name, TableSpec,
+};
+pub use traffic::{
+    Arrival, ClientStream, ClosedLoopModel, OpenLoopModel, RequestSampler, TenantMix,
 };

@@ -44,6 +44,14 @@ pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 pub mod rank {
     /// Rank of a lock that opted out of ordering (the default).
     pub const UNRANKED: u32 = 0;
+    /// `serving::limiter` per-tenant token-bucket map
+    /// (`TenantRateLimiter::buckets`) — taken first on the admission
+    /// path, never while holding anything else.
+    pub const FRONTEND_LIMITER: u32 = 3;
+    /// `serving::frontend` request-queue receiver baton
+    /// (`Inner::queue_rx`) — the batch leader holds it while draining;
+    /// it is released before any estimation lock is touched.
+    pub const FRONTEND_QUEUE: u32 = 5;
     /// `costing::epoch` snapshot-publication commit mutex (`EpochStore::commit`).
     pub const EPOCH_COMMIT: u32 = 10;
     /// `arc_swap` retired-snapshot reclamation list (`ArcSwap::retired`).
