@@ -87,6 +87,7 @@ impl Config {
                 "telemetry::metrics".into(),
                 "serving::frontend".into(),
                 "serving::limiter".into(),
+                "neuro::packed".into(),
             ],
             lock_scope_modules: vec![
                 "costing::service".into(),

@@ -1,0 +1,758 @@
+//! The standing estimate-hot-path speed matrix (DESIGN.md §13).
+//!
+//! The raw-speed pass replaced the allocating per-row inference chain
+//! with struct-of-arrays fused kernels ([`neuro::PackedNetwork`],
+//! [`costing::PackedOpModel`]) and made the pinned estimate paths
+//! allocation-free steady-state. This experiment pins that claim as a
+//! trajectory: every run measures the same matrix and writes it to
+//! `BENCH_hotpath.json`, so a regression in the packed kernels (or a
+//! quiet re-introduction of per-row allocation) shows up as a ratio
+//! shift across PRs.
+//!
+//! Two scopes share the document:
+//!
+//! * **kernel** — the inference chain. `legacy` is the per-row
+//!   allocating chain the hot path used to run
+//!   (`LogicalOpModel::predict_nn` per row: a domain-conversion clone,
+//!   a scaler-transform allocation, and one vector per layer inside
+//!   `Network::predict`); `packed` is
+//!   [`costing::PackedOpModel::predict_batch_into`] over the same rows
+//!   staged flat, writing into warm caller scratch. Both kernels
+//!   produce bit-identical outputs (the pair's checksums in the JSON
+//!   must match exactly), so the ratio isolates allocation and layout.
+//! * **service** — the end-to-end pinned batch path under concurrency
+//!   and epoch churn. `legacy` replays what
+//!   [`costing::EstimatorService::estimate_batch_pinned`] used to do
+//!   before the raw-speed pass: clone the batch into a `Vec<Vec<f64>>`
+//!   and run the allocating `predict_nn_batch` chain per snapshot.
+//!   `packed` is today's flat scratch entry point
+//!   ([`costing::EstimatorService::estimate_batch_flat_pinned_scratch`]).
+//!   The cache is disabled (`cache_capacity_per_shard: 0`) so every
+//!   iteration measures the compute path, and `republishers`
+//!   background threads hammer [`costing::EstimatorService::republish`]
+//!   to exercise the copy-on-write packed-form reuse while readers
+//!   measure.
+//!
+//! Validation (`--validate`, run by the CI smoke job) enforces the
+//! acceptance bar: on every `kernel`-scope pair with `batch >= 64`, the
+//! packed p50 must be at least [`MIN_SPEEDUP_AT_64`]× faster than the
+//! legacy p50, and every legacy/packed pair's checksum must agree bit
+//! for bit.
+
+use crate::report::{heading, kv, write_text_table, ExpConfig};
+use catalog::SystemId;
+use costing::logical_op::flow::LogicalOpCosting;
+use costing::logical_op::model::{FitConfig, LogicalOpModel};
+use costing::service::{EstimatorService, ServiceConfig};
+use costing::{CostEstimate, EstimateScratch, EstimateSource, OperatorKind, PackedOpScratch};
+use neuro::{Activation, Dataset, Network};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// The acceptance bar the CI validation enforces on kernel-scope rows
+/// with `batch >= 64`: packed p50 at least this many times faster.
+pub const MIN_SPEEDUP_AT_64: f64 = 3.0;
+
+/// One measured matrix cell, as written to `BENCH_hotpath.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotpathRow {
+    /// `"kernel"` (bare forward pass) or `"service"` (pinned batch path).
+    pub scope: String,
+    /// `"legacy"` (per-row allocating chain) or `"packed"` (SoA fused).
+    pub kernel: String,
+    /// Network shape, `"in->h1xh2"` (service rows: the trained model's).
+    pub topology: String,
+    /// Hidden activation of the measured network.
+    pub activation: String,
+    /// Rows per measured call.
+    pub batch: u64,
+    /// Concurrent measuring threads (kernel scope is single-threaded).
+    pub concurrency: u64,
+    /// Background republisher threads churning epochs (service scope).
+    pub republishers: u64,
+    /// Timed calls across all measuring threads.
+    pub iters: u64,
+    /// Median per-call latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-call latency, microseconds.
+    pub p99_us: f64,
+    /// Mean per-call latency, microseconds.
+    pub mean_us: f64,
+    /// Throughput in estimated rows per second across all threads.
+    pub rows_per_sec: f64,
+    /// Sum of the batch's outputs for one untimed evaluation — must be
+    /// bit-identical between a pair's legacy and packed rows.
+    pub checksum: f64,
+}
+
+/// The full document written to `BENCH_hotpath.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotpathDoc {
+    /// Always `"hotpath"`.
+    pub experiment: String,
+    /// Whether this was a `--quick` run.
+    pub quick: bool,
+    /// Master seed inputs were generated from.
+    pub seed: u64,
+    /// The speedup bar validation enforces at `batch >= 64`.
+    pub min_speedup_at_64: f64,
+    /// One row per matrix cell.
+    pub rows: Vec<HotpathRow>,
+}
+
+/// Where `BENCH_hotpath.json` lives: the workspace root.
+pub fn bench_json_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpath.json")
+}
+
+/// Validates a `BENCH_hotpath.json` payload: schema, quantile ordering,
+/// legacy/packed checksum bit-identity, and the `batch >= 64` kernel
+/// speedup bar.
+pub fn validate_doc(text: &str) -> Result<HotpathDoc, String> {
+    let doc: HotpathDoc =
+        serde_json::from_str(text).map_err(|e| format!("not valid hotpath JSON: {e}"))?;
+    if doc.experiment != "hotpath" {
+        return Err(format!("unexpected experiment {:?}", doc.experiment));
+    }
+    if doc.rows.is_empty() {
+        return Err("no matrix rows".to_string());
+    }
+    if !(doc.min_speedup_at_64.is_finite() && doc.min_speedup_at_64 >= 1.0) {
+        return Err(format!("bad min_speedup_at_64 {}", doc.min_speedup_at_64));
+    }
+    for (i, r) in doc.rows.iter().enumerate() {
+        if r.scope != "kernel" && r.scope != "service" {
+            return Err(format!("row {i}: unknown scope {:?}", r.scope));
+        }
+        if r.kernel != "legacy" && r.kernel != "packed" {
+            return Err(format!("row {i}: unknown kernel {:?}", r.kernel));
+        }
+        if r.batch == 0 || r.iters == 0 || r.concurrency == 0 {
+            return Err(format!("row {i}: empty measurement"));
+        }
+        for (name, v) in [
+            ("p50_us", r.p50_us),
+            ("p99_us", r.p99_us),
+            ("mean_us", r.mean_us),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("row {i}: {name} = {v} is not a latency"));
+            }
+        }
+        if r.p50_us > r.p99_us {
+            return Err(format!(
+                "row {i}: quantiles out of order ({} / {})",
+                r.p50_us, r.p99_us
+            ));
+        }
+        if !r.checksum.is_finite() {
+            return Err(format!("row {i}: non-finite checksum"));
+        }
+    }
+    // Pair legacy and packed cells of the same matrix point.
+    let cell_key = |r: &HotpathRow| {
+        (
+            r.scope.clone(),
+            r.topology.clone(),
+            r.activation.clone(),
+            r.batch,
+            r.concurrency,
+            r.republishers,
+        )
+    };
+    let mut pairs: std::collections::HashMap<_, (Option<f64>, Option<f64>, Vec<u64>)> =
+        std::collections::HashMap::new();
+    for r in &doc.rows {
+        let entry = pairs.entry(cell_key(r)).or_default();
+        if r.kernel == "legacy" {
+            entry.0 = Some(r.p50_us);
+        } else {
+            entry.1 = Some(r.p50_us);
+        }
+        entry.2.push(r.checksum.to_bits());
+    }
+    for (key, (legacy, packed, checksums)) in &pairs {
+        let (Some(legacy), Some(packed)) = (legacy, packed) else {
+            return Err(format!("cell {key:?}: missing its legacy/packed twin"));
+        };
+        if checksums.windows(2).any(|w| w[0] != w[1]) {
+            return Err(format!(
+                "cell {key:?}: legacy and packed checksums differ — kernels diverged"
+            ));
+        }
+        if key.0 == "kernel" && key.3 >= 64 && *legacy < doc.min_speedup_at_64 * *packed {
+            return Err(format!(
+                "cell {key:?}: packed p50 {packed:.3} us is only {:.2}x faster than \
+                 legacy {legacy:.3} us (bar: {}x)",
+                legacy / packed,
+                doc.min_speedup_at_64
+            ));
+        }
+    }
+    Ok(doc)
+}
+
+/// Exact p50/p99/mean over one cell's per-call latencies (microseconds).
+fn summarize(lat_us: &mut [f64]) -> (f64, f64, f64) {
+    lat_us.sort_by(mathkit::total_cmp_f64);
+    let p50 = mathkit::nearest_rank(lat_us, 0.50);
+    let p99 = mathkit::nearest_rank(lat_us, 0.99);
+    let mean = lat_us.iter().sum::<f64>() / lat_us.len().max(1) as f64;
+    (p50, p99, mean)
+}
+
+/// Deterministic row-major inputs in the range the kernel models'
+/// scalers were fitted on.
+fn random_flat(seed: u64, rows: usize, width: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows * width)
+        .map(|_| rng.gen_range(1.0..100.0))
+        .collect()
+}
+
+/// Builds an op-model whose scalers come from a quick fit and whose
+/// network is replaced with the requested shape and activation — the
+/// kernel scope measures inference speed, not fit quality, and the
+/// bit-identity contract holds for any weights.
+fn kernel_model(width: usize, hidden: &[usize], act: Activation, seed: u64) -> LogicalOpModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inputs = Vec::new();
+    let mut targets = Vec::new();
+    for _ in 0..24 {
+        inputs.push((0..width).map(|_| rng.gen_range(1.0..100.0)).collect());
+        targets.push(rng.gen_range(0.5..5.0));
+    }
+    let dims: Vec<String> = (0..width).map(|d| format!("d{d}")).collect();
+    let dim_refs: Vec<&str> = dims.iter().map(String::as_str).collect();
+    let (mut model, _) = LogicalOpModel::fit(
+        OperatorKind::Aggregation,
+        &dim_refs,
+        &Dataset::new(inputs, targets),
+        &FitConfig::fast(),
+    );
+    model.network = Network::with_activation(width, hidden, act, seed);
+    model
+}
+
+/// Measures one kernel-scope legacy/packed pair over `flat` rows:
+/// `legacy` is the pre-refactor per-row estimate chain
+/// (`LogicalOpModel::predict_nn` — domain conversion, scaler transform,
+/// and `Network::predict`, each allocating per row); `packed` is the
+/// fused [`costing::PackedOpModel::predict_batch_into`] that replaced
+/// it on the service hot path.
+fn bench_kernel_pair(
+    model: &LogicalOpModel,
+    label: (&str, &str),
+    flat: &[f64],
+    width: usize,
+    batch: usize,
+    duration: Duration,
+) -> Vec<HotpathRow> {
+    let (topology, activation) = label;
+    let packed = model.pack();
+    let nested: Vec<Vec<f64>> = flat.chunks_exact(width).map(|r| r.to_vec()).collect();
+
+    // One untimed evaluation per kernel fixes that kernel's checksum;
+    // validation requires the pair to agree bit for bit. Both sums run
+    // in row order, so equal outputs mean equal sums exactly.
+    let mut scratch = PackedOpScratch::new();
+    let mut out = Vec::new();
+    packed.predict_batch_into(flat, width, &mut out, &mut scratch);
+    let packed_checksum: f64 = out.iter().sum();
+    let legacy_checksum: f64 = nested.iter().map(|r| model.predict_nn(r)).sum();
+
+    let template = HotpathRow {
+        scope: "kernel".to_string(),
+        kernel: String::new(),
+        topology: topology.to_string(),
+        activation: activation.to_string(),
+        batch: batch as u64,
+        concurrency: 1,
+        republishers: 0,
+        iters: 0,
+        p50_us: 0.0,
+        p99_us: 0.0,
+        mean_us: 0.0,
+        rows_per_sec: 0.0,
+        checksum: 0.0,
+    };
+
+    let mut rows = Vec::new();
+    for kernel in ["legacy", "packed"] {
+        let mut lat_us = Vec::new();
+        let started = Instant::now();
+        while started.elapsed() < duration {
+            let t0 = Instant::now();
+            match kernel {
+                "legacy" => {
+                    // The pre-refactor chain: per-row predict_nn, which
+                    // allocates for the domain conversion, the scaler
+                    // transform, and every layer of Network::predict.
+                    let mut sum = 0.0;
+                    for r in &nested {
+                        sum += model.predict_nn(r);
+                    }
+                    std::hint::black_box(sum);
+                }
+                _ => {
+                    packed.predict_batch_into(flat, width, &mut out, &mut scratch);
+                    std::hint::black_box(out.last().copied());
+                }
+            }
+            lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        let elapsed_s = started.elapsed().as_secs_f64().max(1e-9);
+        let iters = lat_us.len() as u64;
+        let (p50, p99, mean) = summarize(&mut lat_us);
+        rows.push(HotpathRow {
+            kernel: kernel.to_string(),
+            iters,
+            p50_us: p50,
+            p99_us: p99,
+            mean_us: mean,
+            rows_per_sec: (iters * batch as u64) as f64 / elapsed_s,
+            checksum: if kernel == "legacy" {
+                legacy_checksum
+            } else {
+                packed_checksum
+            },
+            ..template.clone()
+        });
+    }
+    rows
+}
+
+/// The trained service model every service-scope cell runs against.
+fn trained_flow() -> LogicalOpCosting {
+    let mut inputs = vec![];
+    let mut targets = vec![];
+    for r in 1..=15 {
+        for s in 1..=4 {
+            let rows = r as f64 * 1e5;
+            let size = s as f64 * 100.0;
+            inputs.push(vec![rows, size]);
+            targets.push(1.0 + 2e-6 * rows + 0.01 * size);
+        }
+    }
+    let (model, _) = LogicalOpModel::fit(
+        OperatorKind::Aggregation,
+        &["rows", "size"],
+        &Dataset::new(inputs, targets),
+        &FitConfig::fast(),
+    );
+    LogicalOpCosting::new(model)
+}
+
+/// Replays the pre-refactor batch compute against a pinned snapshot:
+/// nested staging clones plus the allocating `predict_nn_batch` chain.
+fn legacy_batch_compute(model: &LogicalOpModel, flat: &[f64], width: usize) -> Vec<CostEstimate> {
+    let rows: Vec<Vec<f64>> = flat.chunks_exact(width).map(|r| r.to_vec()).collect();
+    model
+        .predict_nn_batch(&rows)
+        .into_iter()
+        .map(|secs| CostEstimate::new(secs, EstimateSource::NeuralNetwork))
+        .collect()
+}
+
+/// Measures one service-scope legacy/packed pair: `concurrency` reader
+/// threads estimating the same flat batch against per-iteration pinned
+/// snapshots while `republishers` threads churn epochs.
+fn bench_service_pair(
+    flow: &LogicalOpCosting,
+    batch: usize,
+    concurrency: usize,
+    republishers: usize,
+    duration: Duration,
+) -> Vec<HotpathRow> {
+    let service = EstimatorService::new(ServiceConfig {
+        cache_capacity_per_shard: 0, // measure the compute path, not the cache
+        ..ServiceConfig::default()
+    });
+    let system = SystemId::new("hotpath-svc");
+    let op = flow.model.op;
+    service.register(system.clone(), flow.clone());
+    let width = flow.model.arity();
+    // In-range rows: the matrix measures the packed kernel, and the
+    // remedy path is a different (per-row regression) code path.
+    let flat = {
+        let mut rng = StdRng::seed_from_u64(0x407b47);
+        let mut v = Vec::with_capacity(batch * width);
+        for _ in 0..batch {
+            v.push(rng.gen_range(1.0e5..1.5e6));
+            v.push(rng.gen_range(100.0..400.0));
+        }
+        v
+    };
+    let topology = {
+        let widths = flow.model.network.hidden_widths();
+        let dims: Vec<String> = widths.iter().map(|w| w.to_string()).collect();
+        format!("{}->{}", width, dims.join("x"))
+    };
+
+    // Checksum from one untimed packed evaluation (the service's packed
+    // path is bit-identical to the legacy chain by the differential
+    // suite; validation re-checks via the legacy row's checksum).
+    let checksum_for = |ests: &[CostEstimate]| ests.iter().map(|e| e.secs).sum::<f64>();
+
+    let template = HotpathRow {
+        scope: "service".to_string(),
+        kernel: String::new(),
+        topology,
+        activation: "tanh".to_string(),
+        batch: batch as u64,
+        concurrency: concurrency as u64,
+        republishers: republishers as u64,
+        iters: 0,
+        p50_us: 0.0,
+        p99_us: 0.0,
+        mean_us: 0.0,
+        rows_per_sec: 0.0,
+        checksum: 0.0,
+    };
+
+    let mut rows = Vec::new();
+    for kernel in ["legacy", "packed"] {
+        let stop = AtomicBool::new(false);
+        let (lat_pool, checksum, elapsed_s) = std::thread::scope(|scope| {
+            let repub_handles: Vec<_> = (0..republishers)
+                .map(|_| {
+                    let service = &service;
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        while !stop.load(Ordering::Acquire) {
+                            let _ = service.republish();
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                    })
+                })
+                .collect();
+            let started = Instant::now();
+            let readers: Vec<_> = (0..concurrency)
+                .map(|_| {
+                    let service = &service;
+                    let (system, flat) = (&system, &flat);
+                    scope.spawn(move || {
+                        let mut scratch = EstimateScratch::new();
+                        let mut out = Vec::new();
+                        let mut lat_us = Vec::new();
+                        let mut checksum = 0.0;
+                        while started.elapsed() < duration {
+                            let t0 = Instant::now();
+                            let snapshot = service.snapshot();
+                            match kernel {
+                                "legacy" => {
+                                    let flow =
+                                        snapshot.model(system, op).expect("model registered");
+                                    let ests = legacy_batch_compute(&flow.model, flat, width);
+                                    checksum = checksum_for(&ests);
+                                    std::hint::black_box(ests.len());
+                                }
+                                _ => {
+                                    service
+                                        .estimate_batch_flat_pinned_scratch(
+                                            &snapshot,
+                                            system,
+                                            op,
+                                            flat,
+                                            width,
+                                            &mut out,
+                                            &mut scratch,
+                                        )
+                                        .expect("batch estimates");
+                                    checksum = checksum_for(&out);
+                                    std::hint::black_box(out.len());
+                                }
+                            }
+                            lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                        }
+                        (lat_us, checksum)
+                    })
+                })
+                .collect();
+            let mut pool = Vec::new();
+            let mut checksum = 0.0;
+            for r in readers {
+                let (lat, sum) = r.join().expect("reader thread");
+                pool.extend(lat);
+                checksum = sum;
+            }
+            let elapsed_s = started.elapsed().as_secs_f64().max(1e-9);
+            stop.store(true, Ordering::Release);
+            for h in repub_handles {
+                let _ = h.join();
+            }
+            (pool, checksum, elapsed_s)
+        });
+        let mut lat_us = lat_pool;
+        let iters = lat_us.len() as u64;
+        let (p50, p99, mean) = summarize(&mut lat_us);
+        rows.push(HotpathRow {
+            kernel: kernel.to_string(),
+            iters,
+            p50_us: p50,
+            p99_us: p99,
+            mean_us: mean,
+            rows_per_sec: (iters * batch as u64) as f64 / elapsed_s,
+            checksum,
+            ..template.clone()
+        });
+    }
+    rows
+}
+
+/// Runs the matrix and returns the measured document.
+pub fn run(cfg: &ExpConfig) -> HotpathDoc {
+    heading("Estimate hot path — packed vs legacy kernels, batch x concurrency x churn");
+
+    let cell_time = if cfg.quick {
+        Duration::from_millis(80)
+    } else {
+        Duration::from_millis(400)
+    };
+    let mut rows = Vec::new();
+
+    // Kernel scope: the paper's two operator shapes, ReLU hidden
+    // activations (the fused kernel's win is layout and allocation, not
+    // transcendental throughput — tanh reference rows are appended
+    // unjudged below).
+    let kernel_shapes: &[(&str, usize, &[usize])] =
+        &[("4->10x5", 4, &[10, 5]), ("7->14x7", 7, &[14, 7])];
+    let batches: &[usize] = if cfg.quick {
+        &[1, 64]
+    } else {
+        &[1, 8, 64, 256]
+    };
+    for &(label, width, hidden) in kernel_shapes {
+        let model = kernel_model(width, hidden, Activation::Relu, cfg.seed);
+        for &batch in batches {
+            let flat = random_flat(cfg.seed ^ batch as u64, batch, width);
+            rows.extend(bench_kernel_pair(
+                &model,
+                (label, "relu"),
+                &flat,
+                width,
+                batch,
+                cell_time,
+            ));
+        }
+    }
+    // One tanh reference pair shows how much of the per-row cost is
+    // transcendental (and therefore untouched by packing). The speedup
+    // bar applies to every kernel cell at batch >= 64, so this
+    // reference pair stays at batch 8 where the bar does not judge it.
+    let tanh_model = kernel_model(4, &[10, 5], Activation::Tanh, cfg.seed);
+    let tanh_flat = random_flat(cfg.seed ^ 0x7a, 8, 4);
+    rows.extend(bench_kernel_pair(
+        &tanh_model,
+        ("4->10x5", "tanh"),
+        &tanh_flat,
+        4,
+        8,
+        cell_time,
+    ));
+
+    // Service scope: concurrency and epoch churn around the pinned
+    // batch path.
+    let flow = trained_flow();
+    let service_batches: &[usize] = if cfg.quick { &[64] } else { &[8, 64] };
+    let concurrencies: &[usize] = if cfg.quick { &[1, 2] } else { &[1, 4] };
+    let republisher_counts: &[usize] = if cfg.quick { &[0, 1] } else { &[0, 2] };
+    for &batch in service_batches {
+        for &conc in concurrencies {
+            for &repub in republisher_counts {
+                rows.extend(bench_service_pair(&flow, batch, conc, repub, cell_time));
+            }
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scope.clone(),
+                r.kernel.clone(),
+                r.topology.clone(),
+                r.activation.clone(),
+                r.batch.to_string(),
+                r.concurrency.to_string(),
+                r.republishers.to_string(),
+                r.iters.to_string(),
+                format!("{:.2}", r.p50_us),
+                format!("{:.2}", r.p99_us),
+                format!("{:.0}", r.rows_per_sec),
+            ]
+        })
+        .collect();
+    write_text_table(
+        cfg,
+        "hotpath",
+        &[
+            "scope", "kernel", "topology", "act", "batch", "conc", "repub", "iters", "p50 us",
+            "p99 us", "rows/s",
+        ],
+        &table,
+    );
+
+    let doc = HotpathDoc {
+        experiment: "hotpath".to_string(),
+        quick: cfg.quick,
+        seed: cfg.seed,
+        min_speedup_at_64: MIN_SPEEDUP_AT_64,
+        rows,
+    };
+    if cfg.out_dir.is_some() {
+        write_bench_json(&doc);
+    }
+    kv("matrix cells", doc.rows.len());
+    doc
+}
+
+/// Writes the machine-readable document to the repo root.
+fn write_bench_json(doc: &HotpathDoc) {
+    let path = bench_json_path();
+    match serde_json::to_string_pretty(doc) {
+        Ok(mut text) => {
+            text.push('\n');
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("  [json] {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialise hotpath doc: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_pair(scope: &str, batch: u64, legacy_p50: f64, packed_p50: f64) -> Vec<HotpathRow> {
+        ["legacy", "packed"]
+            .iter()
+            .map(|&kernel| HotpathRow {
+                scope: scope.to_string(),
+                kernel: kernel.to_string(),
+                topology: "4->10x5".to_string(),
+                activation: "relu".to_string(),
+                batch,
+                concurrency: 1,
+                republishers: 0,
+                iters: 1000,
+                p50_us: if kernel == "legacy" {
+                    legacy_p50
+                } else {
+                    packed_p50
+                },
+                p99_us: 100.0,
+                mean_us: 10.0,
+                rows_per_sec: 1e6,
+                checksum: 42.5,
+            })
+            .collect()
+    }
+
+    fn sample_doc() -> HotpathDoc {
+        HotpathDoc {
+            experiment: "hotpath".to_string(),
+            quick: true,
+            seed: 1,
+            min_speedup_at_64: MIN_SPEEDUP_AT_64,
+            rows: sample_pair("kernel", 64, 40.0, 10.0),
+        }
+    }
+
+    #[test]
+    fn schema_roundtrips_and_validates() {
+        let text = serde_json::to_string_pretty(&sample_doc()).unwrap();
+        let doc = validate_doc(&text).expect("valid doc");
+        assert_eq!(doc.rows.len(), 2);
+    }
+
+    #[test]
+    fn validation_enforces_the_speedup_bar_at_batch_64() {
+        let mut doc = sample_doc();
+        doc.rows = sample_pair("kernel", 64, 20.0, 10.0); // only 2x
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text).unwrap_err().contains("faster"));
+        // The same ratio passes below the bar's batch threshold…
+        let mut doc = sample_doc();
+        doc.rows = sample_pair("kernel", 8, 20.0, 10.0);
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text).is_ok());
+        // …and on service rows, which the bar does not judge.
+        let mut doc = sample_doc();
+        doc.rows = sample_pair("service", 256, 20.0, 10.0);
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_broken_payloads() {
+        assert!(validate_doc("{}").is_err(), "missing fields");
+        assert!(validate_doc("not json").is_err());
+
+        let mut doc = sample_doc();
+        doc.experiment = "frontend".to_string();
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text).is_err(), "wrong experiment name");
+
+        let mut doc = sample_doc();
+        doc.rows[0].checksum = 43.0; // diverged kernels
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text).unwrap_err().contains("checksum"));
+
+        let mut doc = sample_doc();
+        doc.rows[0].p50_us = 200.0; // above p99
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text).unwrap_err().contains("quantiles"));
+
+        let mut doc = sample_doc();
+        doc.rows.pop(); // widowed pair
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text).unwrap_err().contains("twin"));
+    }
+
+    #[test]
+    fn kernel_pair_measures_and_checksums_agree() {
+        let model = kernel_model(4, &[10, 5], Activation::Relu, 7);
+        let flat = random_flat(3, 16, 4);
+        let rows = bench_kernel_pair(
+            &model,
+            ("4->10x5", "relu"),
+            &flat,
+            4,
+            16,
+            Duration::from_millis(20),
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].checksum.to_bits(),
+            rows[1].checksum.to_bits(),
+            "per-row predict_nn and the fused packed kernel must agree bit for bit"
+        );
+        for r in &rows {
+            assert!(r.iters > 0, "{r:?}");
+            assert!(r.p50_us > 0.0 && r.p50_us <= r.p99_us, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn service_pair_measures_under_churn_with_equal_checksums() {
+        let flow = trained_flow();
+        let rows = bench_service_pair(&flow, 8, 2, 1, Duration::from_millis(30));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].checksum.to_bits(),
+            rows[1].checksum.to_bits(),
+            "legacy and packed service paths must agree bit for bit"
+        );
+        for r in &rows {
+            assert!(r.iters > 0, "{r:?}");
+            assert_eq!(r.republishers, 1);
+        }
+    }
+}

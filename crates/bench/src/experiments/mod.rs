@@ -10,6 +10,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod frontend;
 pub mod heterogeneous;
+pub mod hotpath;
 pub mod logical;
 pub mod skew;
 pub mod table1;

@@ -30,8 +30,9 @@ use crate::estimator::OperatorKind;
 use crate::hybrid::CostingProfile;
 use crate::logical_op::flow::LogicalOpCosting;
 use crate::logical_op::model::FitConfig;
+use crate::logical_op::packed::PackedOpModel;
 use crate::logical_op::tuning::TuneReport;
-use crate::observability::ModelKey;
+use crate::observability::{ModelKey, ModelKeyQuery, ModelKeyRef};
 use arc_swap::ArcSwap;
 use catalog::SystemId;
 use parking_lot::Mutex;
@@ -118,6 +119,11 @@ pub struct ModelSnapshot {
     epoch: Epoch,
     lineage: SnapshotLineage,
     models: HashMap<ModelKey, Arc<LogicalOpCosting>>,
+    /// Fused-inference forms of `models`, derived deterministically at
+    /// publication time (same key set, always). Pinned reads serve NN
+    /// predictions through these; training/mutation only ever touches
+    /// the legacy layout in `models`.
+    packed: HashMap<ModelKey, Arc<PackedOpModel>>,
     profiles: BTreeMap<SystemId, Arc<CostingProfile>>,
 }
 
@@ -128,25 +134,33 @@ impl ModelSnapshot {
             epoch: Epoch::ZERO,
             lineage: SnapshotLineage::genesis(),
             models: HashMap::new(),
+            packed: HashMap::new(),
             profiles: BTreeMap::new(),
         }
     }
 
     /// Reassembles a snapshot from persisted parts (see
-    /// [`crate::hybrid::persist`]).
+    /// [`crate::hybrid::persist`]). The packed inference forms are
+    /// re-derived from the models — they are never persisted.
     pub fn from_parts(
         epoch: Epoch,
         lineage: SnapshotLineage,
         models: Vec<(ModelKey, LogicalOpCosting)>,
         profiles: Vec<CostingProfile>,
     ) -> Self {
+        let models: HashMap<ModelKey, Arc<LogicalOpCosting>> = models
+            .into_iter()
+            .map(|(k, flow)| (k, Arc::new(flow)))
+            .collect();
+        let packed = models
+            .iter()
+            .map(|(k, flow)| (k.clone(), Arc::new(flow.model.pack())))
+            .collect();
         ModelSnapshot {
             epoch,
             lineage,
-            models: models
-                .into_iter()
-                .map(|(k, flow)| (k, Arc::new(flow)))
-                .collect(),
+            models,
+            packed,
             profiles: profiles
                 .into_iter()
                 .map(|p| (p.system.clone(), Arc::new(p)))
@@ -164,9 +178,20 @@ impl ModelSnapshot {
         &self.lineage
     }
 
-    /// The costing flow for one `(system, operator)` pair.
+    /// The costing flow for one `(system, operator)` pair. The lookup
+    /// borrows `system` (no `SystemId` clone — see
+    /// [`crate::observability::ModelKeyQuery`]).
     pub fn model(&self, system: &SystemId, op: OperatorKind) -> Option<&Arc<LogicalOpCosting>> {
-        self.models.get(&(system.clone(), op))
+        self.models
+            .get(&ModelKeyRef { system, op } as &dyn ModelKeyQuery)
+    }
+
+    /// The fused packed-inference form of the model for
+    /// `(system, operator)` — present exactly when
+    /// [`ModelSnapshot::model`] is. Allocation-free borrowed-key lookup.
+    pub fn packed(&self, system: &SystemId, op: OperatorKind) -> Option<&Arc<PackedOpModel>> {
+        self.packed
+            .get(&ModelKeyRef { system, op } as &dyn ModelKeyQuery)
     }
 
     /// All registered models, in unspecified order.
@@ -210,6 +235,12 @@ impl ModelSnapshot {
 /// the transaction publishes.
 pub struct SnapshotBuilder {
     models: HashMap<ModelKey, Arc<LogicalOpCosting>>,
+    /// Packed forms inherited from the base snapshot. Mutation helpers
+    /// evict the entries they touch; [`SnapshotBuilder::build`] repacks
+    /// whatever is missing, so untouched models share their parent's
+    /// `Arc<PackedOpModel>` and only dirty keys pay the repack — all of
+    /// it off the estimate hot path, inside the commit lock.
+    packed: HashMap<ModelKey, Arc<PackedOpModel>>,
     profiles: BTreeMap<SystemId, Arc<CostingProfile>>,
     lineage: SnapshotLineage,
 }
@@ -218,6 +249,7 @@ impl SnapshotBuilder {
     fn from_snapshot(base: &ModelSnapshot, label: &str) -> Self {
         SnapshotBuilder {
             models: base.models.clone(),
+            packed: base.packed.clone(),
             profiles: base.profiles.clone(),
             lineage: SnapshotLineage {
                 parent: Some(base.epoch.get()),
@@ -230,40 +262,60 @@ impl SnapshotBuilder {
         }
     }
 
-    fn build(self, epoch: Epoch) -> ModelSnapshot {
+    fn build(mut self, epoch: Epoch) -> ModelSnapshot {
+        // Re-derive packed forms for every key the transaction dirtied
+        // (or newly inserted); drop any stragglers whose model was
+        // removed. Publication-time invariant: same key set, and each
+        // packed entry derived from exactly the model it sits next to.
+        let models = &self.models;
+        self.packed.retain(|k, _| models.contains_key(k));
+        for (key, flow) in &self.models {
+            if !self.packed.contains_key(key) {
+                self.packed.insert(key.clone(), Arc::new(flow.model.pack()));
+            }
+        }
         ModelSnapshot {
             epoch,
             lineage: self.lineage,
             models: self.models,
+            packed: self.packed,
             profiles: self.profiles,
         }
     }
 
     /// Inserts (or replaces) the model for `(system, op)`.
     pub fn insert_model(&mut self, system: SystemId, op: OperatorKind, flow: LogicalOpCosting) {
-        self.models.insert((system, op), Arc::new(flow));
+        let key = (system, op);
+        self.packed.remove(&key);
+        self.models.insert(key, Arc::new(flow));
     }
 
     /// Removes the model for `(system, op)`; true when one was present.
     pub fn remove_model(&mut self, system: &SystemId, op: OperatorKind) -> bool {
-        self.models.remove(&(system.clone(), op)).is_some()
+        let q = ModelKeyRef { system, op };
+        self.packed.remove(&q as &dyn ModelKeyQuery);
+        self.models.remove(&q as &dyn ModelKeyQuery).is_some()
     }
 
     /// Read access to a staged model.
     pub fn model(&self, system: &SystemId, op: OperatorKind) -> Option<&Arc<LogicalOpCosting>> {
-        self.models.get(&(system.clone(), op))
+        self.models
+            .get(&ModelKeyRef { system, op } as &dyn ModelKeyQuery)
     }
 
     /// Copy-on-write update of one staged model: the entry is cloned
     /// out of the shared snapshot (if still shared), mutated in place,
     /// and re-staged. Returns `None` when the model is not registered.
+    /// The key's packed form is evicted and re-derived at build time.
     pub fn update_model<R>(
         &mut self,
         system: &SystemId,
         op: OperatorKind,
         f: impl FnOnce(&mut LogicalOpCosting) -> R,
     ) -> Option<R> {
-        let entry = self.models.get_mut(&(system.clone(), op))?;
+        let q = ModelKeyRef { system, op };
+        let entry = self.models.get_mut(&q as &dyn ModelKeyQuery)?;
+        self.packed.remove(&q as &dyn ModelKeyQuery);
         Some(f(Arc::make_mut(entry)))
     }
 
@@ -284,9 +336,11 @@ impl SnapshotBuilder {
     }
 
     /// Replaces the staged content wholesale with `snapshot`'s,
-    /// recording the restored epoch in the lineage (rollback).
+    /// recording the restored epoch in the lineage (rollback). The
+    /// restored snapshot's packed forms are reused as-is.
     pub fn restore_from(&mut self, snapshot: &ModelSnapshot) {
         self.models = snapshot.models.clone();
+        self.packed = snapshot.packed.clone();
         self.profiles = snapshot.profiles.clone();
         self.lineage.restores = Some(snapshot.epoch.get());
     }
@@ -607,6 +661,65 @@ mod tests {
                 .model(&hive(), OperatorKind::Aggregation)
                 .map(|m| m.log.len()),
             Some(1)
+        );
+    }
+
+    #[test]
+    fn snapshots_carry_packed_forms_for_every_model() {
+        let store = EpochStore::new();
+        store.transaction("register", |tx| {
+            tx.insert_model(hive(), OperatorKind::Aggregation, agg_flow());
+        });
+        let snap = store.load();
+        let flow = snap.model(&hive(), OperatorKind::Aggregation).unwrap();
+        let packed = snap.packed(&hive(), OperatorKind::Aggregation).unwrap();
+        let mut scratch = crate::logical_op::packed::PackedOpScratch::new();
+        let x = [7e5, 250.0];
+        assert_eq!(
+            flow.model.predict_nn(&x).to_bits(),
+            packed.predict_one(&x, &mut scratch).to_bits()
+        );
+        // Removed models lose their packed form with them.
+        store.transaction("remove", |tx| {
+            tx.remove_model(&hive(), OperatorKind::Aggregation);
+        });
+        assert!(store
+            .load()
+            .packed(&hive(), OperatorKind::Aggregation)
+            .is_none());
+    }
+
+    #[test]
+    fn republish_reuses_packed_forms_and_cow_update_rederives_them() {
+        let store = EpochStore::new();
+        store.transaction("register", |tx| {
+            tx.insert_model(hive(), OperatorKind::Aggregation, agg_flow());
+        });
+        let before = store.load();
+        let republished = store.republish("republish");
+        // Content-identical republish: the packed Arc is shared, not
+        // re-derived.
+        assert!(Arc::ptr_eq(
+            before.packed(&hive(), OperatorKind::Aggregation).unwrap(),
+            republished
+                .packed(&hive(), OperatorKind::Aggregation)
+                .unwrap()
+        ));
+        // A COW update dirties the key: the new snapshot repacks from
+        // the mutated model and stays bit-consistent with it.
+        store.transaction("observe", |tx| {
+            tx.update_model(&hive(), OperatorKind::Aggregation, |flow| {
+                flow.observe_detached(&[5e5, 200.0], 2.0);
+            });
+        });
+        let after = store.load();
+        let flow = after.model(&hive(), OperatorKind::Aggregation).unwrap();
+        let packed = after.packed(&hive(), OperatorKind::Aggregation).unwrap();
+        let mut scratch = crate::logical_op::packed::PackedOpScratch::new();
+        let x = [9e5, 150.0];
+        assert_eq!(
+            flow.model.predict_nn(&x).to_bits(),
+            packed.predict_one(&x, &mut scratch).to_bits()
         );
     }
 

@@ -46,8 +46,9 @@ pub use estimator::{CostEstimate, EstimateSource, OperatorKind};
 pub use features::{agg_features, join_features, QueryFeatures, AGG_DIMS, JOIN_DIMS};
 pub use hybrid::{CostingApproach, CostingProfile, HybridCostManager};
 pub use logical_op::{
-    flow::LogicalOpCosting, model::FitConfig, model::LogicalOpModel, remedy::RemedyConfig,
+    flow::LogicalOpCosting, model::FitConfig, model::LogicalOpModel, packed::PackedOpModel,
+    packed::PackedOpScratch, remedy::RemedyConfig, remedy::RemedyScratch,
 };
-pub use observability::{publish_drift, ModelKey, TraceCtx};
-pub use service::{CacheStats, EstimatorService, ServiceConfig, ServiceError};
+pub use observability::{publish_drift, ModelKey, ModelKeyQuery, ModelKeyRef, TraceCtx};
+pub use service::{CacheStats, EstimateScratch, EstimatorService, ServiceConfig, ServiceError};
 pub use sub_op::{choice::ChoicePolicy, SubOpCosting};

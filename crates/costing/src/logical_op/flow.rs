@@ -14,7 +14,10 @@ use crate::{
     estimator::{CostEstimate, EstimateSource},
     logical_op::{
         model::{FitConfig, LogicalOpModel},
-        remedy::{remedy_estimate, remedy_estimate_traced, AlphaTuner, RemedyConfig},
+        remedy::{
+            remedy_estimate, remedy_estimate_scratch, remedy_estimate_scratch_traced,
+            remedy_estimate_traced, AlphaTuner, RemedyConfig, RemedyScratch,
+        },
         tuning::{offline_tune, ExecutionLog, TuneReport},
     },
     observability::TraceCtx,
@@ -87,6 +90,25 @@ impl LogicalOpCosting {
         }
     }
 
+    /// [`LogicalOpCosting::estimate_readonly`] with a caller-provided
+    /// remedy workspace: identical result, but an out-of-range estimate
+    /// reuses `remedy`'s buffers instead of allocating its own.
+    pub fn estimate_readonly_scratch(&self, x: &[f64], remedy: &mut RemedyScratch) -> CostEstimate {
+        if self.model.meta.all_in_range(x, self.remedy.beta) {
+            CostEstimate::new(self.model.predict_nn(x), EstimateSource::NeuralNetwork)
+        } else {
+            let out =
+                remedy_estimate_scratch(&self.model, x, &self.remedy, self.tuner.alpha(), remedy);
+            CostEstimate::new(
+                out.estimate,
+                EstimateSource::OnlineRemedy {
+                    alpha: out.alpha,
+                    pivots: out.pivots,
+                },
+            )
+        }
+    }
+
     /// [`LogicalOpCosting::estimate`] with the decision trail: remedy-path
     /// estimates emit [`Event::PivotsDetected`] and [`Event::RemedyBlend`]
     /// through `ctx`. Returns exactly what the untraced call returns.
@@ -114,6 +136,35 @@ impl LogicalOpCosting {
             CostEstimate::new(self.model.predict_nn(x), EstimateSource::NeuralNetwork)
         } else {
             let out = remedy_estimate_traced(&self.model, x, &self.remedy, self.tuner.alpha(), ctx);
+            CostEstimate::new(
+                out.estimate,
+                EstimateSource::OnlineRemedy {
+                    alpha: out.alpha,
+                    pivots: out.pivots,
+                },
+            )
+        }
+    }
+
+    /// [`LogicalOpCosting::estimate_readonly_scratch`] with the decision
+    /// trail (see [`LogicalOpCosting::estimate_traced`]).
+    pub fn estimate_readonly_scratch_traced(
+        &self,
+        x: &[f64],
+        ctx: &TraceCtx<'_>,
+        remedy: &mut RemedyScratch,
+    ) -> CostEstimate {
+        if self.model.meta.all_in_range(x, self.remedy.beta) {
+            CostEstimate::new(self.model.predict_nn(x), EstimateSource::NeuralNetwork)
+        } else {
+            let out = remedy_estimate_scratch_traced(
+                &self.model,
+                x,
+                &self.remedy,
+                self.tuner.alpha(),
+                ctx,
+                remedy,
+            );
             CostEstimate::new(
                 out.estimate,
                 EstimateSource::OnlineRemedy {

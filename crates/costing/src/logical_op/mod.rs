@@ -19,6 +19,7 @@
 pub mod dims;
 pub mod flow;
 pub mod model;
+pub mod packed;
 pub mod remedy;
 pub mod training;
 pub mod tuning;
@@ -26,6 +27,7 @@ pub mod tuning;
 pub use dims::{DimensionMeta, TrainingMeta};
 pub use flow::LogicalOpCosting;
 pub use model::{FitConfig, FitReport, LogicalOpModel, TopologyChoice};
-pub use remedy::{AlphaTuner, RemedyConfig, RemedyOutcome};
+pub use packed::{PackedOpModel, PackedOpScratch};
+pub use remedy::{AlphaTuner, RemedyConfig, RemedyOutcome, RemedyScratch};
 pub use training::{run_training, LabeledRun, TrainingOutput};
 pub use tuning::{ExecutionLog, LogEntry, TuneReport};

@@ -9,6 +9,7 @@
 
 use crate::estimator::OperatorKind;
 use crate::logical_op::dims::TrainingMeta;
+use crate::logical_op::packed::PackedOpModel;
 use mathkit::scale::{MinMaxScaler, ScalarScaler};
 use mathkit::{r2_score, rmse, rmse_pct};
 use neuro::{search_topology, train, Adam, Dataset, Network, Topology, TrainConfig, TrainTrace};
@@ -281,6 +282,23 @@ impl LogicalOpModel {
             .into_iter()
             .map(|y| from_domain_scalar(self.scaling, self.scaler_y.inverse(y)).max(0.0))
             .collect()
+    }
+
+    /// Derives the read-only fused-inference form of this model: the
+    /// scaling parameters flattened next to a struct-of-arrays copy of
+    /// the network ([`PackedOpModel`]). Derivation is deterministic —
+    /// packing the same model twice yields identical arenas — and the
+    /// packed form predicts bit-identically to
+    /// [`LogicalOpModel::predict_nn`] / [`LogicalOpModel::predict_nn_batch`].
+    pub fn pack(&self) -> PackedOpModel {
+        PackedOpModel::from_parts(
+            self.scaling,
+            self.scaler_x.mins.clone(),
+            self.scaler_x.maxs.clone(),
+            self.scaler_y.min,
+            self.scaler_y.max,
+            &self.network,
+        )
     }
 
     /// The raw training data (used by the online remedy).

@@ -40,6 +40,53 @@ impl Default for RemedyConfig {
     }
 }
 
+/// Reusable workspace for the pivot regression.
+///
+/// The pivot regression scores every training record, sorts a candidate
+/// pool, and assembles regression inputs — each a heap buffer. Callers
+/// on the estimate hot path (the service's [`EstimateScratch`]) hold one
+/// `RemedyScratch` so those buffers are allocated once and reused across
+/// out-of-range estimates instead of per call. The remedy path is still
+/// not strictly allocation-free (the outcome carries an owned pivot
+/// list, and the multi-pivot branch builds its regression rows fresh),
+/// but the O(n) scoring buffers — the dominant cost — are amortised.
+///
+/// All buffers start empty, so `new` is `const` and a scratch embedded
+/// in a const-initialised thread-local allocates nothing until first
+/// use.
+///
+/// [`EstimateScratch`]: crate::service::EstimateScratch
+#[derive(Debug, Default)]
+pub struct RemedyScratch {
+    /// Per-dimension trained spans (distance normalisers).
+    spans: Vec<f64>,
+    /// (distance, index) pairs over the whole training set.
+    scored: Vec<(f64, usize)>,
+    /// Indices of the k nearest candidate records.
+    candidates: Vec<usize>,
+    /// Single-pivot regression inputs.
+    xs: Vec<f64>,
+    /// Regression targets.
+    ys: Vec<f64>,
+    /// Multi-pivot probe point.
+    probe: Vec<f64>,
+}
+
+impl RemedyScratch {
+    /// An empty workspace; buffers grow on first use and are reused
+    /// afterwards.
+    pub const fn new() -> Self {
+        RemedyScratch {
+            spans: Vec::new(),
+            scored: Vec::new(),
+            candidates: Vec::new(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+            probe: Vec::new(),
+        }
+    }
+}
+
 /// The outcome of one remedy invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RemedyOutcome {
@@ -63,13 +110,26 @@ pub fn remedy_estimate(
     cfg: &RemedyConfig,
     alpha: f64,
 ) -> RemedyOutcome {
+    remedy_estimate_scratch(model, x, cfg, alpha, &mut RemedyScratch::new())
+}
+
+/// [`remedy_estimate`] with a caller-provided workspace: identical
+/// result, but the pivot-regression buffers come from (and return to)
+/// `scratch` instead of being allocated per call.
+pub fn remedy_estimate_scratch(
+    model: &LogicalOpModel,
+    x: &[f64],
+    cfg: &RemedyConfig,
+    alpha: f64,
+    scratch: &mut RemedyScratch,
+) -> RemedyOutcome {
     let pivots = model.meta.pivots(x, cfg.beta);
     assert!(
         !pivots.is_empty(),
         "remedy_estimate called with all dimensions in range"
     );
     let nn_estimate = model.predict_nn(x);
-    let regression_estimate = pivot_regression(model, x, &pivots, cfg.k_neighbors);
+    let regression_estimate = pivot_regression(model, x, &pivots, cfg.k_neighbors, scratch);
     let estimate = (alpha * nn_estimate + (1.0 - alpha) * regression_estimate).max(0.0);
     RemedyOutcome {
         estimate,
@@ -109,70 +169,119 @@ pub fn remedy_estimate_traced(
     out
 }
 
+/// [`remedy_estimate_scratch`] plus the decision trail — the workspace
+/// counterpart of [`remedy_estimate_traced`], emitting the identical
+/// event pair.
+pub fn remedy_estimate_scratch_traced(
+    model: &LogicalOpModel,
+    x: &[f64],
+    cfg: &RemedyConfig,
+    alpha: f64,
+    ctx: &TraceCtx<'_>,
+    scratch: &mut RemedyScratch,
+) -> RemedyOutcome {
+    let out = remedy_estimate_scratch(model, x, cfg, alpha, scratch);
+    ctx.tracer.emit(|| Event::PivotsDetected {
+        system: ctx.system.to_string(),
+        operator: model.op.to_string(),
+        pivots: out.pivots.clone(),
+    });
+    ctx.tracer.emit(|| Event::RemedyBlend {
+        system: ctx.system.to_string(),
+        operator: model.op.to_string(),
+        alpha: out.alpha,
+        nn_estimate: out.nn_estimate,
+        regression_estimate: out.regression_estimate,
+        blended: out.estimate,
+    });
+    out
+}
+
 /// Builds the on-the-fly regression over the pivot dimension(s) from the
 /// closest training points and extrapolates to the query's pivot values.
-fn pivot_regression(model: &LogicalOpModel, x: &[f64], pivots: &[usize], k: usize) -> f64 {
+/// All O(n) working buffers live in `scratch` and are reused across
+/// calls.
+fn pivot_regression(
+    model: &LogicalOpModel,
+    x: &[f64],
+    pivots: &[usize],
+    k: usize,
+    scratch: &mut RemedyScratch,
+) -> f64 {
     let data = model.training_data();
     let n = data.len();
     let k = k.clamp(2, n);
+    let RemedyScratch {
+        spans,
+        scored,
+        candidates,
+        xs,
+        ys,
+        probe,
+    } = scratch;
 
     // Distance in the in-range dimensions only, normalised by each
     // dimension's trained span so no dimension dominates.
-    let spans: Vec<f64> = model
-        .meta
-        .dims
-        .iter()
-        .map(|d| (d.max - d.min).max(f64::EPSILON))
-        .collect();
-    let mut scored: Vec<(f64, usize)> = (0..n)
-        .map(|i| {
-            let row = &data.inputs[i];
-            let mut dist = 0.0;
-            for j in 0..row.len() {
-                if pivots.contains(&j) {
-                    continue;
-                }
-                let d = (row[j] - x[j]) / spans[j];
-                dist += d * d;
+    spans.clear();
+    spans.extend(
+        model
+            .meta
+            .dims
+            .iter()
+            .map(|d| (d.max - d.min).max(f64::EPSILON)),
+    );
+    scored.clear();
+    scored.extend((0..n).map(|i| {
+        let row = &data.inputs[i];
+        let mut dist = 0.0;
+        for j in 0..row.len() {
+            if pivots.contains(&j) {
+                continue;
             }
-            (dist, i)
-        })
-        .collect();
+            let d = (row[j] - x[j]) / spans[j];
+            dist += d * d;
+        }
+        (dist, i)
+    }));
     scored.sort_by(|a, b| mathkit::total_cmp_f64(&a.0, &b.0));
 
     // Among the closest matches in the in-range dims, prefer the records
     // whose pivot values are nearest the query's (its "immediate
     // successors and/or predecessors").
     let pool = (k * 4).min(n);
-    let mut candidates: Vec<usize> = scored[..pool].iter().map(|&(_, i)| i).collect();
+    candidates.clear();
+    candidates.extend(scored[..pool].iter().map(|&(_, i)| i));
     candidates.sort_by(|&a, &b| {
-        let da = pivot_distance(&data.inputs[a], x, pivots, &spans);
-        let db = pivot_distance(&data.inputs[b], x, pivots, &spans);
+        let da = pivot_distance(&data.inputs[a], x, pivots, spans);
+        let db = pivot_distance(&data.inputs[b], x, pivots, spans);
         mathkit::total_cmp_f64(&da, &db)
     });
     candidates.truncate(k);
 
+    ys.clear();
+    ys.extend(candidates.iter().map(|&i| data.targets[i]));
     if pivots.len() == 1 {
         // One-dimension pivot: simple linear regression (Fig. 4a).
         let p = pivots[0];
-        let xs: Vec<f64> = candidates.iter().map(|&i| data.inputs[i][p]).collect();
-        let ys: Vec<f64> = candidates.iter().map(|&i| data.targets[i]).collect();
-        match SimpleLinearModel::fit(&xs, &ys) {
+        xs.clear();
+        xs.extend(candidates.iter().map(|&i| data.inputs[i][p]));
+        match SimpleLinearModel::fit(xs, ys) {
             Ok(m) => m.predict(x[p]).max(0.0),
-            Err(_) => mean(&ys),
+            Err(_) => mean(ys),
         }
     } else {
         // Multi-dimension pivot: multiple regression over the pivot dims
-        // (Fig. 4b).
+        // (Fig. 4b). The nested rows match `LinearModel::fit`'s input
+        // shape; this rare branch still allocates them per call.
         let rows: Vec<Vec<f64>> = candidates
             .iter()
             .map(|&i| pivots.iter().map(|&p| data.inputs[i][p]).collect())
             .collect();
-        let ys: Vec<f64> = candidates.iter().map(|&i| data.targets[i]).collect();
-        let probe: Vec<f64> = pivots.iter().map(|&p| x[p]).collect();
-        match LinearModel::fit(&rows, &ys) {
-            Ok(m) => m.predict(&probe).max(0.0),
-            Err(_) => mean(&ys),
+        probe.clear();
+        probe.extend(pivots.iter().map(|&p| x[p]));
+        match LinearModel::fit(&rows, ys) {
+            Ok(m) => m.predict(probe).max(0.0),
+            Err(_) => mean(ys),
         }
     }
 }
@@ -415,6 +524,33 @@ mod tests {
             }
             other => panic!("unexpected event {other:?}"),
         }
+    }
+
+    #[test]
+    fn scratch_variant_is_bit_identical_and_reuses_buffers() {
+        let model = fitted_model();
+        let cfg = RemedyConfig::default();
+        let mut scratch = RemedyScratch::new();
+        // Cover both the single-pivot and the multi-pivot branch with one
+        // reused workspace, interleaved to prove clearing works.
+        let probes = [
+            vec![1e7, 300.0],
+            vec![1e7, 5_000.0],
+            vec![2e7, 250.0],
+            vec![1.5e7, 8_000.0],
+        ];
+        for x in &probes {
+            let fresh = remedy_estimate(&model, x, &cfg, 0.3);
+            let reused = remedy_estimate_scratch(&model, x, &cfg, 0.3, &mut scratch);
+            assert_eq!(fresh, reused);
+            assert_eq!(fresh.estimate.to_bits(), reused.estimate.to_bits());
+            assert_eq!(
+                fresh.regression_estimate.to_bits(),
+                reused.regression_estimate.to_bits()
+            );
+        }
+        // The scoring buffer retains its capacity between calls.
+        assert!(scratch.scored.capacity() >= model.training_data().len());
     }
 
     #[test]

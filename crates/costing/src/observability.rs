@@ -23,6 +23,73 @@ use telemetry::{DriftMonitor, Event, ModelHealth, Telemetry, Tracer};
 /// which remote system.
 pub type ModelKey = (SystemId, OperatorKind);
 
+/// Borrowed-key lookup for `HashMap<ModelKey, _>` maps.
+///
+/// A [`ModelKey`] owns its [`SystemId`] (a heap `String`), so a naive
+/// `map.get(&(system.clone(), op))` allocates on every lookup — a real
+/// cost on the estimate hot path. This trait is the classic
+/// `Borrow<dyn Trait>` trick: both the owned key and the borrowed
+/// [`ModelKeyRef`] implement it, `Hash`/`Eq` on the trait object match
+/// the derived tuple implementations field for field, and the
+/// `Borrow<dyn ModelKeyQuery> for ModelKey` impl lets `HashMap::get`
+/// accept `&ModelKeyRef` without constructing an owned key.
+pub trait ModelKeyQuery {
+    /// The system component of the key.
+    fn system(&self) -> &SystemId;
+    /// The operator component of the key.
+    fn op(&self) -> OperatorKind;
+}
+
+/// A borrowed `(system, operator)` key for allocation-free map lookups.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelKeyRef<'a> {
+    /// The system component (borrowed).
+    pub system: &'a SystemId,
+    /// The operator component.
+    pub op: OperatorKind,
+}
+
+impl ModelKeyQuery for ModelKey {
+    fn system(&self) -> &SystemId {
+        &self.0
+    }
+    fn op(&self) -> OperatorKind {
+        self.1
+    }
+}
+
+impl ModelKeyQuery for ModelKeyRef<'_> {
+    fn system(&self) -> &SystemId {
+        self.system
+    }
+    fn op(&self) -> OperatorKind {
+        self.op
+    }
+}
+
+// Hash must agree with `ModelKey`'s derived tuple hash (fields in
+// order, no length prefix) for the Borrow contract to hold.
+impl std::hash::Hash for dyn ModelKeyQuery + '_ {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.system().hash(state);
+        self.op().hash(state);
+    }
+}
+
+impl PartialEq for dyn ModelKeyQuery + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.system() == other.system() && self.op() == other.op()
+    }
+}
+
+impl Eq for dyn ModelKeyQuery + '_ {}
+
+impl<'a> std::borrow::Borrow<dyn ModelKeyQuery + 'a> for ModelKey {
+    fn borrow(&self) -> &(dyn ModelKeyQuery + 'a) {
+        self
+    }
+}
+
 /// Tracing context threaded into the costing layers: who is being
 /// costed, and where decision-trail events go. Cheap to build per call;
 /// carries no state of its own.
@@ -144,6 +211,24 @@ mod tests {
             }
             other => panic!("unexpected event {other:?}"),
         }
+    }
+
+    #[test]
+    fn borrowed_key_lookup_finds_owned_entries() {
+        use std::collections::HashMap;
+        let mut map: HashMap<ModelKey, u32> = HashMap::new();
+        map.insert((SystemId::new("hive-a"), OperatorKind::Join), 7);
+        let system = SystemId::new("hive-a");
+        let q = ModelKeyRef {
+            system: &system,
+            op: OperatorKind::Join,
+        };
+        assert_eq!(map.get(&q as &dyn ModelKeyQuery), Some(&7));
+        let miss = ModelKeyRef {
+            system: &system,
+            op: OperatorKind::Sort,
+        };
+        assert_eq!(map.get(&miss as &dyn ModelKeyQuery), None);
     }
 
     #[test]

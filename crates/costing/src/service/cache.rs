@@ -33,6 +33,94 @@ impl CacheKey {
             qfeatures: features.iter().map(|&v| quantize(v, sig_digits)).collect(),
         }
     }
+
+    /// Builds a key from already-quantized features (the owned form of
+    /// a [`CacheKeyRef`] probe, materialised only on the miss path).
+    pub fn from_quantized(system: &SystemId, op: OperatorKind, qfeatures: &[u64]) -> Self {
+        CacheKey {
+            system: system.clone(),
+            op,
+            qfeatures: qfeatures.to_vec(),
+        }
+    }
+}
+
+/// Borrowed-key lookup for the cache map.
+///
+/// [`CacheKey::new`] clones the `SystemId` and collects a fresh
+/// `Vec<u64>` — two allocations per probe, paid even on a hit. Lookups
+/// instead quantize into a reusable scratch buffer and probe with a
+/// [`CacheKeyRef`]; the `Borrow<dyn CacheQuery>` bridge below lets
+/// `HashMap::get` accept it against owned [`CacheKey`] entries. The
+/// `Hash`/`Eq` impls on the trait object mirror [`CacheKey`]'s derived
+/// ones field for field (a `Vec<u64>` hashes exactly like its slice),
+/// which is the `Borrow` contract.
+pub trait CacheQuery {
+    /// The system component of the key.
+    fn system(&self) -> &SystemId;
+    /// The operator component of the key.
+    fn op(&self) -> OperatorKind;
+    /// The quantized feature vector.
+    fn qfeatures(&self) -> &[u64];
+}
+
+/// A borrowed cache probe: quantized features in a caller-owned buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheKeyRef<'a> {
+    /// The system component (borrowed).
+    pub system: &'a SystemId,
+    /// The operator component.
+    pub op: OperatorKind,
+    /// Quantized features (borrowed scratch).
+    pub qfeatures: &'a [u64],
+}
+
+impl CacheQuery for CacheKey {
+    fn system(&self) -> &SystemId {
+        &self.system
+    }
+    fn op(&self) -> OperatorKind {
+        self.op
+    }
+    fn qfeatures(&self) -> &[u64] {
+        &self.qfeatures
+    }
+}
+
+impl CacheQuery for CacheKeyRef<'_> {
+    fn system(&self) -> &SystemId {
+        self.system
+    }
+    fn op(&self) -> OperatorKind {
+        self.op
+    }
+    fn qfeatures(&self) -> &[u64] {
+        self.qfeatures
+    }
+}
+
+impl std::hash::Hash for dyn CacheQuery + '_ {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.system().hash(state);
+        self.op().hash(state);
+        self.qfeatures().hash(state);
+    }
+}
+
+impl PartialEq for dyn CacheQuery + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.system() == other.system()
+            && self.op() == other.op()
+            && self.qfeatures() == other.qfeatures()
+    }
+}
+
+impl Eq for dyn CacheQuery + '_ {}
+
+impl<'a> std::borrow::Borrow<dyn CacheQuery + 'a> for CacheKey {
+    fn borrow(&self) -> &(dyn CacheQuery + 'a) {
+        self
+    }
 }
 
 /// Canonical bit pattern of `v` rounded to `sig` significant decimal
@@ -84,9 +172,11 @@ pub struct LruCache {
 }
 
 impl LruCache {
-    /// An empty cache holding at most `capacity` entries.
+    /// An empty cache holding at most `capacity` entries. Capacity 0 is
+    /// a *disabled* cache: every `get` misses and every `insert` is a
+    /// no-op (used by latency-critical deployments that prefer the
+    /// packed-kernel recompute over cache-lock traffic).
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be positive");
         LruCache {
             map: HashMap::with_capacity(capacity),
             slab: Vec::with_capacity(capacity),
@@ -107,9 +197,10 @@ impl LruCache {
         self.map.is_empty()
     }
 
-    /// Looks up `key`; a hit is promoted to most-recent. An entry whose
+    /// Looks up `key` (owned [`CacheKey`] or borrowed [`CacheKeyRef`],
+    /// both coerce); a hit is promoted to most-recent. An entry whose
     /// epoch differs from `epoch` is removed and reported as a miss.
-    pub fn get(&mut self, key: &CacheKey, epoch: u64) -> Option<CostEstimate> {
+    pub fn get(&mut self, key: &(dyn CacheQuery + '_), epoch: u64) -> Option<CostEstimate> {
         let idx = *self.map.get(key)?;
         if self.slab[idx].epoch != epoch {
             self.remove_idx(idx);
@@ -121,8 +212,11 @@ impl LruCache {
     }
 
     /// Inserts (or refreshes) an entry, evicting the least-recently-used
-    /// one if the cache is full.
+    /// one if the cache is full. No-op on a disabled (capacity-0) cache.
     pub fn insert(&mut self, key: CacheKey, value: CostEstimate, epoch: u64) {
+        if self.capacity == 0 {
+            return;
+        }
         if let Some(&idx) = self.map.get(&key) {
             self.slab[idx].value = value;
             self.slab[idx].epoch = epoch;
@@ -287,6 +381,32 @@ mod tests {
         // Still usable after clear.
         c.insert(key(&[9.0]), est(9.0), 0);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn borrowed_probe_matches_owned_key() {
+        let mut c = LruCache::new(4);
+        let system = SystemId::new("hive-a");
+        c.insert(key(&[3.0, 7.0]), est(4.0), 2);
+        let qbuf: Vec<u64> = [3.0f64, 7.0].iter().map(|&v| quantize(v, 9)).collect();
+        let probe = CacheKeyRef {
+            system: &system,
+            op: OperatorKind::Join,
+            qfeatures: &qbuf,
+        };
+        assert_eq!(c.get(&probe, 2).unwrap().secs, 4.0);
+        // And the owned form built from the same quantized buffer is the
+        // same key.
+        let owned = CacheKey::from_quantized(&system, OperatorKind::Join, &qbuf);
+        assert_eq!(owned, key(&[3.0, 7.0]));
+    }
+
+    #[test]
+    fn zero_capacity_cache_is_disabled() {
+        let mut c = LruCache::new(0);
+        c.insert(key(&[1.0]), est(1.0), 0);
+        assert!(c.is_empty());
+        assert!(c.get(&key(&[1.0]), 0).is_none());
     }
 
     #[test]

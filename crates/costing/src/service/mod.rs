@@ -43,12 +43,16 @@ pub mod cache;
 use crate::{
     epoch::{Epoch, EpochStore, ModelSnapshot, PipelineReport, TuningPipeline},
     estimator::{CostEstimate, OperatorKind},
-    logical_op::{flow::LogicalOpCosting, model::FitConfig, tuning::TuneReport},
+    logical_op::{
+        flow::LogicalOpCosting, model::FitConfig, packed::PackedOpScratch, remedy::RemedyScratch,
+        tuning::TuneReport,
+    },
     observability::{ModelKey, TraceCtx},
 };
-use cache::{CacheKey, LruCache};
+use cache::{quantize, CacheKey, CacheKeyRef, LruCache};
 use catalog::SystemId;
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -63,7 +67,10 @@ const ESTIMATE_SECS_BOUNDS: [f64; 7] = [0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0
 pub struct ServiceConfig {
     /// Number of cache shards (rounded up to at least 1).
     pub shards: usize,
-    /// LRU capacity per shard.
+    /// LRU capacity per shard. `0` disables the estimate cache entirely:
+    /// no shard lock is ever taken and every estimate recomputes through
+    /// the packed kernels — the right trade for latency-critical
+    /// deployments whose feature vectors rarely repeat.
     pub cache_capacity_per_shard: usize,
     /// Significant decimal digits kept when quantizing cache keys.
     pub sig_digits: i32,
@@ -150,6 +157,64 @@ struct Shard {
     cache: Mutex<LruCache>,
 }
 
+/// Reusable workspace for the estimate hot path.
+///
+/// Every buffer the pinned estimate paths need — quantized cache
+/// probes, batch result staging, the packed-kernel scratch — lives
+/// here, so a warm scratch makes [`EstimatorService::estimate_pinned_scratch`]
+/// allocation-free steady-state (cache hits, and cache-disabled
+/// in-range computes; the out-of-range remedy runs a per-row
+/// regression and is excluded from the zero-alloc claim). The service
+/// keeps one per thread for the plain `estimate*` entry points;
+/// callers that own their threading (the serving frontend's batch
+/// leader) hold their own and pass it to the `*_scratch` variants.
+#[derive(Debug, Default)]
+pub struct EstimateScratch {
+    /// Quantized features for one cache probe.
+    qbuf: Vec<u64>,
+    /// Per-row results staged during a batch.
+    results: Vec<Option<CostEstimate>>,
+    /// Indices of rows the cache could not answer.
+    miss_idx: Vec<usize>,
+    /// Indices of in-range miss rows (order matches `nn_rows`).
+    in_range: Vec<usize>,
+    /// Flat `(rows × width)` staging for the batched NN forward pass.
+    nn_rows: Vec<f64>,
+    /// Batched NN outputs.
+    nn_out: Vec<f64>,
+    /// Fused packed-kernel workspace.
+    packed: PackedOpScratch,
+    /// Pivot-regression workspace for out-of-range remedy estimates.
+    remedy: RemedyScratch,
+    /// Flat staging used when flattening a nested `&[Vec<f64>]` batch.
+    staging: Vec<f64>,
+}
+
+impl EstimateScratch {
+    /// An empty scratch; every buffer grows on first use and is
+    /// retained (`const` so it can live in a const-initialised
+    /// `thread_local`, which never lazily allocates).
+    pub const fn new() -> Self {
+        EstimateScratch {
+            qbuf: Vec::new(),
+            results: Vec::new(),
+            miss_idx: Vec::new(),
+            in_range: Vec::new(),
+            nn_rows: Vec::new(),
+            nn_out: Vec::new(),
+            packed: PackedOpScratch::new(),
+            remedy: RemedyScratch::new(),
+            staging: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing the plain (non-`_scratch`) estimate
+    /// entry points. Const-initialised: touching it never allocates.
+    static TLS_SCRATCH: RefCell<EstimateScratch> = const { RefCell::new(EstimateScratch::new()) };
+}
+
 struct Inner {
     /// The epoch-versioned model store; reads are lock-free snapshot
     /// loads, writes are serialised clone-modify-publish transactions.
@@ -162,6 +227,9 @@ struct Inner {
     /// Distribution of served estimates, seconds.
     estimate_secs: Histogram,
     sig_digits: i32,
+    /// False when `cache_capacity_per_shard` was 0: the hot path skips
+    /// the shard lock and every probe entirely.
+    cache_enabled: bool,
 }
 
 /// A thread-safe, cheaply-cloneable handle to the estimation service.
@@ -203,7 +271,7 @@ impl EstimatorService {
         let shards = (0..n)
             .map(|_| {
                 let shard = Shard {
-                    cache: Mutex::new(LruCache::new(config.cache_capacity_per_shard.max(1))),
+                    cache: Mutex::new(LruCache::new(config.cache_capacity_per_shard)),
                 };
                 // Rank for `lock-order-check` builds; the model store's
                 // commit/retired mutexes rank below the cache, so a
@@ -242,6 +310,7 @@ impl EstimatorService {
                 misses,
                 estimate_secs,
                 sig_digits: config.sig_digits,
+                cache_enabled: config.cache_capacity_per_shard > 0,
             }),
         }
     }
@@ -323,7 +392,8 @@ impl EstimatorService {
     /// [`EstimatorService::estimate`] against a caller-pinned snapshot.
     /// Cached values are tagged with the snapshot's epoch, so replaying
     /// an estimate from an older pinned snapshot can never pollute the
-    /// cache for readers of a newer one.
+    /// cache for readers of a newer one. Uses the calling thread's
+    /// [`EstimateScratch`].
     pub fn estimate_pinned(
         &self,
         snapshot: &ModelSnapshot,
@@ -331,22 +401,55 @@ impl EstimatorService {
         op: OperatorKind,
         features: &[f64],
     ) -> Result<CostEstimate, ServiceError> {
-        let shard = self.shard(system, op);
+        TLS_SCRATCH.with(|s| {
+            self.estimate_pinned_scratch(snapshot, system, op, features, &mut s.borrow_mut())
+        })
+    }
+
+    /// [`EstimatorService::estimate_pinned`] with a caller-owned
+    /// workspace: the allocation-free steady-state form of the hot
+    /// path. A cache hit probes with a borrowed key (no `SystemId`
+    /// clone, no `Vec<u64>` collect) and returns the cached value; an
+    /// in-range miss runs the snapshot's fused packed kernel
+    /// ([`crate::logical_op::packed::PackedOpModel`]) through the
+    /// scratch's warm buffers. Both perform zero heap allocations once
+    /// the scratch is warm (tracing disabled; the insert after a
+    /// cache-enabled miss and the out-of-range remedy still allocate).
+    /// Results are bit-identical to the legacy flow path.
+    pub fn estimate_pinned_scratch(
+        &self,
+        snapshot: &ModelSnapshot,
+        system: &SystemId,
+        op: OperatorKind,
+        features: &[f64],
+        scratch: &mut EstimateScratch,
+    ) -> Result<CostEstimate, ServiceError> {
         let epoch = snapshot.epoch().get();
-        let key = CacheKey::new(system, op, features, self.inner.sig_digits);
         let tracer = &self.inner.telemetry.tracer;
-        if let Some(hit) = shard.cache.lock().get(&key, epoch) {
-            self.inner.hits.inc();
-            tracer.emit(|| Event::EstimateServed {
-                system: system.to_string(),
-                operator: op.to_string(),
-                features: features.to_vec(),
-                secs: hit.secs,
-                source: format!("{:?}", hit.source),
-                cache_hit: true,
-                epoch: Some(epoch),
-            });
-            return Ok(hit);
+        let shard = self.shard(system, op);
+        if self.inner.cache_enabled {
+            scratch.qbuf.clear();
+            scratch
+                .qbuf
+                .extend(features.iter().map(|&v| quantize(v, self.inner.sig_digits)));
+            let probe = CacheKeyRef {
+                system,
+                op,
+                qfeatures: &scratch.qbuf,
+            };
+            if let Some(hit) = shard.cache.lock().get(&probe, epoch) {
+                self.inner.hits.inc();
+                tracer.emit(|| Event::EstimateServed {
+                    system: system.to_string(),
+                    operator: op.to_string(),
+                    features: features.to_vec(),
+                    secs: hit.secs,
+                    source: format!("{:?}", hit.source),
+                    cache_hit: true,
+                    epoch: Some(epoch),
+                });
+                return Ok(hit);
+            }
         }
         let flow = snapshot
             .model(system, op)
@@ -355,7 +458,24 @@ impl EstimatorService {
                 op,
             })?;
         check_arity(flow, features)?;
-        let est = flow.estimate_readonly_traced(features, &TraceCtx::new(tracer, system));
+        // In-range rows take the fused packed kernel (bit-identical to
+        // `predict_nn`, allocation-free); out-of-range rows need the
+        // per-row remedy regression either way. The traced flow call
+        // emits nothing for in-range estimates, so skipping it here
+        // preserves the decision trail exactly.
+        let est = match snapshot.packed(system, op) {
+            Some(packed) if flow.model.meta.all_in_range(features, flow.remedy.beta) => {
+                CostEstimate::new(
+                    packed.predict_one(features, &mut scratch.packed),
+                    crate::estimator::EstimateSource::NeuralNetwork,
+                )
+            }
+            _ => flow.estimate_readonly_scratch_traced(
+                features,
+                &TraceCtx::new(tracer, system),
+                &mut scratch.remedy,
+            ),
+        };
         self.inner.misses.inc();
         self.inner.estimate_secs.observe(est.secs);
         tracer.emit(|| Event::EstimateServed {
@@ -367,7 +487,10 @@ impl EstimatorService {
             cache_hit: false,
             epoch: Some(epoch),
         });
-        shard.cache.lock().insert(key, est.clone(), epoch);
+        if self.inner.cache_enabled {
+            let key = CacheKey::from_quantized(system, op, &scratch.qbuf);
+            shard.cache.lock().insert(key, est.clone(), epoch);
+        }
         Ok(est)
     }
 
@@ -392,7 +515,9 @@ impl EstimatorService {
     }
 
     /// [`EstimatorService::estimate_batch`] against a caller-pinned
-    /// snapshot (see [`EstimatorService::estimate_pinned`]).
+    /// snapshot (see [`EstimatorService::estimate_pinned`]). Flattens
+    /// the nested rows into the calling thread's scratch and delegates
+    /// to [`EstimatorService::estimate_batch_flat_pinned_scratch`].
     pub fn estimate_batch_pinned(
         &self,
         snapshot: &ModelSnapshot,
@@ -400,94 +525,219 @@ impl EstimatorService {
         op: OperatorKind,
         rows: &[Vec<f64>],
     ) -> Result<Vec<CostEstimate>, ServiceError> {
-        let shard = self.shard(system, op);
-        let epoch = snapshot.epoch().get();
-        let keys: Vec<CacheKey> = rows
-            .iter()
-            .map(|r| CacheKey::new(system, op, r, self.inner.sig_digits))
-            .collect();
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let width = rows[0].len();
+        if rows.iter().any(|r| r.len() != width) {
+            // A mixed-width batch cannot be flattened; surface the
+            // per-row arity error the flat path would have raised.
+            let flow = snapshot
+                .model(system, op)
+                .ok_or_else(|| ServiceError::UnknownModel {
+                    system: system.clone(),
+                    op,
+                })?;
+            for r in rows {
+                check_arity(flow, r)?;
+            }
+            return Err(ServiceError::Internal("mixed-width batch"));
+        }
+        TLS_SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            // The staging buffer is moved out while the core borrows the
+            // rest of the scratch, then put back (no allocation either way).
+            let mut staging = std::mem::take(&mut scratch.staging);
+            staging.clear();
+            for r in rows {
+                staging.extend_from_slice(r);
+            }
+            let mut out = Vec::with_capacity(rows.len());
+            let res = self.estimate_batch_flat_pinned_scratch(
+                snapshot,
+                system,
+                op,
+                &staging,
+                width,
+                &mut out,
+                &mut scratch,
+            );
+            scratch.staging = staging;
+            res.map(|()| out)
+        })
+    }
 
-        let mut results: Vec<Option<CostEstimate>> = vec![None; rows.len()];
-        let mut miss_idx: Vec<usize> = Vec::new();
-        {
+    /// The flat, allocation-disciplined core of the batched estimate
+    /// path: `rows.len() / width` feature rows in one contiguous
+    /// row-major buffer, results written into `out` (cleared first).
+    ///
+    /// One cache pass under a single shard lock answers what it can
+    /// (borrowed probes — no per-row key allocation); remaining
+    /// in-range rows are staged into the scratch's flat buffer and
+    /// share one fused [`crate::logical_op::packed::PackedOpModel`]
+    /// batch kernel; out-of-range rows go through the remedy
+    /// individually. Results are identical, bit for bit, to calling
+    /// [`EstimatorService::estimate`] per row at the same epoch.
+    /// With the cache disabled and tracing off, a warm scratch and warm
+    /// `out` make the whole call allocation-free for in-range batches.
+    #[allow(clippy::too_many_arguments)] // the hot-path entry point: every input is load-bearing
+    pub fn estimate_batch_flat_pinned_scratch(
+        &self,
+        snapshot: &ModelSnapshot,
+        system: &SystemId,
+        op: OperatorKind,
+        rows: &[f64],
+        width: usize,
+        out: &mut Vec<CostEstimate>,
+        scratch: &mut EstimateScratch,
+    ) -> Result<(), ServiceError> {
+        out.clear();
+        if rows.is_empty() {
+            return Ok(());
+        }
+        if width == 0 || rows.len() % width.max(1) != 0 {
+            return Err(ServiceError::Internal(
+                "flat batch length is not a multiple of its width",
+            ));
+        }
+        let n = rows.len() / width.max(1);
+        let epoch = snapshot.epoch().get();
+        let shard = self.shard(system, op);
+        let EstimateScratch {
+            qbuf,
+            results,
+            miss_idx,
+            in_range,
+            nn_rows,
+            nn_out,
+            packed: packed_scratch,
+            remedy,
+            ..
+        } = scratch;
+        results.clear();
+        results.resize(n, None);
+        miss_idx.clear();
+
+        if self.inner.cache_enabled {
+            let sig = self.inner.sig_digits;
             let mut cache = shard.cache.lock();
-            for (i, key) in keys.iter().enumerate() {
-                match cache.get(key, epoch) {
+            for (i, row) in rows.chunks_exact(width).enumerate() {
+                qbuf.clear();
+                qbuf.extend(row.iter().map(|&v| quantize(v, sig)));
+                let probe = CacheKeyRef {
+                    system,
+                    op,
+                    qfeatures: qbuf,
+                };
+                match cache.get(&probe, epoch) {
                     Some(hit) => results[i] = Some(hit),
                     None => miss_idx.push(i),
                 }
             }
+        } else {
+            miss_idx.extend(0..n);
         }
-        self.inner.hits.add((rows.len() - miss_idx.len()) as u64);
-        if miss_idx.is_empty() {
-            if self.inner.telemetry.tracer.is_enabled() {
-                self.emit_batch_events(system, op, rows, &results, &miss_idx, epoch);
+        self.inner.hits.add((n - miss_idx.len()) as u64);
+
+        if !miss_idx.is_empty() {
+            let flow = snapshot
+                .model(system, op)
+                .ok_or_else(|| ServiceError::UnknownModel {
+                    system: system.clone(),
+                    op,
+                })?;
+            check_arity_width(flow, width)?;
+            // Stage in-range misses for the fused batch kernel;
+            // out-of-range misses need per-row pivot regressions anyway.
+            in_range.clear();
+            nn_rows.clear();
+            for (i, row) in rows.chunks_exact(width).enumerate() {
+                if results[i].is_some() {
+                    continue; // cache hit
+                }
+                if flow.model.meta.all_in_range(row, flow.remedy.beta) {
+                    in_range.push(i);
+                    nn_rows.extend_from_slice(row);
+                } else {
+                    results[i] = Some(flow.estimate_readonly_scratch(row, remedy));
+                }
             }
-            return results
-                .into_iter()
-                .map(|r| r.ok_or(ServiceError::Internal("cache hit slot left empty")))
-                .collect();
+            match snapshot.packed(system, op) {
+                Some(packed) => {
+                    packed.predict_batch_into(nn_rows, width, nn_out, packed_scratch);
+                }
+                None => {
+                    // Unreachable by construction (a snapshot carries a
+                    // packed form for every model), but fall back to the
+                    // legacy per-row path rather than fail the batch.
+                    nn_out.clear();
+                    nn_out.extend(
+                        nn_rows
+                            .chunks_exact(width)
+                            .map(|row| flow.model.predict_nn(row)),
+                    );
+                }
+            }
+            for (&i, &secs) in in_range.iter().zip(nn_out.iter()) {
+                results[i] = Some(CostEstimate::new(
+                    secs,
+                    crate::estimator::EstimateSource::NeuralNetwork,
+                ));
+            }
+            self.inner.misses.add(miss_idx.len() as u64);
+            for &i in miss_idx.iter() {
+                let est = results[i]
+                    .as_ref()
+                    .ok_or(ServiceError::Internal("miss slot not computed"))?;
+                self.inner.estimate_secs.observe(est.secs);
+            }
         }
 
-        let flow = snapshot
-            .model(system, op)
-            .ok_or_else(|| ServiceError::UnknownModel {
-                system: system.clone(),
-                op,
-            })?;
-        for &i in &miss_idx {
-            check_arity(flow, &rows[i])?;
-        }
-        // In-range rows take the batched forward pass; out-of-range
-        // rows need per-row pivot regressions anyway.
-        let (in_range, out_of_range): (Vec<usize>, Vec<usize>) = miss_idx
-            .iter()
-            .copied()
-            .partition(|&i| flow.model.meta.all_in_range(&rows[i], flow.remedy.beta));
-        let batch: Vec<Vec<f64>> = in_range.iter().map(|&i| rows[i].clone()).collect();
-        for (&i, secs) in in_range.iter().zip(flow.model.predict_nn_batch(&batch)) {
-            results[i] = Some(CostEstimate::new(
-                secs,
-                crate::estimator::EstimateSource::NeuralNetwork,
-            ));
-        }
-        for &i in &out_of_range {
-            results[i] = Some(flow.estimate_readonly(&rows[i]));
-        }
-        self.inner.misses.add(miss_idx.len() as u64);
-        for &i in &miss_idx {
-            let est = results[i]
-                .as_ref()
-                .ok_or(ServiceError::Internal("miss slot not computed"))?;
-            self.inner.estimate_secs.observe(est.secs);
-        }
         if self.inner.telemetry.tracer.is_enabled() {
-            self.emit_batch_events(system, op, rows, &results, &miss_idx, epoch);
+            self.emit_batch_events_flat(system, op, rows, width, results, miss_idx, epoch);
         }
 
-        let mut cache = shard.cache.lock();
-        for &i in &miss_idx {
-            if let Some(est) = results[i].as_ref() {
-                cache.insert(keys[i].clone(), est.clone(), epoch);
+        if self.inner.cache_enabled && !miss_idx.is_empty() {
+            let sig = self.inner.sig_digits;
+            let mut misses = miss_idx.iter().copied().peekable();
+            let mut cache = shard.cache.lock();
+            for (i, row) in rows.chunks_exact(width).enumerate() {
+                if misses.peek() != Some(&i) {
+                    continue;
+                }
+                misses.next();
+                let Some(est) = results[i].as_ref() else {
+                    continue;
+                };
+                qbuf.clear();
+                qbuf.extend(row.iter().map(|&v| quantize(v, sig)));
+                cache.insert(
+                    CacheKey::from_quantized(system, op, qbuf),
+                    est.clone(),
+                    epoch,
+                );
             }
         }
-        drop(cache);
-        results
-            .into_iter()
-            .map(|r| r.ok_or(ServiceError::Internal("batch slot left unfilled")))
-            .collect()
+
+        out.reserve(n);
+        for r in results.drain(..) {
+            out.push(r.ok_or(ServiceError::Internal("batch slot left unfilled"))?);
+        }
+        Ok(())
     }
 
-    fn emit_batch_events(
+    #[allow(clippy::too_many_arguments)]
+    fn emit_batch_events_flat(
         &self,
         system: &SystemId,
         op: OperatorKind,
-        rows: &[Vec<f64>],
+        rows: &[f64],
+        width: usize,
         results: &[Option<CostEstimate>],
         miss_idx: &[usize],
         epoch: u64,
     ) {
-        for (i, r) in results.iter().enumerate() {
+        for ((i, row), r) in rows.chunks_exact(width).enumerate().zip(results.iter()) {
             // Unfilled slots are reported by the caller as
             // `ServiceError::Internal`; skipping them here keeps event
             // emission panic-free.
@@ -496,7 +746,7 @@ impl EstimatorService {
             self.inner.telemetry.tracer.emit(|| Event::EstimateServed {
                 system: system.to_string(),
                 operator: op.to_string(),
-                features: rows[i].clone(),
+                features: row.to_vec(),
                 secs: est.secs,
                 source: format!("{:?}", est.source),
                 cache_hit,
@@ -650,11 +900,15 @@ impl EstimatorService {
 }
 
 fn check_arity(flow: &LogicalOpCosting, features: &[f64]) -> Result<(), ServiceError> {
+    check_arity_width(flow, features.len())
+}
+
+fn check_arity_width(flow: &LogicalOpCosting, width: usize) -> Result<(), ServiceError> {
     let expected = flow.model.arity();
-    if features.len() != expected {
+    if width != expected {
         return Err(ServiceError::ArityMismatch {
             expected,
-            got: features.len(),
+            got: width,
         });
     }
     Ok(())
@@ -787,6 +1041,83 @@ mod tests {
                 misses: 20
             }
         );
+    }
+
+    #[test]
+    fn disabled_cache_recomputes_and_matches_cached_service_bit_for_bit() {
+        let cached = EstimatorService::default();
+        let uncached = EstimatorService::new(ServiceConfig {
+            cache_capacity_per_shard: 0,
+            ..ServiceConfig::default()
+        });
+        let sys = SystemId::new("hive-a");
+        let flow = trained_flow(2e-6);
+        cached.register(sys.clone(), flow.clone());
+        uncached.register(sys.clone(), flow);
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![1e5 + i as f64 * 2.5e6, 100.0 + (i % 4) as f64 * 100.0])
+            .collect();
+        for row in &rows {
+            let a = cached
+                .estimate(&sys, OperatorKind::Aggregation, row)
+                .unwrap();
+            let b = uncached
+                .estimate(&sys, OperatorKind::Aggregation, row)
+                .unwrap();
+            assert_eq!(a, b, "row {row:?}");
+        }
+        let batch_a = cached
+            .estimate_batch(&sys, OperatorKind::Aggregation, &rows)
+            .unwrap();
+        let batch_b = uncached
+            .estimate_batch(&sys, OperatorKind::Aggregation, &rows)
+            .unwrap();
+        assert_eq!(batch_a, batch_b);
+        // The uncached service never records a hit, even on repeats.
+        let _ = uncached
+            .estimate(&sys, OperatorKind::Aggregation, &rows[0])
+            .unwrap();
+        assert_eq!(uncached.stats().hits, 0);
+    }
+
+    #[test]
+    fn flat_batch_entry_point_matches_nested() {
+        let (svc, sys) = service_with_model();
+        let rows: Vec<Vec<f64>> = (0..16)
+            .map(|i| vec![1e5 + i as f64 * 2.5e6, 100.0 + (i % 4) as f64 * 100.0])
+            .collect();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let nested = svc
+            .estimate_batch(&sys, OperatorKind::Aggregation, &rows)
+            .unwrap();
+        svc.clear_cache();
+        let snapshot = svc.snapshot();
+        let mut out = Vec::new();
+        let mut scratch = EstimateScratch::new();
+        svc.estimate_batch_flat_pinned_scratch(
+            &snapshot,
+            &sys,
+            OperatorKind::Aggregation,
+            &flat,
+            2,
+            &mut out,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(nested, out);
+        // Degenerate shapes are errors, not panics.
+        assert!(matches!(
+            svc.estimate_batch_flat_pinned_scratch(
+                &snapshot,
+                &sys,
+                OperatorKind::Aggregation,
+                &flat[..3],
+                2,
+                &mut out,
+                &mut scratch,
+            ),
+            Err(ServiceError::Internal(_))
+        ));
     }
 
     #[test]

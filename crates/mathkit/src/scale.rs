@@ -41,22 +41,33 @@ impl MinMaxScaler {
     /// Scales one row to the unit hyper-cube (values outside the fitted
     /// range map outside `[0, 1]`, deliberately).
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(row.len());
+        self.transform_into(row, &mut out);
+        out
+    }
+
+    /// [`MinMaxScaler::transform`] writing into a caller-provided buffer
+    /// (cleared first) — the zero-alloc form for hot paths that reuse a
+    /// scratch row. Bit-identical to the allocating variant.
+    pub fn transform_into(&self, row: &[f64], out: &mut Vec<f64>) {
         assert_eq!(
             row.len(),
             self.mins.len(),
             "MinMaxScaler::transform: arity mismatch"
         );
-        row.iter()
-            .enumerate()
-            .map(|(j, &v)| {
-                let span = self.maxs[j] - self.mins[j];
-                if span == 0.0 {
-                    0.0
-                } else {
-                    (v - self.mins[j]) / span
-                }
-            })
-            .collect()
+        out.clear();
+        out.extend(
+            row.iter()
+                .zip(self.mins.iter().zip(&self.maxs))
+                .map(|(&v, (&min, &max))| {
+                    let span = max - min;
+                    if span == 0.0 {
+                        0.0
+                    } else {
+                        (v - min) / span
+                    }
+                }),
+        );
     }
 
     /// Scales many rows.
@@ -153,6 +164,16 @@ mod tests {
         let s = MinMaxScaler::fit(&[vec![7.0], vec![7.0]]);
         assert_eq!(s.transform(&[7.0]), vec![0.0]);
         assert_eq!(s.transform(&[100.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn transform_into_matches_transform_and_reuses_buffer() {
+        let s = MinMaxScaler::fit(&[vec![0.0, 10.0], vec![10.0, 20.0]]);
+        let mut buf = vec![99.0; 8];
+        s.transform_into(&[5.0, 12.0], &mut buf);
+        assert_eq!(buf, s.transform(&[5.0, 12.0]));
+        s.transform_into(&[-3.0, 25.0], &mut buf);
+        assert_eq!(buf, s.transform(&[-3.0, 25.0]));
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod dataset;
 pub mod layer;
 pub mod network;
 pub mod optimizer;
+pub mod packed;
 pub mod topology;
 pub mod train;
 
@@ -33,5 +34,6 @@ pub use activation::Activation;
 pub use dataset::Dataset;
 pub use network::Network;
 pub use optimizer::{Adam, Optimizer, Sgd};
+pub use packed::{PackedNetwork, PackedScratch};
 pub use topology::{search_topology, Topology, TopologySearchReport};
 pub use train::{train, TrainConfig, TrainTrace};

@@ -105,6 +105,45 @@ impl Network {
             .collect()
     }
 
+    /// [`Network::predict_batch`] over a row-major flat buffer:
+    /// `rows.len() / width` rows of `width` features each, no per-row
+    /// `Vec` required. Call sites that already own contiguous data
+    /// (batch staging buffers, benchmark matrices) should prefer this
+    /// over cloning rows into a `Vec<Vec<f64>>`. Bit-identical to the
+    /// nested-slice path.
+    pub fn predict_batch_flat(&self, rows: &[f64], width: usize) -> Vec<f64> {
+        assert_eq!(
+            width,
+            self.input_dim(),
+            "Network::predict_batch_flat: arity mismatch"
+        );
+        assert_eq!(
+            rows.len() % width,
+            0,
+            "Network::predict_batch_flat: flat batch is not a multiple of width"
+        );
+        let widest = self
+            .layers
+            .iter()
+            .map(|l| l.out_dim)
+            .max()
+            .unwrap_or(0)
+            .max(self.input_dim());
+        let mut cur: Vec<f64> = Vec::with_capacity(widest);
+        let mut next: Vec<f64> = Vec::with_capacity(widest);
+        rows.chunks_exact(width)
+            .map(|r| {
+                cur.clear();
+                cur.extend_from_slice(r);
+                for layer in &self.layers {
+                    layer.forward_into(&cur, &mut next);
+                    std::mem::swap(&mut cur, &mut next);
+                }
+                cur[0]
+            })
+            .collect()
+    }
+
     /// Forward pass keeping every layer's activated output (index 0 is the
     /// input itself); used by backprop.
     fn forward_trace(&self, input: &[f64]) -> Vec<Vec<f64>> {
@@ -231,6 +270,27 @@ mod tests {
     #[should_panic(expected = "arity mismatch")]
     fn predict_batch_checks_arity() {
         Network::new(3, &[4], 0).predict_batch(&[vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn predict_batch_flat_matches_nested_bit_for_bit() {
+        let n = Network::new(4, &[9, 5], 13);
+        let rows: Vec<Vec<f64>> = (0..25)
+            .map(|i| (0..4).map(|d| (i * 4 + d) as f64 * 0.021 - 0.9).collect())
+            .collect();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let nested = n.predict_batch(&rows);
+        let from_flat = n.predict_batch_flat(&flat, 4);
+        assert_eq!(nested.len(), from_flat.len());
+        for (a, b) in nested.iter().zip(&from_flat) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of width")]
+    fn predict_batch_flat_checks_length() {
+        Network::new(3, &[4], 0).predict_batch_flat(&[1.0, 2.0, 3.0, 4.0], 3);
     }
 
     #[test]

@@ -19,10 +19,11 @@
 //!   request, then keeps draining until the queue goes quiet for the
 //!   coalesce window (or the batch hits `max_batch`). The collected
 //!   batch pins **exactly one snapshot epoch** and runs as grouped
-//!   [`EstimatorService::estimate_batch_pinned`] calls — many tiny
-//!   requests amortise into one NN forward pass per `(system, op)`
-//!   group, and results are bit-identical to serial `estimate` calls at
-//!   the same epoch (the service's documented batch contract).
+//!   [`EstimatorService::estimate_batch_flat_pinned_scratch`] calls —
+//!   many tiny requests amortise into one fused NN forward pass per
+//!   `(system, op)` group staged through reusable per-thread buffers,
+//!   and results are bit-identical to serial `estimate` calls at the
+//!   same epoch (the service's documented batch contract).
 //! * **No request left behind** — every admitted request is answered:
 //!   with an estimate, a per-request [`ServiceError`], or
 //!   [`Rejection::ShuttingDown`] during teardown. Shutdown drains the
@@ -42,8 +43,9 @@
 use crate::clock::Clock;
 use crate::limiter::{RateLimitConfig, TenantRateLimiter};
 use catalog::SystemId;
-use costing::{CostEstimate, EstimatorService, OperatorKind, ServiceError};
+use costing::{CostEstimate, EstimateScratch, EstimatorService, OperatorKind, ServiceError};
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -201,6 +203,37 @@ enum Msg {
     Request(Pending),
     /// Terminates exactly one worker after the queued work ahead of it.
     Stop,
+}
+
+/// Per-leader reusable buffers: the service's estimate scratch plus the
+/// flat `(rows × width)` staging and output vectors one coalesced group
+/// is served through. Living in a const-initialised thread-local, each
+/// worker thread (and any thread driving [`Frontend::drain_now`]) warms
+/// its own copy once and then serves batches without per-batch staging
+/// allocations.
+struct LeaderScratch {
+    /// The service-side workspace for the `*_scratch` batch entry point.
+    scratch: EstimateScratch,
+    /// Flat row-major staging for one `(system, op)` group.
+    flat: Vec<f64>,
+    /// Estimates for the group, in row order.
+    out: Vec<CostEstimate>,
+}
+
+impl LeaderScratch {
+    const fn new() -> Self {
+        LeaderScratch {
+            scratch: EstimateScratch::new(),
+            flat: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    /// Const-initialised: touching it never allocates; buffers grow on
+    /// first use and are retained for the thread's lifetime.
+    static LEADER_SCRATCH: RefCell<LeaderScratch> = const { RefCell::new(LeaderScratch::new()) };
 }
 
 struct Inner {
@@ -565,34 +598,47 @@ fn process_batch(inner: &Inner, batch: Vec<Pending>) -> usize {
         }
     }
 
-    for ((system, op), members) in groups {
-        let rows: Vec<Vec<f64>> = members.iter().map(|p| p.features.clone()).collect();
-        match inner
-            .service
-            .estimate_batch_pinned(&snapshot, &system, op, &rows)
-        {
-            Ok(estimates) => {
-                for (pending, estimate) in members.iter().zip(estimates) {
-                    respond(
-                        inner,
-                        pending,
-                        Ok(EstimateReply {
-                            request_id: pending.id,
-                            estimate,
-                            epoch,
-                            batch_id,
-                            batch_size,
-                        }),
-                    );
-                }
+    LEADER_SCRATCH.with(|lead| {
+        let mut lead = lead.borrow_mut();
+        let LeaderScratch { scratch, flat, out } = &mut *lead;
+        for ((system, op), members) in groups {
+            // Arity pre-validation above means every member of a group
+            // shares the model's width, so the group flattens into one
+            // reused row-major staging buffer — no per-request clones.
+            let Some(first) = members.first() else {
+                continue;
+            };
+            let width = first.features.len();
+            flat.clear();
+            for pending in &members {
+                flat.extend_from_slice(&pending.features);
             }
-            Err(err) => {
-                for pending in &members {
-                    respond(inner, pending, Err(Rejection::Service(err.clone())));
+            match inner.service.estimate_batch_flat_pinned_scratch(
+                &snapshot, &system, op, flat, width, out, scratch,
+            ) {
+                Ok(()) => {
+                    for (pending, estimate) in members.iter().zip(out.drain(..)) {
+                        respond(
+                            inner,
+                            pending,
+                            Ok(EstimateReply {
+                                request_id: pending.id,
+                                estimate,
+                                epoch,
+                                batch_id,
+                                batch_size,
+                            }),
+                        );
+                    }
+                }
+                Err(err) => {
+                    for pending in &members {
+                        respond(inner, pending, Err(Rejection::Service(err.clone())));
+                    }
                 }
             }
         }
-    }
+    });
     batch_size
 }
 

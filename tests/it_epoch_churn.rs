@@ -165,6 +165,110 @@ fn reads_under_republish_churn_always_see_a_complete_model_state() {
     assert_eq!(final_bits, expect_bits);
 }
 
+/// The packed fast path under churn: with the cache disabled, every
+/// read runs the snapshot's fused [`costing::PackedOpModel`] kernel
+/// through caller scratch. Readers using the flat batch entry point
+/// must still only ever observe complete model states, and each pinned
+/// snapshot's packed form must agree bit for bit with its legacy model.
+#[test]
+fn packed_reads_under_republish_churn_stay_bit_consistent() {
+    use costing::logical_op::packed::PackedOpScratch;
+    use costing::service::EstimateScratch;
+
+    let service = EstimatorService::new(ServiceConfig {
+        cache_capacity_per_shard: 0, // force the packed compute path
+        ..ServiceConfig::default()
+    });
+    let sys = SystemId::new("churn-packed");
+    let a = variant(1.0);
+    let b = variant(2.5);
+    let rows = probe_rows();
+    let width = rows.first().map(Vec::len).unwrap_or(0);
+    let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+
+    let truth_a: Vec<u64> = rows
+        .iter()
+        .map(|r| a.estimate_readonly(r).secs.to_bits())
+        .collect();
+    let truth_b: Vec<u64> = rows
+        .iter()
+        .map(|r| b.estimate_readonly(r).secs.to_bits())
+        .collect();
+
+    service.register(sys.clone(), a.clone());
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let writer = {
+            let service = service.clone();
+            let sys = sys.clone();
+            let done = &done;
+            scope.spawn(move || {
+                let mut flips = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let next = if flips % 2 == 0 { b.clone() } else { a.clone() };
+                    service.register(sys.clone(), next);
+                    service.republish();
+                    flips += 1;
+                }
+                flips
+            })
+        };
+
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let service = service.clone();
+            let sys = sys.clone();
+            let (flat, truth_a, truth_b) = (&flat, &truth_a, &truth_b);
+            readers.push(scope.spawn(move || {
+                let mut scratch = EstimateScratch::new();
+                let mut packed_scratch = PackedOpScratch::new();
+                let mut out = Vec::new();
+                for i in 0..200 {
+                    let snapshot = service.snapshot();
+                    service
+                        .estimate_batch_flat_pinned_scratch(
+                            &snapshot,
+                            &sys,
+                            OperatorKind::Aggregation,
+                            flat,
+                            width,
+                            &mut out,
+                            &mut scratch,
+                        )
+                        .unwrap();
+                    let bits: Vec<u64> = out.iter().map(|e| e.secs.to_bits()).collect();
+                    assert!(
+                        bits == *truth_a || bits == *truth_b,
+                        "iteration {i}: packed flat batch mixed two model states"
+                    );
+                    // The pinned snapshot's packed form and legacy model
+                    // must be the same generation: identical bits on an
+                    // in-range probe row.
+                    let flow = snapshot
+                        .model(&sys, OperatorKind::Aggregation)
+                        .expect("model registered");
+                    let packed = snapshot
+                        .packed(&sys, OperatorKind::Aggregation)
+                        .expect("snapshot carries a packed form");
+                    let probe = &flat[..width];
+                    assert_eq!(
+                        flow.model.predict_nn(probe).to_bits(),
+                        packed.predict_one(probe, &mut packed_scratch).to_bits(),
+                        "iteration {i}: snapshot's packed form diverged from its model"
+                    );
+                }
+            }));
+        }
+        for r in readers {
+            r.join().expect("reader thread");
+        }
+        done.store(true, Ordering::Relaxed);
+        let flips = writer.join().expect("writer thread");
+        assert!(flips > 0, "the writer must actually have churned");
+    });
+}
+
 #[test]
 fn pinned_batches_survive_concurrent_tuning_pipeline_passes() {
     let service = EstimatorService::new(ServiceConfig::default());
