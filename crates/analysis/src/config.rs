@@ -85,6 +85,7 @@ impl Config {
                 "federation::fanout".into(),
                 "federation::planner".into(),
                 "telemetry::metrics".into(),
+                "telemetry::span".into(),
                 "serving::frontend".into(),
                 "serving::limiter".into(),
                 "neuro::packed".into(),
@@ -103,6 +104,8 @@ impl Config {
                 LockClass::ranked("cache", "SERVICE_CACHE", 30),
                 LockClass::ranked("metrics", "REGISTRY_METRICS", 50),
                 LockClass::ranked("help", "REGISTRY_HELP", 51),
+                LockClass::ranked("slo_state", "SLO_STATE", 55),
+                LockClass::ranked("exemplars", "SPAN_EXEMPLARS", 56),
                 LockClass::ranked("events", "TRACE_SUBSCRIBER", 60),
             ],
             trace_parity_modules: vec!["costing".into()],
@@ -110,6 +113,7 @@ impl Config {
             entropy_exempt_modules: vec![
                 "bench".into(),
                 "telemetry::trace".into(),
+                "telemetry::span".into(),
                 "serving::clock".into(),
             ],
             snapshot_read_modules: vec![

@@ -1,14 +1,15 @@
-//! Regenerates the drift-monitoring model-health table and
-//! `BENCH_drift.json`. Pass `--quick` for a reduced run, or
-//! `--validate` to schema-check an existing `BENCH_drift.json` —
-//! including the flagged-set/drifted-row agreement — without running
-//! anything (the CI smoke job does both).
+//! Regenerates the observability-overhead matrix and
+//! `BENCH_observability.json`. Pass `--quick` for a reduced run, or
+//! `--validate` to schema-check an existing `BENCH_observability.json`
+//! — including the sampled-off overhead bar and per-cell checksum
+//! bit-identity — without running anything (the CI smoke job does
+//! both).
 
-use bench::experiments::drift;
+use bench::experiments::observability;
 
 fn main() {
     if std::env::args().any(|a| a == "--validate") {
-        let path = drift::bench_json_path();
+        let path = observability::bench_json_path();
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) => {
@@ -16,13 +17,14 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        match drift::validate_doc(&text) {
+        match observability::validate_doc(&text) {
             Ok(doc) => {
                 println!(
-                    "{} is valid: {} model rows, {} flagged, quick = {}",
+                    "{} is valid: {} matrix rows, {} spans sampled, {} slo alerts, quick = {}",
                     path.display(),
                     doc.rows.len(),
-                    doc.flagged.len(),
+                    doc.ops.sampled_total,
+                    doc.ops.slo_alerts,
                     doc.quick
                 );
             }
@@ -34,5 +36,5 @@ fn main() {
         return;
     }
     let cfg = bench::ExpConfig::from_env();
-    let _ = drift::run(&cfg);
+    let _ = observability::run(&cfg);
 }

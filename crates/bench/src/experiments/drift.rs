@@ -26,6 +26,8 @@ use costing::service::EstimatorService;
 use costing::{publish_drift, ModelKey, OperatorKind};
 use neuro::Dataset;
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use telemetry::{DriftConfig, DriftMonitor, ModelHealth};
 
 /// One row of the model-health table.
@@ -44,6 +46,94 @@ pub struct DriftExpResult {
     pub rows: Vec<DriftRow>,
     /// The keys the monitor flagged for retraining.
     pub flagged: Vec<ModelKey>,
+}
+
+/// One model's health as written to `BENCH_drift.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftJsonRow {
+    /// The model's key, `system/operator`.
+    pub model: String,
+    /// Observations in the rolling window.
+    pub samples: u64,
+    /// Rolling RMSE%, relative to the actuals.
+    pub rmse_pct: f64,
+    /// Mean multiplicative (Q) error over the window.
+    pub mean_q_error: f64,
+    /// Worst Q error over the window.
+    pub max_q_error: f64,
+    /// Whether the monitor currently flags this model.
+    pub drifted: bool,
+}
+
+/// The full document written to `BENCH_drift.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftDoc {
+    /// Always `"drift"`.
+    pub experiment: String,
+    /// Whether this was a `--quick` run.
+    pub quick: bool,
+    /// Master seed the scenario's jitter was generated from.
+    pub seed: u64,
+    /// One row per monitored model.
+    pub rows: Vec<DriftJsonRow>,
+    /// `system/operator` labels of the models flagged for retraining.
+    pub flagged: Vec<String>,
+}
+
+/// Where `BENCH_drift.json` lives: the workspace root.
+pub fn bench_json_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_drift.json")
+}
+
+/// Validates a `BENCH_drift.json` payload: schema, health-number sanity,
+/// and the scenario's acceptance bar — the flagged set is exactly the
+/// rows marked drifted, and the controlled regime change must have
+/// flagged at least one model.
+pub fn validate_doc(text: &str) -> Result<DriftDoc, String> {
+    let doc: DriftDoc =
+        serde_json::from_str(text).map_err(|e| format!("not valid drift JSON: {e}"))?;
+    if doc.experiment != "drift" {
+        return Err(format!("unexpected experiment {:?}", doc.experiment));
+    }
+    if doc.rows.is_empty() {
+        return Err("no model rows".to_string());
+    }
+    let mut drifted_models = Vec::new();
+    for (i, r) in doc.rows.iter().enumerate() {
+        if r.model.is_empty() || !r.model.contains('/') {
+            return Err(format!("row {i}: malformed model key {:?}", r.model));
+        }
+        if r.samples == 0 {
+            return Err(format!("row {i}: no samples in the window"));
+        }
+        if !r.rmse_pct.is_finite() || r.rmse_pct < 0.0 {
+            return Err(format!("row {i}: bad rmse_pct {}", r.rmse_pct));
+        }
+        if !r.mean_q_error.is_finite() || r.mean_q_error < 1.0 {
+            return Err(format!("row {i}: bad mean_q_error {}", r.mean_q_error));
+        }
+        if !r.max_q_error.is_finite() || r.max_q_error < r.mean_q_error {
+            return Err(format!(
+                "row {i}: max_q_error {} below mean {}",
+                r.max_q_error, r.mean_q_error
+            ));
+        }
+        if r.drifted {
+            drifted_models.push(r.model.clone());
+        }
+    }
+    let mut flagged = doc.flagged.clone();
+    flagged.sort();
+    drifted_models.sort();
+    if flagged != drifted_models {
+        return Err(format!(
+            "flagged set {flagged:?} disagrees with drifted rows {drifted_models:?}"
+        ));
+    }
+    if flagged.is_empty() {
+        return Err("the controlled regime change flagged no model".to_string());
+    }
+    Ok(doc)
 }
 
 /// The ground truth both systems were trained against.
@@ -141,7 +231,44 @@ pub fn run(cfg: &ExpConfig) -> DriftExpResult {
         },
     );
 
+    let doc = DriftDoc {
+        experiment: "drift".to_string(),
+        quick: cfg.quick,
+        seed: cfg.seed,
+        rows: rows
+            .iter()
+            .map(|r| DriftJsonRow {
+                model: r.model.clone(),
+                samples: r.health.samples as u64,
+                rmse_pct: r.health.rmse_pct,
+                mean_q_error: r.health.mean_q_error,
+                max_q_error: r.health.max_q_error,
+                drifted: r.health.drifted,
+            })
+            .collect(),
+        flagged: flagged.iter().map(|k| format!("{}/{}", k.0, k.1)).collect(),
+    };
+    if cfg.out_dir.is_some() {
+        write_bench_json(&doc);
+    }
+
     DriftExpResult { rows, flagged }
+}
+
+/// Writes the machine-readable document to the repo root.
+fn write_bench_json(doc: &DriftDoc) {
+    let path = bench_json_path();
+    match serde_json::to_string_pretty(doc) {
+        Ok(mut text) => {
+            text.push('\n');
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("  [json] {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialise drift doc: {e}"),
+    }
 }
 
 fn print_health_table(cfg: &ExpConfig, rows: &[DriftRow]) {
@@ -196,6 +323,101 @@ fn print_health_table(cfg: &ExpConfig, rows: &[DriftRow]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_doc() -> DriftDoc {
+        DriftDoc {
+            experiment: "drift".to_string(),
+            quick: true,
+            seed: 1,
+            rows: vec![
+                DriftJsonRow {
+                    model: "hive-stable/aggregation".to_string(),
+                    samples: 32,
+                    rmse_pct: 3.0,
+                    mean_q_error: 1.02,
+                    max_q_error: 1.08,
+                    drifted: false,
+                },
+                DriftJsonRow {
+                    model: "hive-degraded/aggregation".to_string(),
+                    samples: 32,
+                    rmse_pct: 80.0,
+                    mean_q_error: 2.1,
+                    max_q_error: 3.0,
+                    drifted: true,
+                },
+            ],
+            flagged: vec!["hive-degraded/aggregation".to_string()],
+        }
+    }
+
+    #[test]
+    fn drift_schema_roundtrips_and_validates() {
+        let text = serde_json::to_string_pretty(&sample_doc()).unwrap();
+        let doc = validate_doc(&text).expect("valid doc");
+        assert_eq!(doc.rows.len(), 2);
+        assert_eq!(doc.flagged.len(), 1);
+    }
+
+    #[test]
+    fn drift_validation_rejects_broken_payloads() {
+        assert!(validate_doc("{}").is_err(), "missing fields");
+        assert!(validate_doc("not json").is_err());
+
+        let mut doc = sample_doc();
+        doc.experiment = "hotpath".to_string();
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text).is_err(), "wrong experiment name");
+
+        // Flagged set must be exactly the drifted rows.
+        let mut doc = sample_doc();
+        doc.flagged.clear();
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text).unwrap_err().contains("disagrees"));
+
+        // The controlled scenario must flag someone.
+        let mut doc = sample_doc();
+        doc.rows[1].drifted = false;
+        doc.flagged.clear();
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text)
+            .unwrap_err()
+            .contains("flagged no model"));
+
+        let mut doc = sample_doc();
+        doc.rows[0].max_q_error = 1.0; // below its mean
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text).unwrap_err().contains("max_q_error"));
+    }
+
+    #[test]
+    fn run_produces_a_doc_that_would_validate() {
+        let r = run(&ExpConfig::quick_silent());
+        let doc = DriftDoc {
+            experiment: "drift".to_string(),
+            quick: true,
+            seed: ExpConfig::quick_silent().seed,
+            rows: r
+                .rows
+                .iter()
+                .map(|row| DriftJsonRow {
+                    model: row.model.clone(),
+                    samples: row.health.samples as u64,
+                    rmse_pct: row.health.rmse_pct,
+                    mean_q_error: row.health.mean_q_error,
+                    max_q_error: row.health.max_q_error,
+                    drifted: row.health.drifted,
+                })
+                .collect(),
+            flagged: r
+                .flagged
+                .iter()
+                .map(|k| format!("{}/{}", k.0, k.1))
+                .collect(),
+        };
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        validate_doc(&text).expect("live run validates");
+    }
 
     #[test]
     fn degraded_system_is_flagged_and_stable_is_not() {

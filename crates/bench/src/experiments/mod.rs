@@ -12,6 +12,7 @@ pub mod frontend;
 pub mod heterogeneous;
 pub mod hotpath;
 pub mod logical;
+pub mod observability;
 pub mod skew;
 pub mod table1;
 

@@ -1,0 +1,862 @@
+//! The standing observability-overhead matrix (DESIGN.md §14).
+//!
+//! The request-span layer's contract is that observability is *free
+//! until you ask for it*: with sampling off, an instrumented service
+//! call pays one relaxed atomic load and a handful of thread-local
+//! `bool` reads, and with sampling on, only the sampled request pays
+//! for the clock. This experiment pins that claim as a trajectory:
+//! every run measures the same matrix and writes it to
+//! `BENCH_observability.json`, so a regression (a span probe drifting
+//! onto the always-on path, a lock sneaking into the sampling gate)
+//! shows up as a ratio shift across PRs.
+//!
+//! Two modes share each matrix cell:
+//!
+//! * **baseline** — a faithful replay of the pre-span batch estimate
+//!   path: the same snapshot pin, staging loop, fused packed kernel,
+//!   and per-row metric bookkeeping the service ran before the span
+//!   layer existed, with no span probes compiled anywhere near it.
+//! * **service** — today's instrumented
+//!   [`costing::EstimatorService::estimate_batch_flat_pinned_scratch`]
+//!   behind a per-call [`telemetry::SpanLayer::start_request`] sampling
+//!   gate, measured at `sample_every` 0 (off), 1 (every request), and
+//!   16.
+//!
+//! Modes are measured in interleaved rounds (baseline, then each
+//! service variant, repeated) so thermal and scheduler drift cancels
+//! instead of biasing one side. Validation (`--validate`, run by the CI
+//! smoke job) enforces the acceptance bar: in every cell, the
+//! sampled-off service p50 must be within [`MAX_OVERHEAD_PCT`] percent
+//! (plus a one-microsecond absolute grace) of the baseline p50, and all
+//! of a cell's checksums must agree bit for bit — instrumentation must
+//! not change a single answer.
+//!
+//! The run also drives a short deterministic serving scenario (manual
+//! clock, sampling 1-in-1, a tight latency SLO, a small ring
+//! subscriber) to exercise the rest of the plane end to end: the
+//! document's `ops` section proves spans were sampled, exemplars
+//! retained, SLO burn alerts fired, and trace-ring drops counted.
+
+use crate::report::{heading, kv, write_text_table, ExpConfig};
+use catalog::SystemId;
+use costing::logical_op::flow::LogicalOpCosting;
+use costing::logical_op::model::{FitConfig, LogicalOpModel};
+use costing::service::{EstimatorService, ServiceConfig};
+use costing::{CostEstimate, EstimateScratch, EstimateSource, ModelSnapshot, OperatorKind};
+use neuro::Dataset;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use serving::{Clock, EstimateRequest, Frontend, FrontendConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use telemetry::span::{SpanConfig, SpanLayer};
+use telemetry::{
+    Counter, Histogram, MetricsRegistry, RingSubscriber, SloConfig, Stage, Telemetry, Tracer,
+};
+
+/// The acceptance bar: the sampled-off service p50 may exceed the
+/// uninstrumented baseline p50 by at most this percentage (plus
+/// [`ABS_GRACE_US`] of absolute grace for sub-microsecond cells).
+pub const MAX_OVERHEAD_PCT: f64 = 5.0;
+
+/// Absolute grace on the overhead bar, in microseconds.
+pub const ABS_GRACE_US: f64 = 1.0;
+
+/// One measured matrix cell, as written to `BENCH_observability.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObservabilityRow {
+    /// `"baseline"` (pre-span replay) or `"service"` (instrumented path).
+    pub mode: String,
+    /// Span sampling period for service rows (`0` = off; baseline rows
+    /// are always 0).
+    pub sample_every: u64,
+    /// Rows per measured call.
+    pub batch: u64,
+    /// Concurrent measuring threads.
+    pub concurrency: u64,
+    /// Background republisher threads churning epochs.
+    pub republishers: u64,
+    /// Timed calls across all threads and rounds.
+    pub iters: u64,
+    /// Median per-call latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-call latency, microseconds.
+    pub p99_us: f64,
+    /// Mean per-call latency, microseconds.
+    pub mean_us: f64,
+    /// Throughput in estimated rows per second across all threads.
+    pub rows_per_sec: f64,
+    /// Sum of the batch's outputs for one untimed evaluation — must be
+    /// bit-identical across every mode of the same cell.
+    pub checksum: f64,
+}
+
+/// End-to-end plane proof from the deterministic serving scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpsSummary {
+    /// Requests the sampling gate saw.
+    pub requests_seen: u64,
+    /// Spans actually sampled.
+    pub sampled_total: u64,
+    /// Exemplars retained in the reservoir at the end of the scenario.
+    pub exemplars_retained: u64,
+    /// SLO burn-rate alerts fired (`slo_alerts_total`).
+    pub slo_alerts: u64,
+    /// Events evicted from the bounded trace ring
+    /// (`trace_dropped_events`).
+    pub trace_dropped_events: u64,
+}
+
+/// The full document written to `BENCH_observability.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObservabilityDoc {
+    /// Always `"observability"`.
+    pub experiment: String,
+    /// Whether this was a `--quick` run.
+    pub quick: bool,
+    /// Master seed inputs were generated from.
+    pub seed: u64,
+    /// The overhead bar validation enforces on sampled-off cells.
+    pub max_overhead_pct: f64,
+    /// One row per matrix cell and mode.
+    pub rows: Vec<ObservabilityRow>,
+    /// The end-to-end plane proof.
+    pub ops: OpsSummary,
+}
+
+/// Where `BENCH_observability.json` lives: the workspace root.
+pub fn bench_json_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_observability.json")
+}
+
+/// Validates a `BENCH_observability.json` payload: schema, quantile
+/// ordering, per-cell checksum bit-identity, the sampled-off overhead
+/// bar, and the end-to-end ops proof.
+pub fn validate_doc(text: &str) -> Result<ObservabilityDoc, String> {
+    let doc: ObservabilityDoc =
+        serde_json::from_str(text).map_err(|e| format!("not valid observability JSON: {e}"))?;
+    if doc.experiment != "observability" {
+        return Err(format!("unexpected experiment {:?}", doc.experiment));
+    }
+    if doc.rows.is_empty() {
+        return Err("no matrix rows".to_string());
+    }
+    if !(doc.max_overhead_pct.is_finite() && doc.max_overhead_pct > 0.0) {
+        return Err(format!("bad max_overhead_pct {}", doc.max_overhead_pct));
+    }
+    for (i, r) in doc.rows.iter().enumerate() {
+        if r.mode != "baseline" && r.mode != "service" {
+            return Err(format!("row {i}: unknown mode {:?}", r.mode));
+        }
+        if r.mode == "baseline" && r.sample_every != 0 {
+            return Err(format!("row {i}: baseline rows cannot sample"));
+        }
+        if r.batch == 0 || r.iters == 0 || r.concurrency == 0 {
+            return Err(format!("row {i}: empty measurement"));
+        }
+        for (name, v) in [
+            ("p50_us", r.p50_us),
+            ("p99_us", r.p99_us),
+            ("mean_us", r.mean_us),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("row {i}: {name} = {v} is not a latency"));
+            }
+        }
+        if r.p50_us > r.p99_us {
+            return Err(format!(
+                "row {i}: quantiles out of order ({} / {})",
+                r.p50_us, r.p99_us
+            ));
+        }
+        if !r.checksum.is_finite() {
+            return Err(format!("row {i}: non-finite checksum"));
+        }
+    }
+    // Group the modes of one matrix point and hold the sampled-off
+    // service row against the baseline.
+    let cell_key = |r: &ObservabilityRow| (r.batch, r.concurrency, r.republishers);
+    let mut cells: std::collections::HashMap<_, (Option<f64>, Option<f64>, Vec<u64>)> =
+        std::collections::HashMap::new();
+    for r in &doc.rows {
+        let entry = cells.entry(cell_key(r)).or_default();
+        if r.mode == "baseline" {
+            entry.0 = Some(r.p50_us);
+        } else if r.sample_every == 0 {
+            entry.1 = Some(r.p50_us);
+        }
+        entry.2.push(r.checksum.to_bits());
+    }
+    for (key, (baseline, service_off, checksums)) in &cells {
+        let (Some(baseline), Some(service_off)) = (baseline, service_off) else {
+            return Err(format!(
+                "cell {key:?}: missing its baseline/sampled-off pair"
+            ));
+        };
+        if checksums.windows(2).any(|w| w[0] != w[1]) {
+            return Err(format!(
+                "cell {key:?}: checksums differ across modes — instrumentation changed answers"
+            ));
+        }
+        let bar = baseline * (1.0 + doc.max_overhead_pct / 100.0) + ABS_GRACE_US;
+        if *service_off > bar {
+            return Err(format!(
+                "cell {key:?}: sampled-off p50 {service_off:.3} us exceeds baseline \
+                 {baseline:.3} us by more than {}% (+{ABS_GRACE_US} us grace)",
+                doc.max_overhead_pct
+            ));
+        }
+    }
+    if doc.ops.sampled_total == 0 || doc.ops.requests_seen < doc.ops.sampled_total {
+        return Err(format!(
+            "ops: sampling counters broken ({} sampled of {} seen)",
+            doc.ops.sampled_total, doc.ops.requests_seen
+        ));
+    }
+    if doc.ops.exemplars_retained == 0 {
+        return Err("ops: no exemplars retained".to_string());
+    }
+    if doc.ops.slo_alerts == 0 {
+        return Err("ops: the induced SLO breach fired no alert".to_string());
+    }
+    if doc.ops.trace_dropped_events == 0 {
+        return Err("ops: the bounded trace ring recorded no drops".to_string());
+    }
+    Ok(doc)
+}
+
+/// Exact p50/p99/mean over one cell's per-call latencies (microseconds).
+fn summarize(lat_us: &mut [f64]) -> (f64, f64, f64) {
+    lat_us.sort_by(mathkit::total_cmp_f64);
+    let p50 = mathkit::nearest_rank(lat_us, 0.50);
+    let p99 = mathkit::nearest_rank(lat_us, 0.99);
+    let mean = lat_us.iter().sum::<f64>() / lat_us.len().max(1) as f64;
+    (p50, p99, mean)
+}
+
+/// The trained model every cell runs against (the hotpath matrix's
+/// service model, for comparable numbers).
+fn trained_flow() -> LogicalOpCosting {
+    let mut inputs = vec![];
+    let mut targets = vec![];
+    for r in 1..=15 {
+        for s in 1..=4 {
+            let rows = r as f64 * 1e5;
+            let size = s as f64 * 100.0;
+            inputs.push(vec![rows, size]);
+            targets.push(1.0 + 2e-6 * rows + 0.01 * size);
+        }
+    }
+    let (model, _) = LogicalOpModel::fit(
+        OperatorKind::Aggregation,
+        &["rows", "size"],
+        &Dataset::new(inputs, targets),
+        &FitConfig::fast(),
+    );
+    LogicalOpCosting::new(model)
+}
+
+/// In-range feature rows (the matrix measures the packed kernel, not
+/// the remedy).
+fn in_range_flat(seed: u64, batch: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = Vec::with_capacity(batch * 2);
+    for _ in 0..batch {
+        v.push(rng.gen_range(1.0e5..1.5e6));
+        v.push(rng.gen_range(100.0..400.0));
+    }
+    v
+}
+
+/// Reusable buffers for the baseline replay, mirroring the service's
+/// [`EstimateScratch`] shape.
+struct BaselineScratch {
+    results: Vec<Option<CostEstimate>>,
+    miss_idx: Vec<usize>,
+    in_range: Vec<usize>,
+    nn_rows: Vec<f64>,
+    nn_out: Vec<f64>,
+    packed: costing::PackedOpScratch,
+}
+
+impl BaselineScratch {
+    fn new() -> Self {
+        BaselineScratch {
+            results: Vec::new(),
+            miss_idx: Vec::new(),
+            in_range: Vec::new(),
+            nn_rows: Vec::new(),
+            nn_out: Vec::new(),
+            packed: costing::PackedOpScratch::new(),
+        }
+    }
+}
+
+/// Replays the pre-span batch estimate path against a pinned snapshot:
+/// the same cache-disabled control flow, staging discipline, fused
+/// kernel, and per-row metric bookkeeping as
+/// `estimate_batch_flat_pinned_scratch` before the span probes landed —
+/// with no span layer anywhere in sight.
+#[allow(clippy::too_many_arguments)]
+fn baseline_batch(
+    snapshot: &ModelSnapshot,
+    system: &SystemId,
+    op: OperatorKind,
+    flat: &[f64],
+    width: usize,
+    out: &mut Vec<CostEstimate>,
+    s: &mut BaselineScratch,
+    hits: &Counter,
+    misses: &Counter,
+    estimate_secs: &Histogram,
+) {
+    out.clear();
+    let n = flat.len() / width.max(1);
+    s.results.clear();
+    s.results.resize(n, None);
+    s.miss_idx.clear();
+    s.miss_idx.extend(0..n);
+    hits.add((n - s.miss_idx.len()) as u64);
+    let flow = snapshot.model(system, op).expect("model registered");
+    s.in_range.clear();
+    s.nn_rows.clear();
+    for (i, row) in flat.chunks_exact(width).enumerate() {
+        if flow.model.meta.all_in_range(row, flow.remedy.beta) {
+            s.in_range.push(i);
+            s.nn_rows.extend_from_slice(row);
+        } else {
+            s.results[i] = Some(CostEstimate::new(
+                flow.model.predict_nn(row),
+                EstimateSource::NeuralNetwork,
+            ));
+        }
+    }
+    let packed = snapshot.packed(system, op).expect("packed form");
+    packed.predict_batch_into(&s.nn_rows, width, &mut s.nn_out, &mut s.packed);
+    for (&i, &secs) in s.in_range.iter().zip(s.nn_out.iter()) {
+        s.results[i] = Some(CostEstimate::new(secs, EstimateSource::NeuralNetwork));
+    }
+    misses.add(s.miss_idx.len() as u64);
+    for &i in s.miss_idx.iter() {
+        if let Some(est) = s.results[i].as_ref() {
+            estimate_secs.observe(est.secs);
+        }
+    }
+    out.reserve(n);
+    for r in s.results.drain(..) {
+        out.push(r.expect("slot computed"));
+    }
+}
+
+/// One interleaved measurement slice of one mode: `concurrency` reader
+/// threads hammering the batch path while `republishers` churn epochs.
+/// Returns the pooled latencies, the cell checksum, and elapsed seconds.
+#[allow(clippy::too_many_arguments)]
+fn measure_slice(
+    service: &EstimatorService,
+    spans: &SpanLayer,
+    system: &SystemId,
+    op: OperatorKind,
+    flat: &[f64],
+    width: usize,
+    mode: &str,
+    sample_every: u64,
+    concurrency: usize,
+    republishers: usize,
+    slice: Duration,
+) -> (Vec<f64>, f64, f64) {
+    spans.set_sampling(if mode == "service" { sample_every } else { 0 });
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let repub_handles: Vec<_> = (0..republishers)
+            .map(|_| {
+                let service = &service;
+                let stop = &stop;
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        let _ = service.republish();
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                })
+            })
+            .collect();
+        let started = Instant::now();
+        let readers: Vec<_> = (0..concurrency)
+            .map(|_| {
+                let service = &service;
+                let spans = &spans;
+                let (system, flat) = (&system, &flat);
+                scope.spawn(move || {
+                    let mut scratch = EstimateScratch::new();
+                    let mut baseline_scratch = BaselineScratch::new();
+                    let mut out = Vec::new();
+                    let mut lat_us = Vec::new();
+                    let mut checksum = 0.0;
+                    let reg = &service.telemetry().metrics;
+                    let hits = reg.counter("baseline_hits_total", &[]);
+                    let misses = reg.counter("baseline_misses_total", &[]);
+                    let secs_hist = reg.histogram(
+                        "baseline_estimate_secs",
+                        &[],
+                        &[0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0],
+                    );
+                    while started.elapsed() < slice {
+                        let t0 = Instant::now();
+                        let snapshot = service.snapshot();
+                        if mode == "baseline" {
+                            baseline_batch(
+                                &snapshot,
+                                system,
+                                op,
+                                flat,
+                                width,
+                                &mut out,
+                                &mut baseline_scratch,
+                                &hits,
+                                &misses,
+                                &secs_hist,
+                            );
+                        } else {
+                            // The per-request sampling gate the serving
+                            // front-end runs: this is what the
+                            // sampled-off path's "one relaxed load"
+                            // claim is measured against.
+                            let mut guard = spans.start_request(0);
+                            if guard.is_sampled() {
+                                guard.set_epoch(snapshot.epoch().get());
+                            }
+                            service
+                                .estimate_batch_flat_pinned_scratch(
+                                    &snapshot,
+                                    system,
+                                    op,
+                                    flat,
+                                    width,
+                                    &mut out,
+                                    &mut scratch,
+                                )
+                                .expect("batch estimates");
+                        }
+                        checksum = out.iter().map(|e| e.secs).sum::<f64>();
+                        std::hint::black_box(out.len());
+                        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                    }
+                    (lat_us, checksum)
+                })
+            })
+            .collect();
+        let mut pool = Vec::new();
+        let mut checksum = 0.0;
+        for r in readers {
+            let (lat, sum) = r.join().expect("reader thread");
+            pool.extend(lat);
+            checksum = sum;
+        }
+        let elapsed_s = started.elapsed().as_secs_f64().max(1e-9);
+        stop.store(true, Ordering::Release);
+        for h in repub_handles {
+            let _ = h.join();
+        }
+        (pool, checksum, elapsed_s)
+    })
+}
+
+/// Measures every mode of one matrix cell in interleaved rounds.
+fn bench_cell(
+    flow: &LogicalOpCosting,
+    seed: u64,
+    batch: usize,
+    concurrency: usize,
+    republishers: usize,
+    rounds: usize,
+    slice: Duration,
+) -> Vec<ObservabilityRow> {
+    let service = EstimatorService::new(ServiceConfig {
+        cache_capacity_per_shard: 0, // measure the compute path, not the cache
+        ..ServiceConfig::default()
+    });
+    let system = SystemId::new("obs-svc");
+    let op = flow.model.op;
+    service.register(system.clone(), flow.clone());
+    let spans = service.telemetry().spans.clone();
+    let width = flow.model.arity();
+    let flat = in_range_flat(seed ^ batch as u64, batch);
+
+    let modes: [(&str, u64); 4] = [
+        ("baseline", 0),
+        ("service", 0),
+        ("service", 1),
+        ("service", 16),
+    ];
+    let mut pooled: Vec<(Vec<f64>, f64, f64)> =
+        modes.iter().map(|_| (Vec::new(), 0.0, 0.0)).collect();
+    for _ in 0..rounds {
+        for (slot, &(mode, every)) in pooled.iter_mut().zip(modes.iter()) {
+            let (lat, checksum, elapsed) = measure_slice(
+                &service,
+                &spans,
+                &system,
+                op,
+                &flat,
+                width,
+                mode,
+                every,
+                concurrency,
+                republishers,
+                slice,
+            );
+            slot.0.extend(lat);
+            slot.1 = checksum;
+            slot.2 += elapsed;
+        }
+    }
+    spans.set_sampling(0);
+
+    pooled
+        .into_iter()
+        .zip(modes.iter())
+        .map(|((mut lat_us, checksum, elapsed_s), &(mode, every))| {
+            let iters = lat_us.len() as u64;
+            let (p50, p99, mean) = summarize(&mut lat_us);
+            ObservabilityRow {
+                mode: mode.to_string(),
+                sample_every: every,
+                batch: batch as u64,
+                concurrency: concurrency as u64,
+                republishers: republishers as u64,
+                iters,
+                p50_us: p50,
+                p99_us: p99,
+                mean_us: mean,
+                rows_per_sec: (iters * batch as u64) as f64 / elapsed_s.max(1e-9),
+                checksum,
+            }
+        })
+        .collect()
+}
+
+/// Drives the whole plane end to end on a deterministic manual clock:
+/// 1-in-1 sampling, a deliberately unmeetable latency SLO, and a small
+/// trace ring. Returns the ops proof and writes the exemplar table.
+fn ops_scenario(cfg: &ExpConfig) -> OpsSummary {
+    let metrics = MetricsRegistry::default();
+    let ring = Arc::new(RingSubscriber::with_registry(32, &metrics));
+    let telemetry = Telemetry {
+        metrics,
+        tracer: Tracer::new(ring.clone()),
+        spans: SpanLayer::new(SpanConfig {
+            sample_every: 1,
+            exemplar_k: 8,
+            exemplar_window: 64,
+        }),
+    };
+    let service = EstimatorService::with_telemetry(ServiceConfig::default(), telemetry.clone());
+    let system = SystemId::new("obs-ops");
+    service.register(system.clone(), trained_flow());
+
+    let clock = Clock::manual(0);
+    let frontend = Frontend::with_clock(
+        service,
+        FrontendConfig {
+            workers: 0,
+            coalesce_window_us: 0,
+            max_batch: 8,
+            // Every response will take 100 manual-clock micros against a
+            // 50 us target: a 100% bad fraction whose burn rate maxes
+            // both SLO windows and must fire the alert.
+            slo: Some(SloConfig {
+                target_latency_us: 50.0,
+                error_budget: 0.01,
+                short_window_us: 10_000,
+                long_window_us: 80_000,
+                burn_threshold: 2.0,
+                cooldown_us: 1_000_000,
+                min_requests: 10,
+            }),
+            ..FrontendConfig::default()
+        },
+        clock.clone(),
+    );
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0B5E);
+    let mut tickets = Vec::new();
+    for i in 0..200u64 {
+        let ticket = frontend.submit(EstimateRequest {
+            tenant: i % 4,
+            system: system.clone(),
+            op: OperatorKind::Aggregation,
+            features: vec![rng.gen_range(1.0e5..1.5e6), rng.gen_range(100.0..400.0)],
+        });
+        if let Ok(t) = ticket {
+            tickets.push(t);
+        }
+        clock.advance_micros(100);
+        if i % 4 == 3 {
+            while frontend.drain_now() > 0 {}
+        }
+    }
+    while frontend.drain_now() > 0 {}
+    for t in tickets {
+        let _ = t.wait();
+    }
+
+    let telemetry = frontend.service().telemetry().clone();
+    let span_snap = telemetry.spans.snapshot();
+    let metric_snap = telemetry.metrics.snapshot();
+    let ops = OpsSummary {
+        requests_seen: span_snap.requests_seen,
+        sampled_total: span_snap.sampled_total,
+        exemplars_retained: span_snap.exemplars.len() as u64,
+        slo_alerts: metric_snap.counter("slo_alerts_total", &[]).unwrap_or(0),
+        trace_dropped_events: ring.dropped(),
+    };
+
+    let table: Vec<Vec<String>> = span_snap
+        .exemplars
+        .iter()
+        .map(|e| {
+            let mut row = vec![
+                e.span.0.to_string(),
+                e.tenant.to_string(),
+                e.epoch.to_string(),
+                format!("{:.1}", e.total_us),
+            ];
+            row.extend(Stage::ALL.iter().map(|&s| format!("{:.1}", e.stage_us(s))));
+            row
+        })
+        .collect();
+    write_text_table(
+        cfg,
+        "observability_ops",
+        &[
+            "span",
+            "tenant",
+            "epoch",
+            "total us",
+            "queue_wait",
+            "coalesce",
+            "cache_probe",
+            "kernel",
+            "remedy",
+            "fed_place",
+            "remote_exec",
+        ],
+        &table,
+    );
+    kv("spans sampled", ops.sampled_total);
+    kv("exemplars retained", ops.exemplars_retained);
+    kv("slo alerts fired", ops.slo_alerts);
+    kv("trace events dropped by the ring", ops.trace_dropped_events);
+    ops
+}
+
+/// Runs the matrix plus the ops scenario and returns the document.
+pub fn run(cfg: &ExpConfig) -> ObservabilityDoc {
+    heading("Observability plane — span overhead matrix + end-to-end ops proof");
+
+    let (rounds, slice) = if cfg.quick {
+        (2, Duration::from_millis(40))
+    } else {
+        (4, Duration::from_millis(100))
+    };
+    let flow = trained_flow();
+    let batches: &[usize] = if cfg.quick { &[64] } else { &[64, 256] };
+    let concurrencies: &[usize] = if cfg.quick { &[1, 2] } else { &[1, 4] };
+    let republisher_counts: &[usize] = if cfg.quick { &[0, 1] } else { &[0, 2] };
+
+    let mut rows = Vec::new();
+    for &batch in batches {
+        for &conc in concurrencies {
+            for &repub in republisher_counts {
+                rows.extend(bench_cell(
+                    &flow, cfg.seed, batch, conc, repub, rounds, slice,
+                ));
+            }
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                r.sample_every.to_string(),
+                r.batch.to_string(),
+                r.concurrency.to_string(),
+                r.republishers.to_string(),
+                r.iters.to_string(),
+                format!("{:.2}", r.p50_us),
+                format!("{:.2}", r.p99_us),
+                format!("{:.0}", r.rows_per_sec),
+            ]
+        })
+        .collect();
+    write_text_table(
+        cfg,
+        "observability",
+        &[
+            "mode", "sample", "batch", "conc", "repub", "iters", "p50 us", "p99 us", "rows/s",
+        ],
+        &table,
+    );
+
+    let ops = ops_scenario(cfg);
+
+    let doc = ObservabilityDoc {
+        experiment: "observability".to_string(),
+        quick: cfg.quick,
+        seed: cfg.seed,
+        max_overhead_pct: MAX_OVERHEAD_PCT,
+        rows,
+        ops,
+    };
+    if cfg.out_dir.is_some() {
+        write_bench_json(&doc);
+    }
+    kv("matrix cells", doc.rows.len());
+    doc
+}
+
+/// Writes the machine-readable document to the repo root.
+fn write_bench_json(doc: &ObservabilityDoc) {
+    let path = bench_json_path();
+    match serde_json::to_string_pretty(doc) {
+        Ok(mut text) => {
+            text.push('\n');
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("  [json] {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialise observability doc: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows(baseline_p50: f64, service_off_p50: f64) -> Vec<ObservabilityRow> {
+        [
+            ("baseline", 0u64, baseline_p50),
+            ("service", 0, service_off_p50),
+        ]
+        .iter()
+        .map(|&(mode, every, p50)| ObservabilityRow {
+            mode: mode.to_string(),
+            sample_every: every,
+            batch: 64,
+            concurrency: 1,
+            republishers: 0,
+            iters: 1000,
+            p50_us: p50,
+            p99_us: 100.0,
+            mean_us: 10.0,
+            rows_per_sec: 1e6,
+            checksum: 42.5,
+        })
+        .collect()
+    }
+
+    fn sample_doc() -> ObservabilityDoc {
+        ObservabilityDoc {
+            experiment: "observability".to_string(),
+            quick: true,
+            seed: 1,
+            max_overhead_pct: MAX_OVERHEAD_PCT,
+            rows: sample_rows(40.0, 40.5),
+            ops: OpsSummary {
+                requests_seen: 200,
+                sampled_total: 50,
+                exemplars_retained: 8,
+                slo_alerts: 1,
+                trace_dropped_events: 30,
+            },
+        }
+    }
+
+    #[test]
+    fn observability_schema_roundtrips_and_validates() {
+        let text = serde_json::to_string_pretty(&sample_doc()).unwrap();
+        let doc = validate_doc(&text).expect("valid doc");
+        assert_eq!(doc.rows.len(), 2);
+    }
+
+    #[test]
+    fn validation_enforces_the_overhead_bar() {
+        let mut doc = sample_doc();
+        doc.rows = sample_rows(40.0, 44.0); // 10% over, beyond 5% + 1us
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text)
+            .unwrap_err()
+            .contains("exceeds baseline"));
+        // Within the bar (5% of 40 = 2, + 1 us grace).
+        let mut doc = sample_doc();
+        doc.rows = sample_rows(40.0, 42.9);
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_broken_payloads() {
+        assert!(validate_doc("{}").is_err(), "missing fields");
+        assert!(validate_doc("not json").is_err());
+
+        let mut doc = sample_doc();
+        doc.experiment = "hotpath".to_string();
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text).is_err(), "wrong experiment name");
+
+        let mut doc = sample_doc();
+        doc.rows[0].checksum = 43.0; // instrumentation changed answers
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text).unwrap_err().contains("checksums"));
+
+        let mut doc = sample_doc();
+        doc.rows.pop(); // widowed cell
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text).unwrap_err().contains("pair"));
+
+        let mut doc = sample_doc();
+        doc.ops.slo_alerts = 0;
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text).unwrap_err().contains("alert"));
+
+        let mut doc = sample_doc();
+        doc.ops.trace_dropped_events = 0;
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        assert!(validate_doc(&text).unwrap_err().contains("drops"));
+    }
+
+    #[test]
+    fn cell_modes_measure_with_identical_checksums() {
+        let flow = trained_flow();
+        let rows = bench_cell(&flow, 7, 16, 1, 0, 1, Duration::from_millis(15));
+        assert_eq!(rows.len(), 4);
+        let bits: Vec<u64> = rows.iter().map(|r| r.checksum.to_bits()).collect();
+        assert!(
+            bits.windows(2).all(|w| w[0] == w[1]),
+            "all modes must produce bit-identical estimates: {rows:?}"
+        );
+        for r in &rows {
+            assert!(r.iters > 0, "{r:?}");
+            assert!(r.p50_us > 0.0 && r.p50_us <= r.p99_us, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn ops_scenario_samples_alerts_and_drops_deterministically() {
+        let ops = ops_scenario(&ExpConfig::quick_silent());
+        assert!(ops.sampled_total > 0, "{ops:?}");
+        assert!(ops.requests_seen >= ops.sampled_total, "{ops:?}");
+        assert!(ops.exemplars_retained > 0, "{ops:?}");
+        assert!(ops.slo_alerts >= 1, "induced breach must alert: {ops:?}");
+        assert!(
+            ops.trace_dropped_events > 0,
+            "32-slot ring must evict: {ops:?}"
+        );
+    }
+}

@@ -49,6 +49,8 @@ pub use logical_op::{
     flow::LogicalOpCosting, model::FitConfig, model::LogicalOpModel, packed::PackedOpModel,
     packed::PackedOpScratch, remedy::RemedyConfig, remedy::RemedyScratch,
 };
-pub use observability::{publish_drift, ModelKey, ModelKeyQuery, ModelKeyRef, TraceCtx};
+pub use observability::{
+    publish_drift, DriftRetuner, ModelKey, ModelKeyQuery, ModelKeyRef, RetuneOutcome, TraceCtx,
+};
 pub use service::{CacheStats, EstimateScratch, EstimatorService, ServiceConfig, ServiceError};
 pub use sub_op::{choice::ChoicePolicy, SubOpCosting};

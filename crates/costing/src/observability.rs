@@ -15,9 +15,13 @@
 //!
 //! [`LogicalOpCosting`]: crate::logical_op::flow::LogicalOpCosting
 
+use crate::epoch::{Epoch, TuningPipeline};
 use crate::estimator::OperatorKind;
+use crate::service::EstimatorService;
 use catalog::SystemId;
-use telemetry::{DriftMonitor, Event, ModelHealth, Telemetry, Tracer};
+use telemetry::{
+    AlertEvent, Counter, DriftConfig, DriftMonitor, Event, ModelHealth, Telemetry, Tracer,
+};
 
 /// Identifies one trained model for drift monitoring: which operator on
 /// which remote system.
@@ -162,11 +166,136 @@ fn publish_health(key: &ModelKey, health: &ModelHealth, telemetry: &Telemetry) {
     }
 }
 
+/// What one [`DriftRetuner::check`] pass did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetuneOutcome {
+    /// Models the drift monitor flagged during this pass.
+    pub flagged: Vec<ModelKey>,
+    /// Epoch published by the breach-triggered tuning pass (`None` when
+    /// no breach fired, the cooldown suppressed the retune, or the
+    /// pipeline found nothing to retrain).
+    pub retuned: Option<Epoch>,
+    /// `true` when a breach was detected but the retune was suppressed
+    /// because the previous one happened too recently.
+    pub suppressed_by_cooldown: bool,
+}
+
+/// Closes the observe → drift → retune loop: a [`DriftMonitor`] fed
+/// with `(predicted, actual)` pairs, a [`TuningPipeline`] to run when a
+/// model breaches, and a cooldown so a persistently noisy model cannot
+/// force back-to-back retraining storms.
+///
+/// Each [`DriftRetuner::check`] pass publishes the monitor's health
+/// gauges ([`publish_drift`]), emits one
+/// [`AlertEvent::DriftBreach`] per flagged model, and — when the
+/// cooldown allows — runs the service's tuning pipeline exactly once
+/// for the whole breach set, producing a single epoch bump. The
+/// cooldown counts `check` calls rather than wall time, keeping the
+/// loop fully deterministic under test.
+pub struct DriftRetuner {
+    monitor: DriftMonitor<ModelKey>,
+    pipeline: TuningPipeline,
+    cooldown_checks: u64,
+    checks: u64,
+    last_retune_check: Option<u64>,
+    retunes: Counter,
+}
+
+impl DriftRetuner {
+    /// Builds a retuner publishing into `telemetry` (registers the
+    /// `drift_retunes_total` counter). Default cooldown is one check:
+    /// consecutive passes may each retune.
+    pub fn new(config: DriftConfig, pipeline: TuningPipeline, telemetry: &Telemetry) -> Self {
+        telemetry.metrics.set_help(
+            "drift_retunes_total",
+            "Tuning passes triggered by a drift-breach alert.",
+        );
+        let retunes = telemetry.metrics.counter("drift_retunes_total", &[]);
+        DriftRetuner {
+            monitor: DriftMonitor::new(config),
+            pipeline,
+            cooldown_checks: 1,
+            checks: 0,
+            last_retune_check: None,
+            retunes,
+        }
+    }
+
+    /// Sets the cooldown, measured in `check` calls since the last
+    /// breach-triggered retune.
+    pub fn with_cooldown_checks(mut self, checks: u64) -> Self {
+        self.cooldown_checks = checks.max(1);
+        self
+    }
+
+    /// Feeds one `(predicted, actual)` observation into the monitor.
+    pub fn record(&mut self, key: ModelKey, predicted: f64, actual: f64, epoch: Option<u64>) {
+        self.monitor.record_versioned(key, predicted, actual, epoch);
+    }
+
+    /// The underlying drift monitor (for health inspection).
+    pub fn monitor(&self) -> &DriftMonitor<ModelKey> {
+        &self.monitor
+    }
+
+    /// Total breach-triggered tuning passes so far.
+    pub fn retunes_total(&self) -> u64 {
+        self.retunes.get()
+    }
+
+    /// One pass of the loop: publish drift health, alert on breaches,
+    /// and retune (once, for the whole flagged set) if the cooldown
+    /// allows. Clears the monitor's windows after a retune so the fresh
+    /// model is judged only on post-retune traffic.
+    pub fn check(&mut self, service: &EstimatorService) -> RetuneOutcome {
+        self.checks += 1;
+        let telemetry = service.telemetry();
+        let flagged = publish_drift(&self.monitor, telemetry);
+        if flagged.is_empty() {
+            return RetuneOutcome {
+                flagged,
+                retuned: None,
+                suppressed_by_cooldown: false,
+            };
+        }
+        for key in &flagged {
+            if let Some(health) = self.monitor.status(key) {
+                telemetry.tracer.emit(|| {
+                    Event::Alert(AlertEvent::DriftBreach {
+                        model: model_key_label(key),
+                        rmse_pct: health.rmse_pct,
+                        mean_q_error: health.mean_q_error,
+                    })
+                });
+            }
+        }
+        let cooled = self.last_retune_check.map_or(true, |at| {
+            self.checks.saturating_sub(at) >= self.cooldown_checks
+        });
+        if !cooled {
+            return RetuneOutcome {
+                flagged,
+                retuned: None,
+                suppressed_by_cooldown: true,
+            };
+        }
+        let report = service.run_tuning(&self.pipeline);
+        self.retunes.inc();
+        self.last_retune_check = Some(self.checks);
+        self.monitor.clear();
+        RetuneOutcome {
+            flagged,
+            retuned: report.epoch,
+            suppressed_by_cooldown: false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use telemetry::{DriftConfig, VecSubscriber};
+    use telemetry::VecSubscriber;
 
     fn monitor() -> DriftMonitor<ModelKey> {
         let mut m = DriftMonitor::new(DriftConfig {

@@ -56,6 +56,7 @@ use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use telemetry::span::{time as stage_time, Stage};
 use telemetry::{Counter, DriftMonitor, Event, Histogram, Telemetry};
 
 /// Histogram bounds (seconds) for served estimates: spans the paper's
@@ -428,6 +429,7 @@ impl EstimatorService {
         let tracer = &self.inner.telemetry.tracer;
         let shard = self.shard(system, op);
         if self.inner.cache_enabled {
+            let _probe = stage_time(Stage::CacheProbe);
             scratch.qbuf.clear();
             scratch
                 .qbuf
@@ -465,16 +467,20 @@ impl EstimatorService {
         // preserves the decision trail exactly.
         let est = match snapshot.packed(system, op) {
             Some(packed) if flow.model.meta.all_in_range(features, flow.remedy.beta) => {
+                let _kernel = stage_time(Stage::Kernel);
                 CostEstimate::new(
                     packed.predict_one(features, &mut scratch.packed),
                     crate::estimator::EstimateSource::NeuralNetwork,
                 )
             }
-            _ => flow.estimate_readonly_scratch_traced(
-                features,
-                &TraceCtx::new(tracer, system),
-                &mut scratch.remedy,
-            ),
+            _ => {
+                let _remedy = stage_time(Stage::Remedy);
+                flow.estimate_readonly_scratch_traced(
+                    features,
+                    &TraceCtx::new(tracer, system),
+                    &mut scratch.remedy,
+                )
+            }
         };
         self.inner.misses.inc();
         self.inner.estimate_secs.observe(est.secs);
@@ -488,6 +494,7 @@ impl EstimatorService {
             epoch: Some(epoch),
         });
         if self.inner.cache_enabled {
+            let _probe = stage_time(Stage::CacheProbe);
             let key = CacheKey::from_quantized(system, op, &scratch.qbuf);
             shard.cache.lock().insert(key, est.clone(), epoch);
         }
@@ -619,6 +626,7 @@ impl EstimatorService {
         miss_idx.clear();
 
         if self.inner.cache_enabled {
+            let _probe = stage_time(Stage::CacheProbe);
             let sig = self.inner.sig_digits;
             let mut cache = shard.cache.lock();
             for (i, row) in rows.chunks_exact(width).enumerate() {
@@ -659,23 +667,27 @@ impl EstimatorService {
                     in_range.push(i);
                     nn_rows.extend_from_slice(row);
                 } else {
+                    let _remedy = stage_time(Stage::Remedy);
                     results[i] = Some(flow.estimate_readonly_scratch(row, remedy));
                 }
             }
-            match snapshot.packed(system, op) {
-                Some(packed) => {
-                    packed.predict_batch_into(nn_rows, width, nn_out, packed_scratch);
-                }
-                None => {
-                    // Unreachable by construction (a snapshot carries a
-                    // packed form for every model), but fall back to the
-                    // legacy per-row path rather than fail the batch.
-                    nn_out.clear();
-                    nn_out.extend(
-                        nn_rows
-                            .chunks_exact(width)
-                            .map(|row| flow.model.predict_nn(row)),
-                    );
+            {
+                let _kernel = stage_time(Stage::Kernel);
+                match snapshot.packed(system, op) {
+                    Some(packed) => {
+                        packed.predict_batch_into(nn_rows, width, nn_out, packed_scratch);
+                    }
+                    None => {
+                        // Unreachable by construction (a snapshot carries a
+                        // packed form for every model), but fall back to the
+                        // legacy per-row path rather than fail the batch.
+                        nn_out.clear();
+                        nn_out.extend(
+                            nn_rows
+                                .chunks_exact(width)
+                                .map(|row| flow.model.predict_nn(row)),
+                        );
+                    }
                 }
             }
             for (&i, &secs) in in_range.iter().zip(nn_out.iter()) {
@@ -698,6 +710,7 @@ impl EstimatorService {
         }
 
         if self.inner.cache_enabled && !miss_idx.is_empty() {
+            let _probe = stage_time(Stage::CacheProbe);
             let sig = self.inner.sig_digits;
             let mut misses = miss_idx.iter().copied().peekable();
             let mut cache = shard.cache.lock();

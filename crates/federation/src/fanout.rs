@@ -115,6 +115,10 @@ pub fn plan_query_with_service_pinned(
         enumerate_placements(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
     let analysis = analyze(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
 
+    // When a request span is sampled on this thread, the whole
+    // candidate-costing loop below attributes to its federation-
+    // placement stage (the per-estimate cache/kernel stages nest inside).
+    let _placement = telemetry::span::time(telemetry::span::Stage::FederationPlacement);
     let mut candidates = Vec::new();
     let mut skipped: u64 = 0;
     for option in options {

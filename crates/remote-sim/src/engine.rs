@@ -257,6 +257,11 @@ impl ClusterEngine {
         let elapsed = (raw * self.noise.factor()).max_zero();
         self.busy += elapsed;
         self.queries += 1;
+        // Attribute the engine-side *simulated* elapsed time to any
+        // request span sampled on this thread. RemoteExec is simulated
+        // seconds, not wall time, so the span layer keeps it out of the
+        // wall-clock stage identities.
+        telemetry::span::attribute(telemetry::span::Stage::RemoteExec, elapsed.as_secs() * 1e6);
         if let Some(t) = &self.telemetry {
             t.queries.inc();
             t.execution_secs.observe(elapsed.as_secs());

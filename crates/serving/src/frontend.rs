@@ -50,6 +50,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::Duration;
+use telemetry::span::Stage;
+use telemetry::{SloConfig, SloEngine};
 
 /// Bucket bounds for the coalesce-size histogram: powers of two up to
 /// the largest plausible `max_batch`.
@@ -73,6 +75,11 @@ pub struct FrontendConfig {
     pub workers: usize,
     /// Optional per-tenant token-bucket policy; `None` admits everyone.
     pub rate_limit: Option<RateLimitConfig>,
+    /// Optional latency SLO: every response (success or per-request
+    /// error) is recorded against a [`telemetry::SloEngine`] with
+    /// end-to-end latency measured on the front-end's injected clock.
+    /// `None` runs no SLO accounting at all.
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for FrontendConfig {
@@ -83,6 +90,7 @@ impl Default for FrontendConfig {
             max_batch: 64,
             workers: 4,
             rate_limit: None,
+            slo: None,
         }
     }
 }
@@ -193,9 +201,13 @@ impl Ticket {
 
 struct Pending {
     id: u64,
+    tenant: u64,
     system: SystemId,
     op: OperatorKind,
     features: Vec<f64>,
+    /// Admission timestamp on the front-end's clock: the base for the
+    /// queue-wait span stage and the SLO latency measurement.
+    enqueued_us: u64,
     reply: SyncSender<FrontendResult>,
 }
 
@@ -251,6 +263,7 @@ struct Inner {
     next_id: AtomicU64,
     next_batch: AtomicU64,
     shutting_down: AtomicBool,
+    slo: Option<SloEngine>,
     queue_depth: telemetry::Gauge,
     coalesce_size: telemetry::Histogram,
     shed_queue_full: telemetry::Counter,
@@ -322,6 +335,10 @@ impl Frontend {
         );
         let inner = Arc::new(Inner {
             limiter: config.rate_limit.map(TenantRateLimiter::new),
+            slo: config
+                .slo
+                .clone()
+                .map(|slo| SloEngine::new(slo, service.telemetry())),
             queue_depth: reg.gauge("frontend_queue_depth", &[]),
             coalesce_size: reg.histogram("frontend_coalesce_batch_size", &[], &COALESCE_BOUNDS),
             shed_queue_full: reg.counter("frontend_shed_total", &[("reason", "queue_full")]),
@@ -375,8 +392,9 @@ impl Frontend {
             inner.shed_shutdown.inc();
             return Err(Rejection::ShuttingDown);
         }
+        let now_us = inner.clock.now_micros();
         if let Some(limiter) = &inner.limiter {
-            if !limiter.try_acquire(request.tenant, inner.clock.now_micros()) {
+            if !limiter.try_acquire(request.tenant, now_us) {
                 inner.shed_rate_limited.inc();
                 return Err(Rejection::RateLimited {
                     tenant: request.tenant,
@@ -387,9 +405,11 @@ impl Frontend {
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         let pending = Pending {
             id,
+            tenant: request.tenant,
             system: request.system,
             op: request.op,
             features: request.features,
+            enqueued_us: now_us,
             reply: reply_tx,
         };
         // Count the request in *before* it becomes visible to a leader:
@@ -441,8 +461,8 @@ impl Frontend {
     /// returns the batch size. The manual-drive path for `workers: 0`
     /// deterministic tests.
     pub fn drain_now(&self) -> usize {
-        let (batch, _stop) = collect_batch(&self.inner, false);
-        process_batch(&self.inner, batch)
+        let (batch, _stop, coalesce_us) = collect_batch(&self.inner, false);
+        process_batch(&self.inner, batch, coalesce_us)
     }
 
     /// Current admission-queue depth.
@@ -496,8 +516,8 @@ impl Drop for Frontend {
 
 fn worker_loop(inner: &Inner) {
     loop {
-        let (batch, stop) = collect_batch(inner, true);
-        process_batch(inner, batch);
+        let (batch, stop, coalesce_us) = collect_batch(inner, true);
+        process_batch(inner, batch, coalesce_us);
         if stop {
             return;
         }
@@ -507,28 +527,32 @@ fn worker_loop(inner: &Inner) {
 /// One leader pass: pops the first message (blocking or not), then
 /// keeps the baton while the queue stays warm — every further request
 /// that arrives within the coalesce window joins the batch, up to
-/// `max_batch`. Returns the batch and whether this worker must stop.
-fn collect_batch(inner: &Inner, block_for_first: bool) -> (Vec<Pending>, bool) {
+/// `max_batch`. Returns the batch, whether this worker must stop, and
+/// how long (on the injected clock) the leader held the baton waiting
+/// for followers — the batch's coalesce span stage.
+fn collect_batch(inner: &Inner, block_for_first: bool) -> (Vec<Pending>, bool, u64) {
     let mut batch = Vec::new();
     let mut stop = false;
+    let coalesce_us;
     {
         let queue_rx = inner.queue_rx.lock();
         let first = if block_for_first {
             match queue_rx.recv() {
                 Ok(msg) => msg,
-                Err(_) => return (batch, true),
+                Err(_) => return (batch, true, 0),
             }
         } else {
             match queue_rx.try_recv() {
                 Ok(msg) => msg,
-                Err(_) => return (batch, false),
+                Err(_) => return (batch, false, 0),
             }
         };
         match first {
             Msg::Request(p) => batch.push(p),
-            Msg::Stop => return (batch, true),
+            Msg::Stop => return (batch, true, 0),
         }
         let window = Duration::from_micros(inner.config.coalesce_window_us);
+        let coalesce_start = inner.clock.now_micros();
         while batch.len() < inner.config.max_batch && !stop {
             let next = if inner.config.coalesce_window_us == 0 {
                 queue_rx.try_recv().map_err(|_| RecvTimeoutError::Timeout)
@@ -544,6 +568,7 @@ fn collect_batch(inner: &Inner, block_for_first: bool) -> (Vec<Pending>, bool) {
                 }
             }
         }
+        coalesce_us = inner.clock.now_micros().saturating_sub(coalesce_start);
     }
     if !batch.is_empty() {
         inner.depth.fetch_sub(batch.len(), Ordering::AcqRel);
@@ -551,13 +576,20 @@ fn collect_batch(inner: &Inner, block_for_first: bool) -> (Vec<Pending>, bool) {
             .queue_depth
             .set(inner.depth.load(Ordering::Acquire) as f64);
     }
-    (batch, stop)
+    (batch, stop, coalesce_us)
 }
 
 /// Serves one coalesced batch against exactly one pinned snapshot.
 /// Returns the number of requests consumed from the queue (every one of
 /// them answered — with an estimate or a per-request error).
-fn process_batch(inner: &Inner, batch: Vec<Pending>) -> usize {
+///
+/// When the service's span layer samples this batch, the span follows
+/// the batch's *lead* request: queue wait is the lead's admission-to-
+/// collection time on the injected clock, the coalesce stage is the
+/// leader's baton-hold time, and the service-side stages (cache probe,
+/// kernel, remedy) fold in from the estimation calls below because the
+/// guard keeps this thread's stage slab armed for the whole batch.
+fn process_batch(inner: &Inner, batch: Vec<Pending>, coalesce_us: u64) -> usize {
     if batch.is_empty() {
         return 0;
     }
@@ -568,6 +600,20 @@ fn process_batch(inner: &Inner, batch: Vec<Pending>) -> usize {
     let epoch = snapshot.epoch().get();
     let batch_id = inner.next_batch.fetch_add(1, Ordering::Relaxed);
     inner.coalesce_size.observe(batch_size as f64);
+    let (lead_tenant, lead_enqueued_us) = match batch.first() {
+        Some(lead) => (lead.tenant, lead.enqueued_us),
+        None => (0, 0),
+    };
+    let mut span = inner.service.telemetry().spans.start_request(lead_tenant);
+    if span.is_sampled() {
+        span.set_epoch(epoch);
+        let queue_wait_us = inner.clock.now_micros().saturating_sub(lead_enqueued_us);
+        span.add_stage_us(
+            Stage::QueueWait,
+            queue_wait_us.saturating_sub(coalesce_us) as f64,
+        );
+        span.add_stage_us(Stage::Coalesce, coalesce_us as f64);
+    }
 
     // Pre-validate per request so one bad request degrades to its own
     // typed error instead of poisoning its whole (system, op) group,
@@ -644,6 +690,11 @@ fn process_batch(inner: &Inner, batch: Vec<Pending>) -> usize {
 
 fn respond(inner: &Inner, pending: &Pending, result: FrontendResult) {
     inner.responses_total.inc();
+    if let Some(slo) = &inner.slo {
+        let now_us = inner.clock.now_micros();
+        let latency_us = now_us.saturating_sub(pending.enqueued_us) as f64;
+        slo.record(now_us, latency_us, result.is_ok());
+    }
     // A dropped ticket (caller gave up) is the caller's choice; the
     // send failure is intentionally ignored.
     let _ = pending.reply.send(result);
@@ -909,6 +960,7 @@ mod tests {
                         coalesce_window_us: window_choice * 50,
                         queue_capacity: 64,
                         rate_limit: None,
+                        slo: None,
                     },
                     Clock::manual(0),
                 );

@@ -30,13 +30,17 @@
 
 pub mod drift;
 pub mod metrics;
+pub mod slo;
+pub mod span;
 pub mod trace;
 
 pub use drift::{DriftConfig, DriftMonitor, ModelHealth};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricId, MetricsRegistry, MetricsSnapshot,
 };
-pub use trace::{Event, RingSubscriber, Span, Subscriber, Tracer, VecSubscriber};
+pub use slo::{BurnAlert, SloConfig, SloEngine};
+pub use span::{Exemplar, SpanConfig, SpanGuard, SpanId, SpanLayer, SpanSnapshot, Stage};
+pub use trace::{AlertEvent, Event, RingSubscriber, Span, Subscriber, Tracer, VecSubscriber};
 
 use std::sync::Arc;
 
@@ -53,6 +57,8 @@ pub struct Telemetry {
     pub metrics: MetricsRegistry,
     /// The event tracer (disabled unless a subscriber was attached).
     pub tracer: Tracer,
+    /// The request-span layer (sampling off by default).
+    pub spans: SpanLayer,
 }
 
 impl Telemetry {
@@ -66,6 +72,7 @@ impl Telemetry {
         Telemetry {
             metrics: MetricsRegistry::default(),
             tracer: Tracer::new(subscriber),
+            spans: SpanLayer::default(),
         }
     }
 }

@@ -400,9 +400,18 @@ fn render_labels(labels: &[(String, String)]) -> String {
     if labels.is_empty() {
         return String::new();
     }
+    // Prometheus text format escapes backslash, double quote, and
+    // line feed in label values (backslash first, or the others'
+    // escapes would be re-escaped).
     let body: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| {
+            let escaped = v
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
+            format!("{k}=\"{escaped}\"")
+        })
         .collect();
     format!("{{{}}}", body.join(","))
 }
@@ -628,5 +637,76 @@ mod tests {
         assert!(text.contains("estimate_secs_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("estimate_secs_count 3"));
         assert!(text.contains("estimate_secs_sum 55.05"));
+    }
+
+    #[test]
+    fn label_values_escape_backslashes_quotes_and_newlines() {
+        let reg = MetricsRegistry::new();
+        reg.counter("weird_total", &[("path", "a\\b")]).inc();
+        reg.counter("weird_total", &[("path", "say \"hi\"")]).inc();
+        reg.counter("weird_total", &[("path", "line1\nline2")])
+            .inc();
+        reg.counter("weird_total", &[("path", "mix\\\"\n")]).inc();
+        let text = reg.render_prometheus();
+        assert_valid_prometheus(&text);
+        assert!(text.contains(r#"weird_total{path="a\\b"} 1"#));
+        assert!(text.contains(r#"weird_total{path="say \"hi\""} 1"#));
+        assert!(text.contains(r#"weird_total{path="line1\nline2"} 1"#));
+        assert!(text.contains(r#"weird_total{path="mix\\\"\n"} 1"#));
+        // The escaping keeps one sample per line: a raw newline in a
+        // label value must never split a series across lines.
+        for line in text.lines() {
+            if line.starts_with("weird_total") {
+                assert!(line.ends_with(" 1"), "split sample: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_renders_complete_zeroed_buckets() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("idle_secs", &[("system", "hive")], &[0.5, 2.0]);
+        let text = reg.render_prometheus();
+        assert_valid_prometheus(&text);
+        assert!(text.contains("idle_secs_bucket{le=\"0.5\",system=\"hive\"} 0"));
+        assert!(text.contains("idle_secs_bucket{le=\"2\",system=\"hive\"} 0"));
+        assert!(text.contains("idle_secs_bucket{le=\"+Inf\",system=\"hive\"} 0"));
+        assert!(text.contains("idle_secs_sum{system=\"hive\"} 0"));
+        assert!(text.contains("idle_secs_count{system=\"hive\"} 0"));
+    }
+
+    #[test]
+    fn rendering_order_is_stable_across_snapshots_and_interleaved_writes() {
+        let build = |interleaved: bool| {
+            let reg = MetricsRegistry::new();
+            if interleaved {
+                reg.gauge("z_gauge", &[]).set(1.0);
+                reg.counter("a_total", &[("op", "join")]).inc();
+                reg.counter("a_total", &[("op", "agg")]).inc();
+            } else {
+                reg.counter("a_total", &[("op", "agg")]).inc();
+                reg.counter("a_total", &[("op", "join")]).inc();
+                reg.gauge("z_gauge", &[]).set(1.0);
+            }
+            reg
+        };
+        let reg = build(false);
+        let first = reg.render_prometheus();
+        // Rendering twice is byte-identical (no map iteration jitter)…
+        assert_eq!(first, reg.render_prometheus());
+        // …and registration order does not leak into the exposition.
+        assert_eq!(first, build(true).render_prometheus());
+        // Touching values between renders preserves series order.
+        reg.counter("a_total", &[("op", "agg")]).add(5);
+        let again = reg.render_prometheus();
+        let series = |text: &str| -> Vec<String> {
+            text.lines()
+                .filter(|l| !l.starts_with('#') && !l.is_empty())
+                .map(|l| l.rsplit_once(' ').map(|(s, _)| s.to_string()).unwrap())
+                .collect()
+        };
+        assert_eq!(series(&first), series(&again));
+        let snap_before = reg.snapshot();
+        assert_eq!(snap_before, reg.snapshot(), "snapshots are stable too");
     }
 }

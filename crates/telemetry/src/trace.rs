@@ -13,6 +13,7 @@
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 /// One entry in an estimate's decision trail.
@@ -149,6 +150,36 @@ pub enum Event {
         /// Duration in microseconds.
         micros: f64,
     },
+    /// A typed alert raised by the runtime observability plane (SLO
+    /// burn, drift breach). Alerts are *actionable* — downstream
+    /// consumers route them to paging or automated remediation, so
+    /// they carry structured payloads instead of prose.
+    Alert(AlertEvent),
+}
+
+/// The payload of an [`Event::Alert`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlertEvent {
+    /// Both SLO burn-rate windows crossed the alerting threshold.
+    SloBurn {
+        /// The SLO's target latency in microseconds.
+        target_us: f64,
+        /// Burn rate over the short window.
+        short_burn: f64,
+        /// Burn rate over the long window.
+        long_burn: f64,
+        /// The threshold both windows crossed.
+        threshold: f64,
+    },
+    /// A drift-monitor breach recommending a retune of one model.
+    DriftBreach {
+        /// Model key (display form, e.g. `"hive-a/join"`).
+        model: String,
+        /// Rolling RMSE% over the drift window.
+        rmse_pct: f64,
+        /// Mean Q-error over the drift window.
+        mean_q_error: f64,
+    },
 }
 
 impl Event {
@@ -166,6 +197,7 @@ impl Event {
             Event::PlanRanked { .. } => "plan_ranked",
             Event::DriftFlagged { .. } => "drift_flagged",
             Event::Span { .. } => "span",
+            Event::Alert(..) => "alert",
         }
     }
 }
@@ -343,9 +375,19 @@ impl Subscriber for VecSubscriber {
 /// A bounded collector that keeps only the most recent `capacity`
 /// events, evicting the oldest. Suits long-running services where the
 /// trail of recent decisions matters but memory must stay flat.
+///
+/// Eviction is **not silent**: every dropped event is counted, readable
+/// via [`RingSubscriber::dropped`] and — when built with
+/// [`RingSubscriber::with_registry`] — surfaced as the
+/// `trace_dropped_events` counter in exposition and snapshots. A trail
+/// that quietly lost its oldest entries looks identical to one that
+/// never had them; the counter is what tells an operator the ring was
+/// sized too small for the traffic.
 pub struct RingSubscriber {
     capacity: usize,
     events: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+    dropped_counter: Option<crate::metrics::Counter>,
 }
 
 impl RingSubscriber {
@@ -357,7 +399,32 @@ impl RingSubscriber {
         assert!(capacity > 0, "ring capacity must be positive");
         let events = Mutex::new(VecDeque::with_capacity(capacity));
         events.set_rank(parking_lot::rank::TRACE_SUBSCRIBER);
-        RingSubscriber { capacity, events }
+        RingSubscriber {
+            capacity,
+            events,
+            dropped: AtomicU64::new(0),
+            dropped_counter: None,
+        }
+    }
+
+    /// A ring that additionally publishes its eviction count as the
+    /// `trace_dropped_events` counter in `registry`.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_registry(capacity: usize, registry: &crate::metrics::MetricsRegistry) -> Self {
+        registry.set_help(
+            "trace_dropped_events",
+            "Trail events evicted from the ring subscriber before being read.",
+        );
+        let mut ring = RingSubscriber::new(capacity);
+        ring.dropped_counter = Some(registry.counter("trace_dropped_events", &[]));
+        ring
+    }
+
+    /// Events evicted (lost) since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Maximum events retained.
@@ -386,6 +453,11 @@ impl Subscriber for RingSubscriber {
         let mut events = self.events.lock();
         if events.len() == self.capacity {
             events.pop_front();
+            self.dropped
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if let Some(counter) = &self.dropped_counter {
+                counter.inc();
+            }
         }
         events.push_back(event);
     }

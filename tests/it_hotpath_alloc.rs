@@ -201,6 +201,105 @@ fn flat_batch_is_allocation_free_with_warm_scratch() {
     assert_eq!(out.len(), 64);
 }
 
+/// Span recording at 1-in-1 sampling stays allocation-free: the guard
+/// arms a const-initialised thread-local slab, the stage timers write
+/// into fixed `[f64; STAGE_COUNT]` slots, and the drop path folds the
+/// slab into a preallocated exemplar reservoir (argmin replace, no
+/// growth). The observability plane's "always-on" claim is exactly
+/// this test.
+#[test]
+fn estimate_pinned_is_allocation_free_with_spans_sampling_every_request() {
+    let (service, system) = service_with(ServiceConfig {
+        cache_capacity_per_shard: 0,
+        ..ServiceConfig::default()
+    });
+    let spans = service.telemetry().spans.clone();
+    spans.set_sampling(1);
+    let snapshot = service.snapshot();
+    let epoch = snapshot.epoch().get();
+    // Warmup: arm/disarm the slab once and seed the reservoir.
+    for _ in 0..3 {
+        let mut guard = spans.start_request(7);
+        guard.set_epoch(epoch);
+        service
+            .estimate_pinned(&snapshot, &system, OP, &IN_RANGE)
+            .expect("estimate");
+    }
+    let n = allocs_during(|| {
+        for _ in 0..1000 {
+            let mut guard = spans.start_request(7);
+            guard.set_epoch(epoch);
+            service
+                .estimate_pinned(&snapshot, &system, OP, &IN_RANGE)
+                .expect("estimate");
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "fully-sampled spanned estimates allocated {n} times in 1000 calls"
+    );
+    let snap = spans.snapshot();
+    assert!(
+        snap.sampled_total >= 1000,
+        "sampling gate did not actually sample: {snap:?}"
+    );
+    assert!(!snap.exemplars.is_empty(), "no exemplars retained");
+}
+
+/// The warm flat batch stays allocation-free with span recording armed
+/// around every call — stage probes must never grow the scratch.
+#[test]
+fn flat_batch_is_allocation_free_with_spans_enabled() {
+    let (service, system) = service_with(ServiceConfig {
+        cache_capacity_per_shard: 0,
+        ..ServiceConfig::default()
+    });
+    let spans = service.telemetry().spans.clone();
+    spans.set_sampling(1);
+    let snapshot = service.snapshot();
+    let width = 2;
+    let flat: Vec<f64> = (0..64)
+        .flat_map(|i| [2e5 + i as f64 * 1e4, 150.0 + i as f64])
+        .collect();
+    let mut out = Vec::new();
+    let mut scratch = EstimateScratch::new();
+    for _ in 0..3 {
+        let _guard = spans.start_request(7);
+        service
+            .estimate_batch_flat_pinned_scratch(
+                &snapshot,
+                &system,
+                OP,
+                &flat,
+                width,
+                &mut out,
+                &mut scratch,
+            )
+            .expect("batch");
+    }
+    let n = allocs_during(|| {
+        for _ in 0..200 {
+            let _guard = spans.start_request(7);
+            service
+                .estimate_batch_flat_pinned_scratch(
+                    &snapshot,
+                    &system,
+                    OP,
+                    &flat,
+                    width,
+                    &mut out,
+                    &mut scratch,
+                )
+                .expect("batch");
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "spanned warm flat batches allocated {n} times in 200 x 64-row calls"
+    );
+    assert_eq!(out.len(), 64);
+}
+
 /// The coalesced front-end batch path (leader staging + responses) is
 /// allocation-*bounded*: per drained batch of B requests the leader may
 /// allocate O(B) for submissions and reply channels, but the estimate
