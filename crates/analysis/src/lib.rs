@@ -1,10 +1,11 @@
 //! Workspace-specific static analysis for the cost-estimation hot path.
 //!
 //! This crate is a deliberately dependency-free lint pass over the
-//! workspace's own source: a lightweight Rust lexer
-//! ([`lexer`]), a per-file structural model ([`source`]), and five
-//! rules ([`rules`]) that enforce the invariants the estimation
-//! pipeline relies on but `rustc`/`clippy` cannot see:
+//! workspace's own source: a lightweight Rust lexer ([`lexer`]), a
+//! per-file structural model ([`source`]), a workspace-wide call graph
+//! with hot-path reachability ([`graph`]), and eight rules ([`rules`])
+//! that enforce the invariants the estimation pipeline relies on but
+//! `rustc`/`clippy` cannot see:
 //!
 //! * panic-freedom on the hot path (`panic-freedom`),
 //! * a rank-ordered, acyclic lock graph (`lock-order` — the static
@@ -12,82 +13,243 @@
 //! * traced/untraced twin parity (`trace-parity`),
 //! * NaN-safe float handling (`float-discipline`),
 //! * replayable estimation — no ambient time/entropy
-//!   (`nondeterminism`).
+//!   (`nondeterminism`),
+//! * lock-free snapshot reads (`hot-path-write-lock`),
+//! * static zero-allocation on steady-state paths (`alloc-freedom`),
+//! * no blocking on snapshot-read paths (`blocking-freedom`).
+//!
+//! The scope of the hot-path rules is *interprocedural*: the module
+//! lists in [`config::Config`] are seeds, and anything reachable from
+//! the declared entry points over the call graph is covered too, with
+//! findings carrying an entry-point→…→violation call-path witness.
 //!
 //! Run it with `cargo run -p analysis -- check` (add `--format json`
-//! for machine-readable output). Violations can be suppressed inline
-//! with `// analysis:allow(rule-id): reason` — the reason is
-//! mandatory; a bare allow is itself a finding.
+//! for machine-readable output, `--graph` to dump the call graph,
+//! `--baseline <file>` for no-new-findings diffing). Violations can be
+//! suppressed inline with `// analysis:allow(rule-id): reason` — the
+//! reason is mandatory; a bare allow is itself a finding, and an allow
+//! that no longer suppresses anything is a warning (`unused-allow`).
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod config;
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod source;
 
 use config::Config;
+use graph::{CallGraph, Reach};
 use report::{AllowUse, Report};
 use source::SourceFile;
+
+/// Everything a rule can see: the parsed sources, the policy, the
+/// workspace call graph, and the reachability closures seeded from the
+/// configured entry points. Built once per run by [`Context::build`].
+pub struct Context<'a> {
+    /// The active policy.
+    pub config: &'a Config,
+    /// Every scanned file, in path order.
+    pub files: &'a [SourceFile],
+    /// The interprocedural call graph over `files`.
+    pub graph: CallGraph,
+    /// Union closure from every entry point — seeds panic-freedom,
+    /// float-discipline and friends beyond the module lists.
+    pub hot: Reach,
+    /// Closure from `zero_alloc` entries (the `alloc-freedom` scope).
+    pub zero_alloc: Reach,
+    /// Closure from `nonblocking` entries (the `blocking-freedom` and
+    /// extended `hot-path-write-lock` scope).
+    pub nonblocking: Reach,
+    /// Entry points declared in the config that matched no function —
+    /// the CLI reports these as warnings so the seed list cannot rot.
+    pub unresolved_entries: Vec<String>,
+}
+
+impl<'a> Context<'a> {
+    /// Builds the graph and the three closures for one run.
+    pub fn build(files: &'a [SourceFile], config: &'a Config) -> Context<'a> {
+        let graph = CallGraph::build(files);
+        let (hot_seeds, za_seeds, nb_seeds, unresolved) = graph::resolve_entries(&graph, config);
+        let cold = |node: &graph::Node| {
+            config
+                .cold_boundary_functions
+                .iter()
+                .any(|f| f == &node.name)
+        };
+        let za_cold = |node: &graph::Node| {
+            cold(node)
+                || config
+                    .zero_alloc_boundary_functions
+                    .iter()
+                    .any(|f| f == &node.name)
+        };
+        let hot = Reach::compute(&graph, &hot_seeds, &|_| false);
+        let zero_alloc = Reach::compute(&graph, &za_seeds, &za_cold);
+        let nonblocking = Reach::compute(&graph, &nb_seeds, &cold);
+        Context {
+            config,
+            files,
+            graph,
+            hot,
+            zero_alloc,
+            nonblocking,
+            unresolved_entries: unresolved,
+        }
+    }
+
+    /// The innermost function node owning `token` of `files[file]`.
+    pub fn node_at(&self, file: usize, token: usize) -> Option<usize> {
+        *self.graph.token_owner.get(file)?.get(token)?
+    }
+
+    /// Is the token inside a function reachable in `reach`? Returns the
+    /// node when so.
+    pub fn reachable_node(&self, reach: &Reach, file: usize, token: usize) -> Option<usize> {
+        let node = self.node_at(file, token)?;
+        reach.flag[node].then_some(node)
+    }
+
+    /// The call-path witness for a node under `reach`.
+    pub fn witness(&self, reach: &Reach, node: usize) -> Vec<String> {
+        reach.witness(&self.graph, node)
+    }
+}
 
 /// Runs every rule over pre-parsed sources and applies the
 /// `analysis:allow` filter. This is the engine the CLI, the fixture
 /// tests, and the live-workspace test all share.
 pub fn check_sources(files: &[SourceFile], config: &Config) -> Report {
+    analyze_sources(files, config).report
+}
+
+/// The full outcome of one analysis run: the report plus the graph
+/// facts the CLI (`--graph`) and the bench experiment surface.
+pub struct AnalysisOutcome {
+    /// The findings/allows report.
+    pub report: Report,
+    /// Declared entry points that resolved to no function.
+    pub unresolved_entries: Vec<String>,
+    /// Call-graph node count (non-test functions).
+    pub graph_nodes: usize,
+    /// Call-graph edge count (deduplicated call sites).
+    pub graph_edges: usize,
+    /// Functions in the hot closure / the zero-alloc closure / the
+    /// nonblocking closure.
+    pub reach_counts: (usize, usize, usize),
+    /// The call graph as deterministic JSON (nodes with reach flags,
+    /// then edges).
+    pub graph_json: String,
+}
+
+/// [`check_sources`], returning the graph facts alongside the report.
+pub fn analyze_sources(files: &[SourceFile], config: &Config) -> AnalysisOutcome {
+    let ctx = Context::build(files, config);
     let mut rules = rules::all_rules();
     let mut findings = Vec::new();
-    for file in files {
+    for file_idx in 0..files.len() {
         for rule in &mut rules {
-            rule.check_file(file, config, &mut findings);
+            rule.check_file(&ctx, file_idx, &mut findings);
         }
     }
     for rule in &mut rules {
-        rule.finish(config, &mut findings);
+        rule.finish(&ctx, &mut findings);
     }
 
     let mut report = Report {
         files_scanned: files.len(),
         ..Report::default()
     };
+    // An allow is "used" when it suppressed at least one finding.
+    let mut used: Vec<Vec<bool>> = files.iter().map(|f| vec![false; f.allows.len()]).collect();
     for finding in findings {
-        let allow = files.iter().find(|f| f.path == finding.file).and_then(|f| {
-            f.allows.iter().find(|a| {
-                a.rule == finding.rule
-                    && !a.reason.is_empty()
-                    && (a.line == finding.line || a.line + 1 == finding.line)
-            })
-        });
+        let allow = files
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.path == finding.file)
+            .and_then(|(fi, f)| {
+                f.allows
+                    .iter()
+                    .enumerate()
+                    .find(|(_, a)| {
+                        a.rule == finding.rule
+                            && !a.reason.is_empty()
+                            && (a.line == finding.line || a.line + 1 == finding.line)
+                    })
+                    .map(|(ai, a)| (fi, ai, a))
+            });
         match allow {
-            Some(a) => report.allows.push(AllowUse {
-                rule: a.rule.clone(),
-                file: finding.file.clone(),
-                line: a.line,
-                reason: a.reason.clone(),
-            }),
+            Some((fi, ai, a)) => {
+                used[fi][ai] = true;
+                report.allows.push(AllowUse {
+                    rule: a.rule.clone(),
+                    file: finding.file.clone(),
+                    line: a.line,
+                    reason: a.reason.clone(),
+                });
+            }
             None => report.findings.push(finding),
         }
     }
-    // A reasonless allow never suppresses anything and is itself a
-    // violation: the annotation exists to carry the justification.
-    for file in files {
-        for a in &file.allows {
+    for (fi, file) in files.iter().enumerate() {
+        for (ai, a) in file.allows.iter().enumerate() {
             if a.reason.is_empty() {
-                report.findings.push(report::Finding {
-                    rule: "allow-missing-reason",
-                    file: file.path.clone(),
-                    line: a.line,
-                    message: format!(
+                // A reasonless allow never suppresses anything and is
+                // itself a violation: the annotation exists to carry
+                // the justification.
+                report.findings.push(report::Finding::error(
+                    "allow-missing-reason",
+                    &file.path,
+                    a.line,
+                    format!(
                         "`analysis:allow({})` without a reason — write \
                          `analysis:allow({}): why it is safe`",
                         a.rule, a.rule
                     ),
-                });
+                ));
+            } else if !used[fi][ai] {
+                // A stale allow is advisory by default (`--strict-allows`
+                // gates it): the escape-hatch inventory must not rot.
+                report.findings.push(report::Finding::warning(
+                    "unused-allow",
+                    &file.path,
+                    a.line,
+                    format!(
+                        "`analysis:allow({})` suppresses nothing — the finding it \
+                         excused is gone; delete the annotation",
+                        a.rule
+                    ),
+                ));
             }
         }
     }
     report.sort();
+    // Deduplicate allow uses: one annotation may suppress findings on
+    // its own line and the next.
     report
+        .allows
+        .dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+
+    let marks = graph::ReachMarks {
+        hot: &ctx.hot,
+        zero_alloc: &ctx.zero_alloc,
+        nonblocking: &ctx.nonblocking,
+    };
+    let count = |r: &Reach| r.flag.iter().filter(|&&f| f).count();
+    AnalysisOutcome {
+        graph_json: ctx.graph.render_json(files, Some(&marks)),
+        graph_nodes: ctx.graph.nodes.len(),
+        graph_edges: ctx.graph.edges.iter().map(|e| e.len()).sum(),
+        reach_counts: (
+            count(&ctx.hot),
+            count(&ctx.zero_alloc),
+            count(&ctx.nonblocking),
+        ),
+        unresolved_entries: ctx.unresolved_entries,
+        report,
+    }
 }
 
 /// Parses a set of `(path, source)` pairs and runs the rules. Test
@@ -105,6 +267,21 @@ pub fn check_str(sources: &[(&str, &str)], config: &Config) -> Report {
 /// separators. I/O errors surface as `Err`; unreadable trees should
 /// fail the build, not pass silently.
 pub fn check_workspace(root: &std::path::Path, config: &Config) -> std::io::Result<Report> {
+    Ok(analyze_workspace(root, config)?.report)
+}
+
+/// [`check_workspace`], returning graph facts alongside the report.
+pub fn analyze_workspace(
+    root: &std::path::Path,
+    config: &Config,
+) -> std::io::Result<AnalysisOutcome> {
+    let files = load_workspace(root)?;
+    Ok(analyze_sources(&files, config))
+}
+
+/// Parses every `crates/*/src/**/*.rs` file under `root`, sorted by
+/// workspace-relative path.
+pub fn load_workspace(root: &std::path::Path) -> std::io::Result<Vec<SourceFile>> {
     let mut paths = Vec::new();
     let crates = root.join("crates");
     for entry in std::fs::read_dir(&crates)? {
@@ -124,7 +301,7 @@ pub fn check_workspace(root: &std::path::Path, config: &Config) -> std::io::Resu
             .replace('\\', "/");
         files.push(SourceFile::parse(&rel, &text));
     }
-    Ok(check_sources(&files, config))
+    Ok(files)
 }
 
 fn collect_rs_files(
@@ -189,8 +366,29 @@ fn f(x: Option<u32>) -> u32 {
 }
 ";
         let report = check_str(&[("crates/costing/src/service/mod.rs", src)], &config);
-        assert_eq!(report.findings.len(), 1);
-        assert_eq!(report.findings[0].rule, "panic-freedom");
+        // The unwrap fires, and the mismatched allow is itself flagged
+        // as unused (warning severity).
+        assert_eq!(report.findings.len(), 2, "{}", report.render_text());
+        assert_eq!(report.error_count(), 1);
+        assert!(report.findings.iter().any(|f| f.rule == "panic-freedom"));
+        assert!(report.findings.iter().any(|f| f.rule == "unused-allow"));
+    }
+
+    #[test]
+    fn unused_allow_is_a_warning() {
+        let config = Config::workspace_default();
+        let src = "\
+fn f(x: Option<u32>) -> Option<u32> {
+    // analysis:allow(panic-freedom): nothing here panics any more
+    x
+}
+";
+        let report = check_str(&[("crates/costing/src/service/mod.rs", src)], &config);
+        assert_eq!(report.findings.len(), 1, "{}", report.render_text());
+        let f = &report.findings[0];
+        assert_eq!(f.rule, "unused-allow");
+        assert_eq!(f.severity, report::Severity::Warning);
+        assert_eq!(report.error_count(), 0);
     }
 
     #[test]

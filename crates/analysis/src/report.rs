@@ -1,5 +1,26 @@
 //! Findings and report rendering (human-readable text and JSON).
 
+/// How serious a finding is: errors gate CI, warnings are advisory
+/// unless `--strict-allows` (or a caller policy) promotes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Severity {
+    /// A rule violation; fails the run.
+    #[default]
+    Error,
+    /// Advisory (unused allows, unresolved entry points).
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -11,6 +32,40 @@ pub struct Finding {
     pub line: usize,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Call-path witness for reachability-seeded findings: qualified
+    /// function names from the hot-path entry point down to the
+    /// function containing the violation. Empty for per-file findings.
+    pub witness: Vec<String>,
+}
+
+impl Finding {
+    /// An error-severity finding with no witness.
+    pub fn error(rule: &'static str, file: &str, line: usize, message: String) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+            severity: Severity::Error,
+            witness: Vec::new(),
+        }
+    }
+
+    /// A warning-severity finding with no witness.
+    pub fn warning(rule: &'static str, file: &str, line: usize, message: String) -> Finding {
+        Finding {
+            severity: Severity::Warning,
+            ..Finding::error(rule, file, line, message)
+        }
+    }
+
+    /// Attaches a call-path witness.
+    pub fn with_witness(mut self, witness: Vec<String>) -> Finding {
+        self.witness = witness;
+        self
+    }
 }
 
 /// A used `analysis:allow` annotation (a suppressed finding).
@@ -38,9 +93,23 @@ pub struct Report {
 }
 
 impl Report {
-    /// True when no rule fired.
+    /// True when no rule fired (warnings included — the live tree is
+    /// held to zero warnings too).
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
+    }
+
+    /// Error-severity findings only (the CI gate).
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Warning-severity findings (advisory unless `--strict-allows`).
+    pub fn warning_count(&self) -> usize {
+        self.findings.len() - self.error_count()
     }
 
     /// Orders findings by (file, line, rule) for stable output.
@@ -52,13 +121,22 @@ impl Report {
     }
 
     /// `file:line: [rule] message` lines plus a summary footer.
+    /// Warnings carry a `warning:` marker; reachability-seeded findings
+    /// get an indented `via entry -> … -> fn` witness line.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         for f in &self.findings {
+            let marker = match f.severity {
+                Severity::Error => "",
+                Severity::Warning => "warning: ",
+            };
             out.push_str(&format!(
-                "{}:{}: [{}] {}\n",
-                f.file, f.line, f.rule, f.message
+                "{}:{}: {}[{}] {}\n",
+                f.file, f.line, marker, f.rule, f.message
             ));
+            if !f.witness.is_empty() {
+                out.push_str(&format!("    via {}\n", f.witness.join(" -> ")));
+            }
         }
         out.push_str(&format!(
             "{} finding{} in {} file{} ({} allow annotation{} in effect)\n",
@@ -84,12 +162,21 @@ impl Report {
             if i > 0 {
                 out.push(',');
             }
+            let witness = if f.witness.is_empty() {
+                String::new()
+            } else {
+                let parts: Vec<String> = f.witness.iter().map(|w| json_str(w)).collect();
+                format!(", \"witness\": [{}]", parts.join(", "))
+            };
             out.push_str(&format!(
-                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"severity\": {}, \
+                 \"message\": {}{}}}",
                 json_str(f.rule),
                 json_str(&f.file),
                 f.line,
-                json_str(&f.message)
+                json_str(f.severity.label()),
+                json_str(&f.message),
+                witness
             ));
         }
         if !self.findings.is_empty() {
@@ -125,7 +212,7 @@ fn plural(n: usize) -> &'static str {
 }
 
 /// Escapes a string as a JSON string literal.
-fn json_str(s: &str) -> String {
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -149,12 +236,13 @@ mod tests {
 
     fn sample() -> Report {
         let mut r = Report {
-            findings: vec![Finding {
-                rule: "panic-freedom",
-                file: "crates/x/src/lib.rs".into(),
-                line: 7,
-                message: "`.unwrap()` on a \"hot\" path".into(),
-            }],
+            findings: vec![Finding::error(
+                "panic-freedom",
+                "crates/x/src/lib.rs",
+                7,
+                "`.unwrap()` on a \"hot\" path".into(),
+            )
+            .with_witness(vec!["a::entry".into(), "a::helper".into()])],
             allows: vec![AllowUse {
                 rule: "panic-freedom".into(),
                 file: "crates/y/src/lib.rs".into(),
@@ -171,7 +259,26 @@ mod tests {
     fn text_has_file_line_rule() {
         let text = sample().render_text();
         assert!(text.contains("crates/x/src/lib.rs:7: [panic-freedom]"));
+        assert!(text.contains("    via a::entry -> a::helper\n"));
         assert!(text.contains("1 finding in 2 files (1 allow annotation in effect)"));
+    }
+
+    #[test]
+    fn warnings_are_marked_and_counted() {
+        let mut r = sample();
+        r.findings.push(Finding::warning(
+            "unused-allow",
+            "crates/x/src/lib.rs",
+            9,
+            "stale".into(),
+        ));
+        r.sort();
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r
+            .render_text()
+            .contains("crates/x/src/lib.rs:9: warning: [unused-allow]"));
+        assert!(r.render_json().contains("\"severity\": \"warning\""));
     }
 
     #[test]
@@ -182,6 +289,8 @@ mod tests {
         assert!(json.contains("\"line\": 7"));
         assert!(json.contains(r#"a \"hot\" path"#));
         assert!(json.contains("\"allow_count\": 1"));
+        assert!(json.contains("\"severity\": \"error\""));
+        assert!(json.contains("\"witness\": [\"a::entry\", \"a::helper\"]"));
     }
 
     #[test]

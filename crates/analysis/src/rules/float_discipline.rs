@@ -12,14 +12,17 @@
 //!   `mathkit::total_cmp_f64`.
 //!
 //! The `mathkit` crate (and any module listed in
-//! [`Config::float_exempt_modules`]) is the approved home of raw float
-//! handling and is skipped.
+//! [`crate::config::Config::float_exempt_modules`]) is the approved
+//! home of raw float handling and is skipped — *except* inside
+//! functions reachable from a hot-path entry point: reachability
+//! overrides the exemption, because a NaN-unsafe comparator that the
+//! estimate path actually calls corrupts estimates no matter which
+//! crate it lives in. Those findings carry the call-path witness.
 
-use crate::config::Config;
 use crate::lexer::TokenKind;
 use crate::report::Finding;
 use crate::rules::Rule;
-use crate::source::SourceFile;
+use crate::Context;
 
 /// See the module docs.
 pub struct FloatDiscipline;
@@ -34,10 +37,18 @@ impl Rule for FloatDiscipline {
         "float-discipline"
     }
 
-    fn check_file(&mut self, file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
-        if file.module_in(&config.float_exempt_modules) {
-            return;
-        }
+    fn check_file(&mut self, ctx: &Context<'_>, file_idx: usize, out: &mut Vec<Finding>) {
+        let file = &ctx.files[file_idx];
+        let exempt_module = file.module_in(&ctx.config.float_exempt_modules);
+        // Exempt modules are only scanned where the hot closure reaches
+        // into them; elsewhere every token is in scope.
+        let coverage = |i: usize| -> Option<Vec<String>> {
+            if !exempt_module {
+                return Some(Vec::new());
+            }
+            let node = ctx.reachable_node(&ctx.hot, file_idx, i)?;
+            Some(ctx.witness(&ctx.hot, node))
+        };
         let tokens = &file.tokens;
         for i in 0..tokens.len() {
             let t = &tokens[i];
@@ -50,14 +61,19 @@ impl Rule for FloatDiscipline {
                     .iter()
                     .any(|x| x.is_ident("unwrap") || x.is_ident("unwrap_or"));
                 if unwrapped {
-                    out.push(Finding {
-                        rule: self.id(),
-                        file: file.path.clone(),
-                        line: t.line,
-                        message: "NaN-unsafe `partial_cmp(..).unwrap()` comparator — use \
-                                  `mathkit::total_cmp_f64`"
-                            .to_string(),
-                    });
+                    if let Some(witness) = coverage(i) {
+                        out.push(
+                            Finding::error(
+                                self.id(),
+                                &file.path,
+                                t.line,
+                                "NaN-unsafe `partial_cmp(..).unwrap()` comparator — use \
+                                 `mathkit::total_cmp_f64`"
+                                    .to_string(),
+                            )
+                            .with_witness(witness),
+                        );
+                    }
                 }
                 continue;
             }
@@ -82,16 +98,21 @@ impl Rule for FloatDiscipline {
                 })
             };
             if nonzero_float(lhs) || nonzero_float(rhs) {
-                out.push(Finding {
-                    rule: self.id(),
-                    file: file.path.clone(),
-                    line: t.line,
-                    message: format!(
-                        "`{}` against a nonzero float literal is representation-fragile — \
-                         compare with a tolerance",
-                        if eq { "==" } else { "!=" }
-                    ),
-                });
+                if let Some(witness) = coverage(i) {
+                    out.push(
+                        Finding::error(
+                            self.id(),
+                            &file.path,
+                            t.line,
+                            format!(
+                                "`{}` against a nonzero float literal is representation-fragile — \
+                                 compare with a tolerance",
+                                if eq { "==" } else { "!=" }
+                            ),
+                        )
+                        .with_witness(witness),
+                    );
+                }
             }
         }
     }

@@ -9,19 +9,22 @@
 //! window) the refactor removed — a regression no unit test reliably
 //! catches, because it only shows up under concurrent retraining.
 //!
-//! In the configured [`Config::snapshot_read_modules`] this rule denies,
-//! outside `#[cfg(test)]` code, any `.lock()` / `.read()` / `.write()`
-//! (and `try_` variant) call on a receiver named in
-//! [`Config::model_store_receivers`]. Snapshot loads (`store.load()`)
-//! and locks on other receivers (the estimate cache, telemetry
-//! registries) remain legal — those are governed by the lock-order
-//! rule, not this one.
+//! In the configured
+//! [`crate::config::Config::snapshot_read_modules`] — and in any
+//! function reachable from a `nonblocking` entry point over the call
+//! graph — this rule denies, outside `#[cfg(test)]` code, any
+//! `.lock()` / `.read()` / `.write()` (and `try_` variant) call on a
+//! receiver named in
+//! [`crate::config::Config::model_store_receivers`]. Snapshot loads
+//! (`store.load()`) and locks on other receivers (the estimate cache,
+//! telemetry registries) remain legal — those are governed by the
+//! lock-order and blocking-freedom rules, not this one.
+//! Reachability-seeded findings carry the call-path witness.
 
-use crate::config::Config;
 use crate::lexer::TokenKind;
 use crate::report::Finding;
 use crate::rules::Rule;
-use crate::source::SourceFile;
+use crate::Context;
 
 /// See the module docs.
 pub struct HotPathWriteLock;
@@ -33,10 +36,17 @@ impl Rule for HotPathWriteLock {
         "hot-path-write-lock"
     }
 
-    fn check_file(&mut self, file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
-        if !file.module_in(&config.snapshot_read_modules) {
-            return;
-        }
+    fn check_file(&mut self, ctx: &Context<'_>, file_idx: usize, out: &mut Vec<Finding>) {
+        let file = &ctx.files[file_idx];
+        let config = ctx.config;
+        let listed = file.module_in(&config.snapshot_read_modules);
+        let coverage = |i: usize| -> Option<Vec<String>> {
+            if listed {
+                return Some(Vec::new());
+            }
+            let node = ctx.reachable_node(&ctx.nonblocking, file_idx, i)?;
+            Some(ctx.witness(&ctx.nonblocking, node))
+        };
         let tokens = &file.tokens;
         for i in 0..tokens.len() {
             if !tokens[i].is_punct('.') {
@@ -65,16 +75,27 @@ impl Rule for HotPathWriteLock {
             if file.in_test_code(method.line) {
                 continue;
             }
-            out.push(Finding {
-                rule: self.id(),
-                file: file.path.clone(),
-                line: method.line,
-                message: format!(
-                    "`.{}()` on model store `{}` in read-path module `{}` — the estimation \
-                     hot path must load an epoch snapshot instead of locking the registry",
-                    method.text, receiver, file.module
-                ),
-            });
+            let Some(witness) = coverage(i) else {
+                continue;
+            };
+            let scope = if witness.is_empty() {
+                format!("read-path module `{}`", file.module)
+            } else {
+                "a snapshot-read-reachable function".to_string()
+            };
+            out.push(
+                Finding::error(
+                    self.id(),
+                    &file.path,
+                    method.line,
+                    format!(
+                        "`.{}()` on model store `{}` in {} — the estimation \
+                         hot path must load an epoch snapshot instead of locking the registry",
+                        method.text, receiver, scope
+                    ),
+                )
+                .with_witness(witness),
+            );
         }
     }
 }

@@ -2,7 +2,9 @@
 //!
 //! Extracts a lock-acquisition graph from guard scopes in the
 //! configured modules: every `.lock()` / `.read()` / `.write()` call on
-//! a receiver named in [`Config::lock_classes`] becomes an acquisition;
+//! a receiver named in [`crate::config::Config::lock_classes`] —
+//! whether spelled `guarded.lock()`, `self.guarded.lock()`, or
+//! fully-qualified `Mutex::lock(&guarded)` — becomes an acquisition;
 //! its guard's liveness is approximated from the binding form
 //! (`let`-bound → to the end of the enclosing block or an explicit
 //! `drop(guard)`; `if let` condition → to the end of the `if`
@@ -29,6 +31,7 @@ use crate::lexer::{Token, TokenKind};
 use crate::report::Finding;
 use crate::rules::Rule;
 use crate::source::{matching_brace, SourceFile};
+use crate::Context;
 
 /// See the module docs.
 #[derive(Default)]
@@ -54,7 +57,9 @@ impl Rule for LockOrder {
         "lock-order"
     }
 
-    fn check_file(&mut self, file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
+    fn check_file(&mut self, ctx: &Context<'_>, file_idx: usize, out: &mut Vec<Finding>) {
+        let file = &ctx.files[file_idx];
+        let config = ctx.config;
         if !file.module_in(&config.lock_scope_modules) {
             return;
         }
@@ -73,16 +78,16 @@ impl Rule for LockOrder {
                     }
                     if a.class == b.class {
                         if a.receiver == b.receiver && (a.exclusive || b.exclusive) {
-                            out.push(Finding {
-                                rule: self.id(),
-                                file: file.path.clone(),
-                                line: b.line,
-                                message: format!(
+                            out.push(Finding::error(
+                                self.id(),
+                                &file.path,
+                                b.line,
+                                format!(
                                     "`{}` re-acquired while its guard from line {} is still live \
                                      (class {}) — self-deadlock",
                                     b.receiver, a.line, a.class
                                 ),
-                            });
+                            ));
                         }
                         continue;
                     }
@@ -90,17 +95,17 @@ impl Rule for LockOrder {
                         .push((a.class.clone(), b.class.clone(), file.path.clone(), b.line));
                     if let (Some(ra), Some(rb)) = (a.rank, b.rank) {
                         if rb <= ra {
-                            out.push(Finding {
-                                rule: self.id(),
-                                file: file.path.clone(),
-                                line: b.line,
-                                message: format!(
+                            out.push(Finding::error(
+                                self.id(),
+                                &file.path,
+                                b.line,
+                                format!(
                                     "rank inversion: {} (rank {}) acquired while holding {} \
                                      (rank {}) from line {} — ranked locks must be taken in \
                                      increasing order",
                                     b.class, rb, a.class, ra, a.line
                                 ),
-                            });
+                            ));
                         }
                     }
                 }
@@ -108,7 +113,7 @@ impl Rule for LockOrder {
         }
     }
 
-    fn finish(&mut self, _config: &Config, out: &mut Vec<Finding>) {
+    fn finish(&mut self, _ctx: &Context<'_>, out: &mut Vec<Finding>) {
         // Cycle detection over the merged graph (DFS, three colors).
         let mut nodes: Vec<&str> = Vec::new();
         for (a, b, _, _) in &self.edges {
@@ -153,15 +158,15 @@ impl Rule for LockOrder {
                             .find(|(a, b, _, _)| index(a) == n && index(b) == next)
                             .cloned()
                             .unwrap_or((String::new(), String::new(), String::new(), 0));
-                        out.push(Finding {
-                            rule: self.id(),
-                            file,
+                        out.push(Finding::error(
+                            self.id(),
+                            &file,
                             line,
-                            message: format!(
+                            format!(
                                 "lock acquisition cycle across the workspace: {}",
                                 names.join(" -> ")
                             ),
-                        });
+                        ));
                         color[next] = 2; // report each cycle once
                     } else if color[next] == 0 {
                         color[next] = 1;
@@ -196,27 +201,61 @@ fn find_acquisitions(
     let tokens = &file.tokens;
     let mut out = Vec::new();
     for i in body.clone() {
-        if !tokens[i].is_punct('.') {
-            continue;
-        }
-        let Some(method) = tokens.get(i + 1) else {
+        let (method_idx, receiver) = if tokens[i].is_punct('.') {
+            // Method form: `receiver.lock()` / `self.receiver.lock()` —
+            // the receiver is the identifier directly before the dot.
+            let Some(method) = tokens.get(i + 1) else {
+                continue;
+            };
+            if !LOCK_METHODS.iter().any(|(m, _, _)| method.is_ident(m)) {
+                continue;
+            }
+            // Zero-argument call: `.lock()`.
+            if !(tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+                && tokens.get(i + 3).is_some_and(|t| t.is_punct(')')))
+            {
+                continue;
+            }
+            if i == 0 || tokens[i - 1].kind != TokenKind::Ident {
+                continue;
+            }
+            (i + 1, tokens[i - 1].text.clone())
+        } else if (tokens[i].is_ident("Mutex") || tokens[i].is_ident("RwLock"))
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            // Fully-qualified form: `Mutex::lock(&x)` /
+            // `RwLock::read(&self.field)` — the receiver is the last
+            // identifier of the argument expression.
+            let Some(method) = tokens.get(i + 3) else {
+                continue;
+            };
+            if !LOCK_METHODS.iter().any(|(m, _, _)| method.is_ident(m)) {
+                continue;
+            }
+            if !tokens.get(i + 4).is_some_and(|t| t.is_punct('(')) {
+                continue;
+            }
+            let Some(close) = crate::rules::matching_paren(tokens, i + 4) else {
+                continue;
+            };
+            let Some(recv) = tokens[i + 5..close]
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokenKind::Ident)
+            else {
+                continue;
+            };
+            (i + 3, recv.text.clone())
+        } else {
             continue;
         };
+        let method = &tokens[method_idx];
         let Some(&(_, exclusive, blocking)) =
             LOCK_METHODS.iter().find(|(m, _, _)| method.is_ident(m))
         else {
             continue;
         };
-        // Zero-argument call: `.lock()`.
-        if !(tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
-            && tokens.get(i + 3).is_some_and(|t| t.is_punct(')')))
-        {
-            continue;
-        }
-        if i == 0 || tokens[i - 1].kind != TokenKind::Ident {
-            continue;
-        }
-        let receiver = tokens[i - 1].text.clone();
         let Some(class) = config.lock_class(&receiver) else {
             continue;
         };

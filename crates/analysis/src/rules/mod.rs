@@ -1,4 +1,4 @@
-//! The rule engine: one trait, six domain rules.
+//! The rule engine: one trait, eight domain rules.
 //!
 //! | id                 | enforces                                                  |
 //! |--------------------|-----------------------------------------------------------|
@@ -8,11 +8,23 @@
 //! | `float-discipline` | no `==`/`!=` against float literals, no NaN-unsafe sorts  |
 //! | `nondeterminism`   | no ambient time/entropy outside approved modules          |
 //! | `hot-path-write-lock` | read-path modules never lock the model store — they pin epoch snapshots |
+//! | `alloc-freedom`    | nothing reachable from a zero-alloc entry point allocates |
+//! | `blocking-freedom` | nothing reachable from a snapshot-read entry point blocks |
+//!
+//! The hot-path rules (`panic-freedom`, `float-discipline`,
+//! `hot-path-write-lock`, `alloc-freedom`, `blocking-freedom`) are
+//! *interprocedural*: their scope is the union of the configured module
+//! lists and the call-graph closure from the declared entry points, so
+//! a helper in an unlisted module is covered the moment the hot path
+//! calls it. Reachability-seeded findings carry a call-path witness.
 
-use crate::config::Config;
+use crate::lexer::TokenKind;
 use crate::report::Finding;
 use crate::source::SourceFile;
+use crate::Context;
 
+mod alloc_freedom;
+mod blocking_freedom;
 mod float_discipline;
 mod hot_path_write_lock;
 mod lock_order;
@@ -20,6 +32,8 @@ mod nondeterminism;
 mod panic_freedom;
 mod trace_parity;
 
+pub use alloc_freedom::AllocFreedom;
+pub use blocking_freedom::BlockingFreedom;
 pub use float_discipline::FloatDiscipline;
 pub use hot_path_write_lock::HotPathWriteLock;
 pub use lock_order::LockOrder;
@@ -27,18 +41,19 @@ pub use nondeterminism::Nondeterminism;
 pub use panic_freedom::PanicFreedom;
 pub use trace_parity::TraceParity;
 
-/// One analysis rule. Rules see every scanned file once, then get a
+/// One analysis rule. Rules see every scanned file once (with the full
+/// [`Context`] — sources, config, call graph, reachability), then get a
 /// [`Rule::finish`] call for whole-workspace checks (e.g. cycle
 /// detection over the merged lock graph).
 pub trait Rule {
     /// Stable rule id used in diagnostics and `analysis:allow`.
     fn id(&self) -> &'static str;
 
-    /// Scans one file, appending findings.
-    fn check_file(&mut self, file: &SourceFile, config: &Config, out: &mut Vec<Finding>);
+    /// Scans `ctx.files[file_idx]`, appending findings.
+    fn check_file(&mut self, ctx: &Context<'_>, file_idx: usize, out: &mut Vec<Finding>);
 
     /// Called once after every file has been scanned.
-    fn finish(&mut self, _config: &Config, _out: &mut Vec<Finding>) {}
+    fn finish(&mut self, _ctx: &Context<'_>, _out: &mut Vec<Finding>) {}
 }
 
 /// A fresh instance of every shipped rule.
@@ -50,5 +65,56 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(FloatDiscipline),
         Box::new(Nondeterminism),
         Box::new(HotPathWriteLock),
+        Box::new(AllocFreedom),
+        Box::new(BlockingFreedom),
     ]
+}
+
+/// Methods whose closure/argument expressions only run on cold
+/// branches: the error/miss/trace arms of the steady-state path. The
+/// alloc- and blocking-freedom rules skip tokens inside their argument
+/// lists — `tracer.emit(|| Event{…to_string()…})` allocates only when
+/// tracing is on, `ok_or_else(|| Error{…clone()…})` only on failure.
+pub(crate) const LAZY_COLD_METHODS: &[&str] = &[
+    "emit",
+    "ok_or_else",
+    "map_err",
+    "unwrap_or_else",
+    "get_or_insert_with",
+];
+
+/// Token ranges (exclusive of the parens) covered by
+/// [`LAZY_COLD_METHODS`] argument lists in `file`.
+pub(crate) fn lazy_cold_spans(file: &SourceFile) -> Vec<std::ops::Range<usize>> {
+    let tokens = &file.tokens;
+    let mut spans = Vec::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || !LAZY_COLD_METHODS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if let Some(close) = matching_paren(tokens, i + 1) {
+            spans.push(i + 2..close);
+        }
+    }
+    spans
+}
+
+/// The index of the `)` matching the `(` at `open`.
+pub(crate) fn matching_paren(tokens: &[crate::lexer::Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
 }

@@ -2,7 +2,9 @@
 //!
 //! A panic inside the costing path silently degrades the optimizer to
 //! guessing, which is worse than a biased estimate. In the configured
-//! hot-path modules this rule denies, outside `#[cfg(test)]` code:
+//! hot-path modules — and in *any* function reachable from a declared
+//! hot-path entry point over the call graph — this rule denies, outside
+//! `#[cfg(test)]` code:
 //!
 //! * `.unwrap()` / `.expect(…)` method calls,
 //! * `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros,
@@ -10,15 +12,16 @@
 //!   (`xs[i - 1]`) — plain `xs[i]` loop indexing stays legal, computed
 //!   offsets must go through `.get()`.
 //!
-//! Two escapes exist: a function whose doc comment declares a
-//! `# Panics` section (a documented API contract), and the inline
+//! Reachability-seeded findings (module not listed, function reached
+//! from an entry point) carry the call-path witness. Two escapes exist:
+//! a function whose doc comment declares a `# Panics` section (a
+//! documented API contract), and the inline
 //! `// analysis:allow(panic-freedom): reason` annotation.
 
-use crate::config::Config;
 use crate::lexer::TokenKind;
 use crate::report::Finding;
 use crate::rules::Rule;
-use crate::source::SourceFile;
+use crate::Context;
 
 /// See the module docs.
 pub struct PanicFreedom;
@@ -30,10 +33,10 @@ impl Rule for PanicFreedom {
         "panic-freedom"
     }
 
-    fn check_file(&mut self, file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
-        if !file.module_in(&config.hot_path_modules) {
-            return;
-        }
+    fn check_file(&mut self, ctx: &Context<'_>, file_idx: usize, out: &mut Vec<Finding>) {
+        let file = &ctx.files[file_idx];
+        let config = ctx.config;
+        let listed = file.module_in(&config.hot_path_modules);
         // Bodies of functions with a documented `# Panics` contract.
         let documented: Vec<std::ops::Range<usize>> = file
             .functions
@@ -43,6 +46,23 @@ impl Rule for PanicFreedom {
             .collect();
         let excused = |i: usize, line: usize| -> bool {
             file.in_test_code(line) || documented.iter().any(|r| r.contains(&i))
+        };
+        // Where the rule applies at token `i`: the module list, or the
+        // enclosing function being hot-reachable. Returns the witness
+        // for the latter (the module case needs none).
+        let coverage = |i: usize| -> Option<Vec<String>> {
+            if listed {
+                return Some(Vec::new());
+            }
+            let node = ctx.reachable_node(&ctx.hot, file_idx, i)?;
+            Some(ctx.witness(&ctx.hot, node))
+        };
+        let scope = |witness: &[String]| -> String {
+            if witness.is_empty() {
+                format!("hot-path module `{}`", file.module)
+            } else {
+                "a hot-path-reachable function".to_string()
+            }
         };
 
         let tokens = &file.tokens;
@@ -63,15 +83,20 @@ impl Rule for PanicFreedom {
                             )
                         });
                         if has_arithmetic {
-                            out.push(Finding {
-                                rule: self.id(),
-                                file: file.path.clone(),
-                                line: t.line,
-                                message: format!(
-                                    "computed slice index in hot-path module `{}` can panic — use .get()",
-                                    file.module
-                                ),
-                            });
+                            if let Some(witness) = coverage(i) {
+                                out.push(
+                                    Finding::error(
+                                        self.id(),
+                                        &file.path,
+                                        t.line,
+                                        format!(
+                                            "computed slice index in {} can panic — use .get()",
+                                            scope(&witness)
+                                        ),
+                                    )
+                                    .with_witness(witness),
+                                );
+                            }
                         }
                     }
                 }
@@ -83,25 +108,37 @@ impl Rule for PanicFreedom {
             let next_is = |c: char| tokens.get(i + 1).is_some_and(|n| n.is_punct(c));
             let prev_is_dot = i > 0 && tokens[i - 1].is_punct('.');
             if prev_is_dot && next_is('(') && (t.text == "unwrap" || t.text == "expect") {
-                out.push(Finding {
-                    rule: self.id(),
-                    file: file.path.clone(),
-                    line: t.line,
-                    message: format!(
-                        "`.{}()` in hot-path module `{}` — propagate a typed error instead",
-                        t.text, file.module
-                    ),
-                });
+                if let Some(witness) = coverage(i) {
+                    out.push(
+                        Finding::error(
+                            self.id(),
+                            &file.path,
+                            t.line,
+                            format!(
+                                "`.{}()` in {} — propagate a typed error instead",
+                                t.text,
+                                scope(&witness)
+                            ),
+                        )
+                        .with_witness(witness),
+                    );
+                }
             } else if PANIC_MACROS.contains(&t.text.as_str()) && next_is('!') {
-                out.push(Finding {
-                    rule: self.id(),
-                    file: file.path.clone(),
-                    line: t.line,
-                    message: format!(
-                        "`{}!` in hot-path module `{}` — return an error or document `# Panics`",
-                        t.text, file.module
-                    ),
-                });
+                if let Some(witness) = coverage(i) {
+                    out.push(
+                        Finding::error(
+                            self.id(),
+                            &file.path,
+                            t.line,
+                            format!(
+                                "`{}!` in {} — return an error or document `# Panics`",
+                                t.text,
+                                scope(&witness)
+                            ),
+                        )
+                        .with_witness(witness),
+                    );
+                }
             }
         }
     }

@@ -13,10 +13,10 @@
 //! * the traced body mentions the twin (direct delegation) or another
 //!   `*_traced` function (a delegation chain ending at a twin).
 
-use crate::config::Config;
 use crate::report::Finding;
 use crate::rules::Rule;
 use crate::source::{Function, SourceFile};
+use crate::Context;
 
 /// See the module docs.
 pub struct TraceParity;
@@ -26,8 +26,9 @@ impl Rule for TraceParity {
         "trace-parity"
     }
 
-    fn check_file(&mut self, file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
-        if !file.module_in(&config.trace_parity_modules) {
+    fn check_file(&mut self, ctx: &Context<'_>, file_idx: usize, out: &mut Vec<Finding>) {
+        let file = &ctx.files[file_idx];
+        if !file.module_in(&ctx.config.trace_parity_modules) {
             return;
         }
         for traced in &file.functions {
@@ -38,15 +39,15 @@ impl Rule for TraceParity {
                 continue;
             }
             let Some(twin) = file.functions.iter().find(|f| f.name == base) else {
-                out.push(Finding {
-                    rule: self.id(),
-                    file: file.path.clone(),
-                    line: traced.line,
-                    message: format!(
+                out.push(Finding::error(
+                    self.id(),
+                    &file.path,
+                    traced.line,
+                    format!(
                         "`{}` has no untraced twin `{}` in this file",
                         traced.name, base
                     ),
-                });
+                ));
                 continue;
             };
             let reduced: Vec<&String> = traced
@@ -55,11 +56,11 @@ impl Rule for TraceParity {
                 .filter(|p| !is_trace_param(p))
                 .collect();
             if !is_subsequence(&twin.params, &reduced) {
-                out.push(Finding {
-                    rule: self.id(),
-                    file: file.path.clone(),
-                    line: traced.line,
-                    message: format!(
+                out.push(Finding::error(
+                    self.id(),
+                    &file.path,
+                    traced.line,
+                    format!(
                         "`{}` signature diverges from `{}`: twin params [{}] are not a \
                          subsequence of the traced params minus trace context [{}]",
                         traced.name,
@@ -71,30 +72,30 @@ impl Rule for TraceParity {
                             .collect::<Vec<_>>()
                             .join(", "),
                     ),
-                });
+                ));
             }
             if twin.ret != traced.ret {
-                out.push(Finding {
-                    rule: self.id(),
-                    file: file.path.clone(),
-                    line: traced.line,
-                    message: format!(
+                out.push(Finding::error(
+                    self.id(),
+                    &file.path,
+                    traced.line,
+                    format!(
                         "`{}` returns `{}` but `{}` returns `{}` — traced twins must agree",
                         traced.name, traced.ret, base, twin.ret
                     ),
-                });
+                ));
             }
             if !delegates(file, traced, base) {
-                out.push(Finding {
-                    rule: self.id(),
-                    file: file.path.clone(),
-                    line: traced.line,
-                    message: format!(
+                out.push(Finding::error(
+                    self.id(),
+                    &file.path,
+                    traced.line,
+                    format!(
                         "`{}` never calls `{}` (or another `*_traced` delegate) — traced \
                          variants must not fork the estimation logic",
                         traced.name, base
                     ),
-                });
+                ));
             }
         }
     }

@@ -35,12 +35,20 @@ pub struct Function {
     pub line: usize,
     /// Normalized parameter type strings (receivers collapse to `"self"`).
     pub params: Vec<String>,
+    /// Parameter binding names aligned with [`Function::params`]
+    /// (receivers are `"self"`; destructuring patterns are `""`).
+    pub param_names: Vec<String>,
     /// Normalized return-type string (empty for `()`-returning fns).
     pub ret: String,
     /// Token-index range of the body, `start..end` over the `{`…`}`.
     pub body: std::ops::Range<usize>,
     /// Doc comment attached above the item, concatenated.
     pub doc: String,
+    /// Token index of the `fn` keyword (for impl-owner attribution).
+    pub decl: usize,
+    /// The `impl`/`trait` type this function belongs to, if any
+    /// (`impl Display for CostEstimate` attributes to `CostEstimate`).
+    pub owner: Option<String>,
 }
 
 impl Function {
@@ -146,6 +154,11 @@ pub fn module_path_of(path: &str) -> String {
 fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
     let mut out = Vec::new();
     for c in comments {
+        if c.doc {
+            // Doc comments *mention* the annotation (rule docs show the
+            // syntax); only plain `//` comments *are* annotations.
+            continue;
+        }
         let Some(at) = c.text.find("analysis:allow(") else {
             continue;
         };
@@ -229,6 +242,82 @@ pub fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
     None
 }
 
+/// Finds `impl [Trait for] Type { … }` and `trait Name { … }` blocks,
+/// returning `(type-name, body-token-range)` pairs. The type name is
+/// the last path identifier of the implemented-for type (so
+/// `impl fmt::Display for CostEstimate` and
+/// `impl<'a> CacheQuery for CacheKeyRef<'a>` both attribute to the
+/// concrete type), with generic arguments and `dyn` skipped.
+fn find_impl_owners(tokens: &[Token]) -> Vec<(String, std::ops::Range<usize>)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_impl = tokens[i].is_ident("impl");
+        let is_trait = tokens[i].is_ident("trait");
+        if !is_impl && !is_trait {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // Skip `impl<…>` generics.
+        if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 0i32;
+            while let Some(t) = tokens.get(j) {
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Walk to the opening brace, remembering the last plain type
+        // identifier at angle-depth 0; `for` restarts the collection so
+        // the implemented-for type wins over the trait name.
+        let mut owner: Option<String> = None;
+        let mut angle = 0i32;
+        let mut open = None;
+        while let Some(t) = tokens.get(j) {
+            match &t.kind {
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => angle -= 1,
+                TokenKind::Punct('{') if angle <= 0 => {
+                    open = Some(j);
+                    break;
+                }
+                TokenKind::Punct(';') if angle <= 0 => break,
+                TokenKind::Ident if angle <= 0 => {
+                    if t.text == "for" {
+                        owner = None;
+                    } else if t.text == "where" {
+                        // Bounds follow; the owner is already decided.
+                        let brace = (j..tokens.len()).find(|&k| tokens[k].is_punct('{'));
+                        open = brace;
+                        break;
+                    } else if t.text != "dyn" && t.text != "mut" && t.text != "const" {
+                        owner = Some(t.text.clone());
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let (Some(owner), Some(open)) = (owner, open) {
+            if let Some(close) = matching_brace(tokens, open) {
+                out.push((owner, open..close + 1));
+                i = open;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
 fn find_functions(tokens: &[Token], comments: &[Comment]) -> Vec<Function> {
     let doc_lines: std::collections::BTreeMap<usize, &str> = comments
         .iter()
@@ -298,7 +387,9 @@ fn find_functions(tokens: &[Token], comments: &[Comment]) -> Vec<Function> {
         let Some(params_close) = params_close else {
             break;
         };
-        let params = split_params(&tokens[params_open + 1..params_close]);
+        let pairs = split_params(&tokens[params_open + 1..params_close]);
+        let param_names: Vec<String> = pairs.iter().map(|(n, _)| n.clone()).collect();
+        let params: Vec<String> = pairs.into_iter().map(|(_, t)| t).collect();
 
         // Return type: tokens between `->` and the body/`;`/`where`.
         let mut ret = String::new();
@@ -354,18 +445,32 @@ fn find_functions(tokens: &[Token], comments: &[Comment]) -> Vec<Function> {
             name,
             line,
             params,
+            param_names,
             ret,
             body,
             doc: doc.join("\n"),
+            decl: i,
+            owner: None,
         });
         i = params_close + 1;
+    }
+    // Attribute each function to the innermost enclosing impl/trait
+    // block, if any.
+    let owners = find_impl_owners(tokens);
+    for f in &mut out {
+        f.owner = owners
+            .iter()
+            .filter(|(_, r)| r.contains(&f.decl))
+            .min_by_key(|(_, r)| r.end - r.start)
+            .map(|(o, _)| o.clone());
     }
     out
 }
 
 /// Splits a parameter token run on top-level commas and normalizes each
-/// parameter to its type text (`self` receivers collapse to `"self"`).
-fn split_params(tokens: &[Token]) -> Vec<String> {
+/// parameter to a `(binding-name, type-text)` pair (`self` receivers
+/// collapse to `("self", "self")`; destructuring patterns get `""`).
+fn split_params(tokens: &[Token]) -> Vec<(String, String)> {
     let mut params = Vec::new();
     let mut current: Vec<&Token> = Vec::new();
     let mut depth = 0i32;
@@ -390,15 +495,25 @@ fn split_params(tokens: &[Token]) -> Vec<String> {
     params
 }
 
-fn normalize_param(tokens: &[&Token]) -> Option<String> {
+fn normalize_param(tokens: &[&Token]) -> Option<(String, String)> {
     if tokens.is_empty() {
         return None;
     }
     if tokens.iter().any(|t| t.is_ident("self")) && !tokens.iter().any(|t| t.is_punct(':')) {
-        return Some("self".to_string());
+        return Some(("self".to_string(), "self".to_string()));
     }
     let colon = tokens.iter().position(|t| t.is_punct(':'))?;
-    Some(join_tokens(&tokens[colon + 1..]))
+    // Binding name: a plain `[mut] name` pattern before the colon;
+    // anything fancier (tuples, refs) gets an empty name.
+    let pattern: Vec<&&Token> = tokens[..colon]
+        .iter()
+        .filter(|t| !t.is_ident("mut"))
+        .collect();
+    let name = match pattern.as_slice() {
+        [only] if only.kind == TokenKind::Ident => only.text.clone(),
+        _ => String::new(),
+    };
+    Some((name, join_tokens(&tokens[colon + 1..])))
 }
 
 fn join_tokens(tokens: &[&Token]) -> String {
@@ -526,6 +641,40 @@ impl Thing {
         assert_eq!(f.functions[1].ret, "Choice");
         // Bodies are real token ranges.
         assert!(f.functions[2].body.len() > 3);
+    }
+
+    #[test]
+    fn impl_owner_attribution_and_param_names() {
+        let src = "\
+pub fn free(x: f64, mut ys: &[f64]) -> f64 { x }
+
+impl Thing {
+    fn method(&self, count: usize) -> usize { count }
+}
+
+impl fmt::Display for CostEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { todo() }
+}
+
+impl<'a> CacheQuery for CacheKeyRef<'a> {
+    fn system(&self) -> &SystemId { self.system }
+}
+
+trait Subscriber {
+    fn on_event(&self, event: Event);
+}
+";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let by_name = |n: &str| f.functions.iter().find(|x| x.name == n).unwrap();
+        assert_eq!(by_name("free").owner, None);
+        assert_eq!(by_name("free").param_names, vec!["x", "ys"]);
+        assert_eq!(by_name("method").owner.as_deref(), Some("Thing"));
+        assert_eq!(by_name("method").param_names, vec!["self", "count"]);
+        assert_eq!(by_name("fmt").owner.as_deref(), Some("CostEstimate"));
+        assert_eq!(by_name("system").owner.as_deref(), Some("CacheKeyRef"));
+        let on_event = by_name("on_event");
+        assert_eq!(on_event.owner.as_deref(), Some("Subscriber"));
+        assert!(on_event.body.is_empty(), "trait decl has no body");
     }
 
     #[test]

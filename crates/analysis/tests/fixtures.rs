@@ -74,6 +74,20 @@ fn bad_lock_fixture_fires_inversion_and_double_acquisition() {
 }
 
 #[test]
+fn lock_fixture_recognises_self_field_and_qualified_forms() {
+    // Regression: acquisitions spelled `self.<field>.lock()` and
+    // `Mutex::lock(&x.field)` must feed the same rank check as the
+    // plain `receiver.lock()` form — one inversion per function.
+    let report = check(LOCK_PATH, include_str!("fixtures/bad_lock_forms.rs"));
+    assert_fires(&report, "lock-order", 2);
+    let text = report.render_text();
+    assert!(
+        text.contains("SERVICE_CACHE") && text.contains("EPOCH_COMMIT"),
+        "{text}"
+    );
+}
+
+#[test]
 fn good_lock_fixture_is_clean() {
     let report = check(LOCK_PATH, include_str!("fixtures/good_lock.rs"));
     assert!(report.is_clean(), "{}", report.render_text());
@@ -240,4 +254,99 @@ fn cli_rejects_bad_usage() {
             .expect("running the analysis binary");
         assert_eq!(out.status.code(), Some(2), "args: {args:?}");
     }
+}
+
+#[test]
+fn cli_graph_output_is_byte_identical_across_runs() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/ws_bad");
+    let bin = env!("CARGO_BIN_EXE_analysis");
+    let run = || {
+        std::process::Command::new(bin)
+            .args(["check", "--root", root, "--graph", "-"])
+            .output()
+            .expect("running the analysis binary")
+    };
+    let (a, b) = (run(), run());
+    // `--graph -` prints the graph instead of the report and exits 0.
+    assert_eq!(a.status.code(), Some(0));
+    assert_eq!(a.stdout, b.stdout, "graph JSON must be deterministic");
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("\"nodes\""), "{text}");
+    assert!(text.contains("\"edges\""), "{text}");
+    assert!(
+        text.contains("costing::service::estimate"),
+        "nodes carry qualified names: {text}"
+    );
+}
+
+#[test]
+fn cli_baseline_gates_only_new_findings() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/ws_bad");
+    let bin = env!("CARGO_BIN_EXE_analysis");
+    let json = std::process::Command::new(bin)
+        .args(["check", "--root", root, "--format", "json"])
+        .output()
+        .expect("running the analysis binary");
+    assert_eq!(json.status.code(), Some(1), "ws_bad has findings");
+
+    let dir = std::env::temp_dir().join(format!("analysis_baseline_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let accepted = dir.join("accepted.json");
+    std::fs::write(&accepted, &json.stdout).expect("writing baseline");
+    let empty = dir.join("empty.json");
+    std::fs::write(&empty, "{\"findings\": []}").expect("writing baseline");
+
+    // Every current finding is in the baseline: the gate passes.
+    let ok = std::process::Command::new(bin)
+        .args(["check", "--root", root, "--baseline"])
+        .arg(&accepted)
+        .output()
+        .expect("running the analysis binary");
+    assert_eq!(
+        ok.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+
+    // An empty baseline makes the same findings "new": the gate fails
+    // and names them on stderr.
+    let bad = std::process::Command::new(bin)
+        .args(["check", "--root", root, "--baseline"])
+        .arg(&empty)
+        .output()
+        .expect("running the analysis binary");
+    assert_eq!(bad.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(stderr.contains("not in baseline"), "{stderr}");
+    assert!(stderr.contains("panic-freedom"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_strict_allows_gates_stale_annotations() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/ws_stale");
+    let bin = env!("CARGO_BIN_EXE_analysis");
+
+    // The stale allow is a warning: advisory by default…
+    let lax = std::process::Command::new(bin)
+        .args(["check", "--root", root])
+        .output()
+        .expect("running the analysis binary");
+    assert_eq!(
+        lax.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&lax.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&lax.stdout);
+    assert!(stdout.contains("warning: [unused-allow]"), "{stdout}");
+
+    // …and a gate under --strict-allows.
+    let strict = std::process::Command::new(bin)
+        .args(["check", "--root", root, "--strict-allows"])
+        .output()
+        .expect("running the analysis binary");
+    assert_eq!(strict.status.code(), Some(1));
 }

@@ -1,0 +1,22 @@
+// Fixture: the rank inversion spelled through the two alternative
+// acquisition forms the rule must recognise — `self.<field>.lock()`
+// receivers inside an impl, and the fully-qualified
+// `Mutex::lock(&x.field)` function-call form.
+pub struct S {
+    pub commit: parking_lot::Mutex<u32>,
+    pub cache: parking_lot::Mutex<u32>,
+}
+
+impl S {
+    pub fn wrong_order_self(&self) -> u32 {
+        let c = self.cache.lock();
+        let co = self.commit.lock();
+        *c + *co
+    }
+}
+
+pub fn wrong_order_qualified(s: &S) -> u32 {
+    let a = parking_lot::Mutex::lock(&s.cache);
+    let b = parking_lot::Mutex::lock(&s.commit);
+    *a + *b
+}

@@ -14,4 +14,5 @@ fn main() {
     let _ = bench::experiments::ablations::run(&cfg);
     let _ = bench::experiments::drift::run(&cfg);
     let _ = bench::experiments::epoch_churn::run(&cfg);
+    let _ = bench::experiments::analysis::run(&cfg);
 }

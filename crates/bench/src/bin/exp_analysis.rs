@@ -1,0 +1,15 @@
+//! Times the workspace lint pass (parse phase vs the interprocedural
+//! analyze phase) over the live tree and writes `results/analysis.txt`.
+//! Pass `--quick` for fewer timing iterations.
+
+fn main() {
+    let cfg = bench::ExpConfig::from_env();
+    let result = bench::experiments::analysis::run(&cfg);
+    if result.findings > 0 {
+        eprintln!(
+            "error: the live tree has {} finding(s) — run `cargo run -p analysis -- check`",
+            result.findings
+        );
+        std::process::exit(1);
+    }
+}

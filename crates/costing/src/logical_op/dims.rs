@@ -170,8 +170,21 @@ impl TrainingMeta {
 
     /// True when every dimension of `x` is within (slack of) the trained
     /// range — the top diamond of the Fig. 3 flowchart.
+    ///
+    /// Runs once per estimate on the zero-alloc path, so it short-
+    /// circuits over the dimensions directly instead of materialising
+    /// the [`TrainingMeta::pivots`] vector just to test emptiness.
     pub fn all_in_range(&self, x: &[f64], beta: f64) -> bool {
-        self.pivots(x, beta).is_empty()
+        assert_eq!(
+            x.len(),
+            self.dims.len(),
+            "TrainingMeta::all_in_range: arity mismatch"
+        );
+        !self
+            .dims
+            .iter()
+            .zip(x)
+            .any(|(d, &xj)| d.is_way_off(xj, beta))
     }
 
     /// Absorbs out-of-range observations into each dimension (offline

@@ -38,8 +38,10 @@ impl CacheKey {
     /// a [`CacheKeyRef`] probe, materialised only on the miss path).
     pub fn from_quantized(system: &SystemId, op: OperatorKind, qfeatures: &[u64]) -> Self {
         CacheKey {
+            // analysis:allow(alloc-freedom): miss-path key materialisation — the documented allocating branch of the cache-enabled estimate
             system: system.clone(),
             op,
+            // analysis:allow(alloc-freedom): miss-path key materialisation — the documented allocating branch of the cache-enabled estimate
             qfeatures: qfeatures.to_vec(),
         }
     }
@@ -230,6 +232,7 @@ impl LruCache {
             self.remove_idx(lru);
         }
         let entry = Entry {
+            // analysis:allow(alloc-freedom): the map and the LRU list each need the key — insert only runs on the documented miss path
             key: key.clone(),
             value,
             epoch,

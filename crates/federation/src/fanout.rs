@@ -144,12 +144,12 @@ pub fn plan_query_with_service_pinned(
             transfer_secs,
         });
     }
-    let reg = &service.telemetry().metrics;
-    reg.counter("federation_plans_total", &[]).inc();
-    reg.counter("federation_placements_costed_total", &[])
-        .add(candidates.len() as u64);
-    reg.counter("federation_placements_skipped_total", &[])
-        .add(skipped);
+    // Pre-resolved at Telemetry construction: incrementing these is one
+    // relaxed atomic each, never the registry mutex.
+    let planner = &service.telemetry().planner;
+    planner.plans.inc();
+    planner.costed.add(candidates.len() as u64);
+    planner.skipped.add(skipped);
     if candidates.is_empty() {
         return Err(PlanError::NoViablePlacement);
     }

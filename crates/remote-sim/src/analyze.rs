@@ -263,7 +263,9 @@ fn side_bucketed(
     if side_bindings.len() != 1 {
         return false;
     }
-    let b = side_bindings.iter().next().expect("non-empty side");
+    let Some(b) = side_bindings.iter().next() else {
+        return false;
+    };
     let Some(table) = bindings.get(b) else {
         return false;
     };

@@ -188,10 +188,12 @@ impl<'a> CardinalityModel<'a> {
             Expr::Binary { op, left, right } if op.is_logical() => {
                 let a = self.selectivity(left, bindings);
                 let b = self.selectivity(right, bindings);
-                match op {
-                    BinOp::And => a * b,
-                    BinOp::Or => a + b - a * b,
-                    _ => unreachable!("is_logical covers And/Or"),
+                // `is_logical` admits exactly And/Or, so the guard fully
+                // determines the arm — no unreachable fallthrough needed.
+                if matches!(op, BinOp::And) {
+                    a * b
+                } else {
+                    a + b - a * b
                 }
             }
             Expr::Not(inner) => 1.0 - self.selectivity(inner, bindings),

@@ -51,14 +51,29 @@ use std::sync::Arc;
 /// [`Telemetry::default`] carries a fresh registry and a *disabled*
 /// tracer — instrumented code stays allocation-free on the hot path
 /// until a subscriber is attached.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Telemetry {
     /// The shared metrics registry.
     pub metrics: MetricsRegistry,
+    /// Pre-resolved federation planner counters — resolved here, at
+    /// construction, so the plan path never takes the registry mutex.
+    pub planner: metrics::PlannerCounters,
     /// The event tracer (disabled unless a subscriber was attached).
     pub tracer: Tracer,
     /// The request-span layer (sampling off by default).
     pub spans: SpanLayer,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        let registry = MetricsRegistry::default();
+        Telemetry {
+            planner: metrics::PlannerCounters::register(&registry),
+            metrics: registry,
+            tracer: Tracer::default(),
+            spans: SpanLayer::default(),
+        }
+    }
 }
 
 impl Telemetry {
@@ -70,9 +85,8 @@ impl Telemetry {
     /// A fresh registry with events routed to `subscriber`.
     pub fn with_subscriber(subscriber: Arc<dyn Subscriber>) -> Self {
         Telemetry {
-            metrics: MetricsRegistry::default(),
             tracer: Tracer::new(subscriber),
-            spans: SpanLayer::default(),
+            ..Telemetry::default()
         }
     }
 }

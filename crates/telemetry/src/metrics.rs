@@ -454,6 +454,34 @@ impl MetricsSnapshot {
     }
 }
 
+/// Pre-resolved handles for the federation planner's counters.
+///
+/// Handle lookup takes the registry mutex, so the planning path must
+/// not call [`MetricsRegistry::counter`] per plan — these are resolved
+/// once at [`crate::Telemetry`] construction and incremented lock-free
+/// from `plan_query_with_service_pinned`.
+#[derive(Clone)]
+pub struct PlannerCounters {
+    /// `federation_plans_total` — plans attempted.
+    pub plans: Counter,
+    /// `federation_placements_costed_total` — placements costed.
+    pub costed: Counter,
+    /// `federation_placements_skipped_total` — placements skipped
+    /// because a system could not cost the plan shape.
+    pub skipped: Counter,
+}
+
+impl PlannerCounters {
+    /// Resolves (registering on first use) the planner counters.
+    pub fn register(registry: &MetricsRegistry) -> PlannerCounters {
+        PlannerCounters {
+            plans: registry.counter("federation_plans_total", &[]),
+            costed: registry.counter("federation_placements_costed_total", &[]),
+            skipped: registry.counter("federation_placements_skipped_total", &[]),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

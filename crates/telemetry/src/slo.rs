@@ -126,6 +126,7 @@ impl SloState {
         let len = self.buckets.len();
         let (mut bad, mut total) = (0u64, 0u64);
         for i in 0..n.min(len) {
+            // analysis:allow(panic-freedom): the index is reduced modulo len, always in bounds
             let b = self.buckets[(self.head + len - i) % len];
             bad += b.bad;
             total += b.good + b.bad;
