@@ -132,6 +132,9 @@ impl Config {
                 "costing::hybrid".into(),
                 "federation::fanout".into(),
                 "federation::planner".into(),
+                "federation::ir".into(),
+                "federation::rules".into(),
+                "federation::schedule".into(),
                 "telemetry::metrics".into(),
                 "telemetry::span".into(),
                 "serving::frontend".into(),
@@ -143,6 +146,10 @@ impl Config {
                 "costing::epoch".into(),
                 "telemetry".into(),
                 "serving".into(),
+                // The layered planner holds no locks of its own; scoping
+                // it in keeps the lock-order pass watching that stays
+                // true as the scheduler grows.
+                "federation".into(),
             ],
             lock_classes: vec![
                 LockClass::ranked("buckets", "FRONTEND_LIMITER", 3),
@@ -168,6 +175,8 @@ impl Config {
                 "costing::service".into(),
                 "federation::fanout".into(),
                 "federation::planner".into(),
+                "federation::ir".into(),
+                "federation::schedule".into(),
                 "serving::frontend".into(),
             ],
             model_store_receivers: vec!["models".into(), "store".into()],
@@ -204,6 +213,11 @@ impl Config {
                     false,
                     true,
                 ),
+                // The workload layers: logical build and physical
+                // dispatch both read one pinned snapshot, stage plan
+                // and report vectors (not zero-alloc), and never block.
+                EntryPoint::new("federation::ir", "build_workload_pinned", false, true),
+                EntryPoint::new("federation::schedule", "plan_workload_pinned", false, true),
             ],
             cold_boundary_functions: vec![
                 // Tracing is disabled in steady state; allocations and

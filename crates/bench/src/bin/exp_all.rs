@@ -14,5 +14,6 @@ fn main() {
     let _ = bench::experiments::ablations::run(&cfg);
     let _ = bench::experiments::drift::run(&cfg);
     let _ = bench::experiments::epoch_churn::run(&cfg);
+    let _ = bench::experiments::workload::run(&cfg);
     let _ = bench::experiments::analysis::run(&cfg);
 }

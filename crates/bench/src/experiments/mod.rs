@@ -16,11 +16,14 @@ pub mod logical;
 pub mod observability;
 pub mod skew;
 pub mod table1;
+pub mod workload;
 
 use crate::report::ExpConfig;
 use costing::logical_op::model::{FitConfig, TopologyChoice};
 use remote_sim::{ClusterConfig, ClusterEngine};
-use workload::{register_tables, TableSpec};
+// `::workload` is the crate; plain `workload` would resolve to the
+// experiment module of the same name declared above.
+use ::workload::{register_tables, TableSpec};
 
 /// A fresh paper-cluster Hive engine with the given tables registered.
 pub fn hive_with(cfg: &ExpConfig, specs: &[TableSpec]) -> ClusterEngine {

@@ -545,6 +545,7 @@ fn ops_scenario(cfg: &ExpConfig) -> OpsSummary {
     let ring = Arc::new(RingSubscriber::with_registry(32, &metrics));
     let telemetry = Telemetry {
         planner: telemetry::metrics::PlannerCounters::register(&metrics),
+        scheduler: telemetry::metrics::SchedulerCounters::register(&metrics),
         metrics,
         tracer: Tracer::new(ring.clone()),
         spans: SpanLayer::new(SpanConfig {

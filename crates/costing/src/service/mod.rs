@@ -54,6 +54,7 @@ use catalog::SystemId;
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use telemetry::span::{time as stage_time, Stage};
@@ -572,6 +573,56 @@ impl EstimatorService {
             scratch.staging = staging;
             res.map(|()| out)
         })
+    }
+
+    /// Reuse-aware batch estimation: [`EstimatorService::estimate_batch_pinned`]
+    /// with identical feature rows costed once.
+    ///
+    /// Workload-level planners repeatedly cost the *same* operator shape
+    /// — duplicated statements, shared scans, one query matrix-costed on
+    /// every engine — so a batch often carries far fewer distinct rows
+    /// than rows. This entry deduplicates rows by exact bit pattern
+    /// (`f64::to_bits`, so `-0.0` and `0.0` stay distinct and NaNs never
+    /// merge), runs one batched pass over the distinct rows, and fans
+    /// the results back out. Because the underlying batch path is
+    /// bit-identical to the per-row pinned path, so is this one: the
+    /// result for every row equals [`EstimatorService::estimate_pinned`]
+    /// on that row at the same epoch.
+    pub fn estimate_batch_dedup_pinned(
+        &self,
+        snapshot: &ModelSnapshot,
+        system: &SystemId,
+        op: OperatorKind,
+        rows: &[Vec<f64>],
+    ) -> Result<Vec<CostEstimate>, ServiceError> {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut first_of: BTreeMap<Vec<u64>, usize> = BTreeMap::new();
+        let mut distinct: Vec<Vec<f64>> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let key: Vec<u64> = row.iter().map(|v| v.to_bits()).collect();
+            let slot = match first_of.get(&key) {
+                Some(&slot) => slot,
+                None => {
+                    let slot = distinct.len();
+                    first_of.insert(key, slot);
+                    distinct.push(row.clone());
+                    slot
+                }
+            };
+            slot_of.push(slot);
+        }
+        let estimates = self.estimate_batch_pinned(snapshot, system, op, &distinct)?;
+        let mut out = Vec::with_capacity(rows.len());
+        for slot in slot_of {
+            match estimates.get(slot) {
+                Some(est) => out.push(est.clone()),
+                None => return Err(ServiceError::Internal("dedup batch slot out of range")),
+            }
+        }
+        Ok(out)
     }
 
     /// The flat, allocation-disciplined core of the batched estimate

@@ -19,14 +19,14 @@
 //! [`HybridCostManager`]: costing::hybrid::HybridCostManager
 
 use crate::{
-    placement::enumerate_placements,
-    planner::{PlacementCost, PlanError, PlanReport},
+    ir::{build_workload_pinned, QueryId, SlotMap, WorkloadSpec},
+    planner::{PlanError, PlanReport},
     transfer::TransferCostModel,
 };
 use catalog::Catalog;
 use costing::service::{EstimatorService, ServiceError};
 use costing::{agg_features, join_features, ModelSnapshot, OperatorKind};
-use remote_sim::analyze::{analyze, QueryAnalysis};
+use remote_sim::analyze::QueryAnalysis;
 use sqlkit::logical::LogicalPlan;
 
 /// Estimates a query's execution time on one system via the service: the
@@ -104,6 +104,14 @@ pub fn plan_query_with_service(
 /// [`plan_query_with_service`] against a caller-pinned snapshot: every
 /// candidate's execution estimate comes from the same model state, and
 /// the report records its epoch.
+///
+/// Since the workload refactor this is a *degenerate single-node
+/// workload* through the logical layer: the statement becomes a
+/// [`WorkloadSpec::singleton`], [`build_workload_pinned`] costs its
+/// candidates through the service's deduplicating batch path (bit-
+/// identical to the old per-candidate loop — proptest-enforced), and
+/// the node's per-query greedy report is returned unchanged. One
+/// costing path serves both single statements and whole workloads.
 pub fn plan_query_with_service_pinned(
     catalog: &Catalog,
     service: &EstimatorService,
@@ -111,55 +119,18 @@ pub fn plan_query_with_service_pinned(
     transfer_model: &TransferCostModel,
     plan: &LogicalPlan,
 ) -> Result<PlanReport, PlanError> {
-    let options =
-        enumerate_placements(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
-    let analysis = analyze(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
-
-    // When a request span is sampled on this thread, the whole
-    // candidate-costing loop below attributes to its federation-
-    // placement stage (the per-estimate cache/kernel stages nest inside).
-    let _placement = telemetry::span::time(telemetry::span::Stage::FederationPlacement);
-    let mut candidates = Vec::new();
-    let mut skipped: u64 = 0;
-    for option in options {
-        let exec = match service_execution_secs_pinned(service, snapshot, &option.system, &analysis)
-        {
-            Ok(secs) => secs,
-            // No model for this system: skip the candidate, like the
-            // serial planner skips systems without profiles.
-            Err(_) => {
-                skipped += 1;
-                continue;
-            }
-        };
-        let transfer_secs: f64 = option
-            .transfers
-            .iter()
-            .map(|t| transfer_model.transfer_secs(t.bytes, t.hops))
-            .sum::<f64>()
-            + 0.0;
-        candidates.push(PlacementCost {
-            option,
-            execution_secs: exec,
-            transfer_secs,
-        });
-    }
-    // Pre-resolved at Telemetry construction: incrementing these is one
-    // relaxed atomic each, never the registry mutex.
-    let planner = &service.telemetry().planner;
-    planner.plans.inc();
-    planner.costed.add(candidates.len() as u64);
-    planner.skipped.add(skipped);
-    if candidates.is_empty() {
-        return Err(PlanError::NoViablePlacement);
-    }
-    candidates.sort_by(|a, b| mathkit::total_cmp_f64(&a.total_secs(), &b.total_secs()));
-    let report = PlanReport {
-        candidates,
-        epoch: Some(snapshot.epoch().get()),
-    };
-    report.emit_ranking(&service.telemetry().tracer);
-    Ok(report)
+    let spec = WorkloadSpec::singleton(plan.clone());
+    let workload = build_workload_pinned(
+        catalog,
+        service,
+        snapshot,
+        transfer_model,
+        &spec,
+        &SlotMap::default(),
+    )?;
+    workload
+        .node_report(QueryId(0))
+        .ok_or(PlanError::Internal("singleton workload produced no node"))
 }
 
 /// Plans a batch of queries concurrently on `threads` OS threads, all
@@ -180,44 +151,61 @@ pub fn plan_queries_concurrent(
 ) -> Vec<Result<PlanReport, PlanError>> {
     let snapshot = service.snapshot();
     let snapshot = &snapshot;
-    let threads = threads.max(1).min(plans.len().max(1));
+    let results = run_strips(plans.len(), threads, |i| match plans.get(i) {
+        Some(plan) => {
+            plan_query_with_service_pinned(catalog, service, snapshot, transfer_model, plan)
+        }
+        None => Err(PlanError::Internal("fan-out index out of range")),
+    });
+    results
+        .into_iter()
+        .map(|r| r.unwrap_or(Err(PlanError::Internal("fan-out slot left unfilled"))))
+        .collect()
+}
+
+/// The federation crate's thread pool in function form: runs `f(0..n)`
+/// on up to `threads` scoped OS threads in round-robin strips (thread
+/// `t` takes items `t`, `t+threads`, `t+2·threads`, …), writing each
+/// result into its input-order slot without locks. With one thread (or
+/// one item) everything runs inline on the caller's thread.
+///
+/// A `None` in the output means a worker died before filling its slot —
+/// callers surface it as [`PlanError::Internal`] rather than panicking.
+/// Shared by the concurrent per-query planner above and the physical
+/// layer's wave dispatch ([`crate::schedule`]).
+pub(crate) fn run_strips<T, F>(n: usize, threads: usize, f: F) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    let mut results: Vec<Option<T>> = Vec::new();
+    results.resize_with(n, || None);
     if threads == 1 {
-        return plans
-            .iter()
-            .map(|p| plan_query_with_service_pinned(catalog, service, snapshot, transfer_model, p))
-            .collect();
+        for (i, slot) in results.iter_mut().enumerate() {
+            *slot = Some(f(i));
+        }
+        return results;
     }
-    type Slot<'a> = (usize, &'a mut Option<Result<PlanReport, PlanError>>);
-    let mut results: Vec<Option<Result<PlanReport, PlanError>>> = Vec::new();
-    results.resize_with(plans.len(), || None);
     let slots: Vec<_> = results.iter_mut().collect();
     std::thread::scope(|scope| {
-        // Round-robin strips: thread t takes plans t, t+threads, t+2·threads…
-        let mut strips: Vec<Vec<Slot>> = (0..threads).map(|_| Vec::new()).collect();
+        let mut strips: Vec<Vec<(usize, &mut Option<T>)>> =
+            (0..threads).map(|_| Vec::new()).collect();
         for (i, slot) in slots.into_iter().enumerate() {
             if let Some(strip) = strips.get_mut(i % threads) {
                 strip.push((i, slot));
             }
         }
         for strip in strips {
-            let service = service.clone();
+            let f = &f;
             scope.spawn(move || {
                 for (i, slot) in strip {
-                    *slot = Some(plan_query_with_service_pinned(
-                        catalog,
-                        &service,
-                        snapshot,
-                        transfer_model,
-                        &plans[i],
-                    ));
+                    *slot = Some(f(i));
                 }
             });
         }
     });
     results
-        .into_iter()
-        .map(|r| r.unwrap_or(Err(PlanError::Internal("fan-out slot left unfilled"))))
-        .collect()
 }
 
 #[cfg(test)]

@@ -238,6 +238,12 @@ impl IntelliSphere {
     }
 
     /// Plans a SQL query: enumerates placements, costs them, ranks them.
+    ///
+    /// A facade `plan` is a degenerate single-node workload: candidate
+    /// costing and ranking go through the same shared core
+    /// ([`crate::ir::cost_candidates`]) the workload-level optimizer
+    /// uses, so a statement planned here and the same statement planned
+    /// as a one-node [`crate::ir::WorkloadSpec`] rank identically.
     pub fn plan(&mut self, sql: &str) -> Result<PlanReport, SphereError> {
         let plan = sqlkit::sql_to_plan(sql).map_err(|e| SphereError::Sql(e.to_string()))?;
         let catalog = self.global_catalog();

@@ -23,17 +23,53 @@
 //!   foreign-table catalog, and the hybrid cost manager; it plans,
 //!   executes (moving data through its QueryGrid emulation), and feeds
 //!   observed actuals back into the costing profiles.
+//!
+//! Planning is layered (logical / physical):
+//!
+//! * [`ir`] — the **logical layer**: a workload is a DAG of queries
+//!   ([`ir::WorkloadSpec`] → [`ir::WorkloadPlan`]) where nodes declare
+//!   the tables they read and the intermediate results they publish, and
+//!   edges are data dependencies. [`ir::build_workload_pinned`] costs
+//!   every node's placement candidates against **one pinned model
+//!   epoch** through the batched estimator API.
+//! * [`rules`] — pure rewrite rules over [`ir::WorkloadPlan`] applied to
+//!   fixpoint: shared-scan dedup, materialized-intermediate reuse, and
+//!   placement pinning. Every accepted rewrite strictly improves the
+//!   scheduling objective, so the optimized plan is never worse than the
+//!   greedy per-query baseline.
+//! * [`schedule`] — the **physical layer**: topological dispatch of the
+//!   optimized plan across engines under per-engine capacity slots,
+//!   emitting a [`schedule::WorkloadReport`] (placements, predicted
+//!   makespan, reuse savings, pinned epoch).
+//!
+//! Single-query entry points ([`planner::plan_query`],
+//! [`fanout::plan_query_with_service_pinned`], the facade's
+//! `plan`/`execute`) are degenerate single-node workloads — there is one
+//! costing path, and singleton results are bit-identical to workload
+//! results by construction.
 
 pub mod fanout;
 pub mod intellisphere;
+pub mod ir;
 pub mod placement;
 pub mod planner;
+pub mod rules;
+pub mod schedule;
 pub mod transfer;
 
 pub use fanout::{
     plan_queries_concurrent, plan_query_with_service, plan_query_with_service_pinned,
 };
 pub use intellisphere::{ExecutionReport, IntelliSphere};
+pub use ir::{
+    build_workload_pinned, InputRef, Objective, QueryId, SlotMap, WorkloadNode, WorkloadPlan,
+    WorkloadQuery, WorkloadSpec,
+};
 pub use placement::{enumerate_placements, PlacementOption, Transfer};
 pub use planner::{PlacementCost, PlanReport};
+pub use rules::{default_rules, optimize, optimize_with, Rule, RulePass, RuleTrace};
+pub use schedule::{
+    dispatch, plan_workload, plan_workload_pinned, ScheduleConfig, ScheduledQuery, WorkloadOutcome,
+    WorkloadReport,
+};
 pub use transfer::TransferCostModel;

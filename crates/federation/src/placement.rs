@@ -76,12 +76,7 @@ pub fn enumerate_placements(
             .iter()
             .filter(|(_, owner, _)| owner != &host)
             .map(|(table, owner, bytes)| {
-                let hops = if host == SystemId::master() || *owner == SystemId::master() {
-                    1
-                } else {
-                    // Remote → Teradata → remote (no direct remote links).
-                    2
-                };
+                let hops = crate::transfer::hops_between(owner, &host);
                 Transfer {
                     table: table.clone(),
                     from: owner.clone(),

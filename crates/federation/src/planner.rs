@@ -94,6 +94,47 @@ impl std::fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
+/// The one manager-backed planning implementation, parameterized by an
+/// optional tracer — [`plan_query`] and [`plan_query_traced`] are thin
+/// fronts over this, so the traced twin can never drift from the
+/// untraced one (the R3 trace-parity property, by construction).
+///
+/// Candidate costing and ranking go through the federation's shared
+/// core ([`crate::ir::cost_candidates`]): the same transfer arithmetic,
+/// skip semantics, and deterministic `SystemId` tie-break the workload
+/// layer uses.
+fn plan_query_impl(
+    catalog: &Catalog,
+    manager: &mut HybridCostManager,
+    transfer_model: &TransferCostModel,
+    plan: &LogicalPlan,
+    tracer: Option<&Tracer>,
+) -> Result<PlanReport, PlanError> {
+    let options =
+        enumerate_placements(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
+    let analysis = analyze(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
+
+    let (candidates, _skipped, last_err) =
+        crate::ir::cost_candidates(options, transfer_model, |option| {
+            match tracer {
+                Some(t) => manager.estimate_traced(&option.system, &analysis, t),
+                None => manager.estimate(&option.system, &analysis),
+            }
+            .map(|cost| cost.total_secs)
+        });
+    if candidates.is_empty() {
+        return Err(last_err.map_or(PlanError::NoViablePlacement, PlanError::Costing));
+    }
+    let report = PlanReport {
+        candidates,
+        epoch: Some(manager.version()),
+    };
+    if let Some(t) = tracer {
+        report.emit_ranking(t);
+    }
+    Ok(report)
+}
+
 /// Costs every placement candidate and ranks them.
 ///
 /// The analysis is computed once against the global catalog (cardinalities
@@ -105,46 +146,14 @@ pub fn plan_query(
     transfer_model: &TransferCostModel,
     plan: &LogicalPlan,
 ) -> Result<PlanReport, PlanError> {
-    let options =
-        enumerate_placements(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
-    let analysis = analyze(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
-
-    let mut candidates = Vec::new();
-    let mut last_err = None;
-    for option in options {
-        let exec = match manager.estimate(&option.system, &analysis) {
-            Ok(cost) => cost.total_secs,
-            Err(e) => {
-                last_err = Some(e);
-                continue;
-            }
-        };
-        let transfer_secs: f64 = option
-            .transfers
-            .iter()
-            .map(|t| transfer_model.transfer_secs(t.bytes, t.hops))
-            .sum::<f64>()
-            + 0.0; // normalise -0.0 from float arithmetic
-        candidates.push(PlacementCost {
-            option,
-            execution_secs: exec,
-            transfer_secs,
-        });
-    }
-    if candidates.is_empty() {
-        return Err(last_err.map_or(PlanError::NoViablePlacement, PlanError::Costing));
-    }
-    candidates.sort_by(|a, b| mathkit::total_cmp_f64(&a.total_secs(), &b.total_secs()));
-    Ok(PlanReport {
-        candidates,
-        epoch: Some(manager.version()),
-    })
+    plan_query_impl(catalog, manager, transfer_model, plan, None)
 }
 
 /// [`plan_query`] with the decision trail: routes every candidate's
 /// operator estimates through [`HybridCostManager::estimate_traced`] (so
 /// per-operator [`Event::EstimateServed`] events appear) and emits one
-/// [`Event::PlanRanked`] with the final ranking.
+/// [`Event::PlanRanked`] with the final ranking. Delegates to the same
+/// implementation as [`plan_query`].
 pub fn plan_query_traced(
     catalog: &Catalog,
     manager: &mut HybridCostManager,
@@ -152,45 +161,15 @@ pub fn plan_query_traced(
     plan: &LogicalPlan,
     tracer: &Tracer,
 ) -> Result<PlanReport, PlanError> {
-    let options =
-        enumerate_placements(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
-    let analysis = analyze(catalog, plan).map_err(|e| PlanError::Catalog(e.to_string()))?;
-
-    let mut candidates = Vec::new();
-    let mut last_err = None;
-    for option in options {
-        let exec = match manager.estimate_traced(&option.system, &analysis, tracer) {
-            Ok(cost) => cost.total_secs,
-            Err(e) => {
-                last_err = Some(e);
-                continue;
-            }
-        };
-        let transfer_secs: f64 = option
-            .transfers
-            .iter()
-            .map(|t| transfer_model.transfer_secs(t.bytes, t.hops))
-            .sum::<f64>()
-            + 0.0;
-        candidates.push(PlacementCost {
-            option,
-            execution_secs: exec,
-            transfer_secs,
-        });
-    }
-    if candidates.is_empty() {
-        return Err(last_err.map_or(PlanError::NoViablePlacement, PlanError::Costing));
-    }
-    candidates.sort_by(|a, b| mathkit::total_cmp_f64(&a.total_secs(), &b.total_secs()));
-    let report = PlanReport {
-        candidates,
-        epoch: Some(manager.version()),
-    };
-    report.emit_ranking(tracer);
-    Ok(report)
+    plan_query_impl(catalog, manager, transfer_model, plan, Some(tracer))
 }
 
 /// Returns the winning system for a query (convenience).
+///
+/// Fully deterministic: equal-cost candidates are ordered by
+/// [`SystemId`] (the shared costing core's tie-break), not by registry
+/// enumeration order, so repeated planning of the same statement can
+/// never flap between cost-tied systems.
 pub fn choose_system(
     catalog: &Catalog,
     manager: &mut HybridCostManager,

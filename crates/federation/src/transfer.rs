@@ -7,7 +7,22 @@
 //! proper does not learn these (out of scope for the paper); the master
 //! engine uses this simple analytical model when combining costs.
 
+use catalog::SystemId;
 use serde::{Deserialize, Serialize};
+
+/// QueryGrid hop count between two systems: 0 co-located, 1 when either
+/// side is the Teradata master, 2 for remote→Teradata→remote (there are
+/// no direct remote-to-remote links). The single source of this rule —
+/// placement enumeration and workload re-costing both call it.
+pub fn hops_between(from: &SystemId, to: &SystemId) -> u32 {
+    if from == to {
+        0
+    } else if *from == SystemId::master() || *to == SystemId::master() {
+        1
+    } else {
+        2
+    }
+}
 
 /// A linear connection-latency + bandwidth transfer model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,5 +77,16 @@ mod tests {
         };
         assert_eq!(m.hop_secs(200.0), 3.0);
         assert_eq!(m.transfer_secs(200.0, 2), 6.0);
+    }
+
+    #[test]
+    fn hop_counts_route_through_the_master() {
+        let a = SystemId::new("hive-a");
+        let b = SystemId::new("spark-b");
+        let td = SystemId::master();
+        assert_eq!(hops_between(&a, &a), 0);
+        assert_eq!(hops_between(&a, &td), 1);
+        assert_eq!(hops_between(&td, &b), 1);
+        assert_eq!(hops_between(&a, &b), 2);
     }
 }

@@ -58,6 +58,8 @@ pub struct Telemetry {
     /// Pre-resolved federation planner counters — resolved here, at
     /// construction, so the plan path never takes the registry mutex.
     pub planner: metrics::PlannerCounters,
+    /// Pre-resolved workload scheduler counters (same discipline).
+    pub scheduler: metrics::SchedulerCounters,
     /// The event tracer (disabled unless a subscriber was attached).
     pub tracer: Tracer,
     /// The request-span layer (sampling off by default).
@@ -69,6 +71,7 @@ impl Default for Telemetry {
         let registry = MetricsRegistry::default();
         Telemetry {
             planner: metrics::PlannerCounters::register(&registry),
+            scheduler: metrics::SchedulerCounters::register(&registry),
             metrics: registry,
             tracer: Tracer::default(),
             spans: SpanLayer::default(),

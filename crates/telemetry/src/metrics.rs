@@ -482,6 +482,45 @@ impl PlannerCounters {
     }
 }
 
+/// Pre-resolved handles for the workload scheduler's counters.
+///
+/// Same discipline as [`PlannerCounters`]: resolved once at
+/// [`crate::Telemetry`] construction, incremented lock-free from the
+/// federation's physical layer (`plan_workload_pinned`).
+#[derive(Clone)]
+pub struct SchedulerCounters {
+    /// `federation_workloads_total` — workloads planned end to end.
+    pub workloads: Counter,
+    /// `federation_workload_queries_scheduled_total` — queries actually
+    /// dispatched (executing nodes).
+    pub scheduled: Counter,
+    /// `federation_workload_queries_merged_total` — queries collapsed
+    /// onto an equivalent node by the reuse rule.
+    pub merged: Counter,
+    /// `federation_workload_scans_shared_total` — scan transfers
+    /// deduplicated by shared-scan mode.
+    pub shared_scans: Counter,
+    /// `federation_workload_waves_total` — dispatch waves executed.
+    pub waves: Counter,
+    /// `federation_workload_pinned_moves_total` — placement moves
+    /// accepted by the pinning rule.
+    pub pinned_moves: Counter,
+}
+
+impl SchedulerCounters {
+    /// Resolves (registering on first use) the scheduler counters.
+    pub fn register(registry: &MetricsRegistry) -> SchedulerCounters {
+        SchedulerCounters {
+            workloads: registry.counter("federation_workloads_total", &[]),
+            scheduled: registry.counter("federation_workload_queries_scheduled_total", &[]),
+            merged: registry.counter("federation_workload_queries_merged_total", &[]),
+            shared_scans: registry.counter("federation_workload_scans_shared_total", &[]),
+            waves: registry.counter("federation_workload_waves_total", &[]),
+            pinned_moves: registry.counter("federation_workload_pinned_moves_total", &[]),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

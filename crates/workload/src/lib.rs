@@ -29,6 +29,7 @@
 //! realistic concurrent traffic from large simulated populations.
 
 pub mod aggq;
+pub mod dag;
 pub mod joinq;
 pub mod oor;
 pub mod probes;
@@ -37,6 +38,7 @@ pub mod tables;
 pub mod traffic;
 
 pub use aggq::{agg_training_queries, agg_training_queries_with, AggQuery};
+pub use dag::{dag_base_tables, dag_workload, DagConfig, DagStatement};
 pub use joinq::{join_training_queries, join_training_queries_with, JoinQuery};
 pub use oor::{oor_all_table_specs, oor_join_queries, oor_table_specs, OOR_ROWS};
 pub use probes::{probe_suite, probe_suite_for};
